@@ -1,0 +1,24 @@
+.PHONY: install test bench experiments examples quick all
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	hiperrf-experiments all
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+	done
+
+quick:
+	hiperrf-experiments table1 table3 fullchip
+
+all: install test bench experiments

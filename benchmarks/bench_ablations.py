@@ -1,0 +1,40 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.alternatives import run as run_alternatives
+
+
+def test_dual_bit_ablation(benchmark):
+    result = benchmark(ablations.dual_bit_ablation)
+    benchmark.extra_info.update({k: round(v, 1) for k, v in result.items()})
+    # Both ideas must contribute materially to the 56% total saving.
+    assert result["loopback_idea_saving_percent"] > 15.0
+    assert result["dual_bit_extra_saving_percent"] > 15.0
+    assert result["total_saving_percent"] == pytest.approx(56.1, abs=2.0)
+
+
+def test_bank_policy_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.bank_policy_ablation(scale=0.4,
+                                               max_instructions=150_000),
+        rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in result.items()})
+    ideal = result["dual_bank_hiperrf_ideal_overhead_percent"]
+    parity = result["dual_bank_hiperrf_overhead_percent"]
+    worst = result["dual_bank_hiperrf_worst_overhead_percent"]
+    unbanked = result["hiperrf_overhead_percent"]
+    # The policy spectrum must be ordered and bracket the parity policy.
+    assert ideal <= parity <= worst <= unbanked + 0.5
+
+
+def test_two_port_alternative(benchmark):
+    result = benchmark(run_alternatives)
+    benchmark.extra_info["two_port_ratio"] = round(
+        result["two_port_ratio"], 2)
+    benchmark.extra_info["dual_bank_ratio"] = round(
+        result["dual_bank_ratio"], 2)
+    # Banking must dominate the monolithic two-port design.
+    assert result["two_port_ratio"] > 2.0
+    assert result["dual_bank_ratio"] < 1.15

@@ -1,0 +1,41 @@
+"""Benches for the extension studies: banking, scheduling, skew, faults."""
+
+import pytest
+
+from repro.experiments import banking, fault_study, scheduling, skew
+
+
+def test_banking_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: banking.run(scale=0.4, max_instructions=120_000),
+        rounds=1, iterations=1)
+    for row in rows:
+        benchmark.extra_info[f"banks_{int(row['banks'])}_cpi_overhead"] = \
+            round(row["cpi_overhead_percent"], 2)
+    overheads = [row["cpi_overhead_percent"] for row in rows]
+    assert overheads == sorted(overheads, reverse=True)
+
+
+def test_scheduling_study(benchmark):
+    result = benchmark.pedantic(scheduling.run, rounds=1, iterations=1)
+    speedup = result["naive"]["ndro_rf"] / result["scheduled"]["ndro_rf"]
+    benchmark.extra_info["baseline_speedup"] = round(speedup, 2)
+    assert speedup > 2.0
+
+
+def test_skew_window(benchmark):
+    rows = benchmark.pedantic(
+        lambda: skew.run([-8.0, -4.0, 0.0, 4.0, 8.0, 16.0]),
+        rounds=1, iterations=1)
+    window = skew.working_window_ps(rows)
+    benchmark.extra_info.update({k: v for k, v in window.items()})
+    assert window["width_ps"] >= 8.0
+
+
+def test_fault_campaign(benchmark):
+    outcomes = benchmark.pedantic(fault_study.run, rounds=1, iterations=1)
+    corrupted = [o for o in outcomes if o.state_corrupted]
+    benchmark.extra_info["corrupting_faults"] = len(corrupted)
+    # Exactly the dropped-loopback fault corrupts state.
+    assert len(corrupted) == 1
+    assert corrupted[0].design == "hiperrf"

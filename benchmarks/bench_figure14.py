@@ -1,0 +1,49 @@
+"""Regenerate Figure 14 (CPI overhead per benchmark) and benchmark it.
+
+The full sweep runs 12 workloads through the functional executor and
+replays each retirement stream under four register file designs; the
+benchmark times one complete regeneration.
+"""
+
+import pytest
+
+from repro.experiments import figure14, paper_data
+
+
+def test_figure14_regeneration(benchmark, figure14_result):
+    # Time a single-workload slice to keep the benchmark run short; the
+    # session-scoped fixture above holds the full-sweep result.
+    def one_workload_sweep():
+        from repro.cpu import simulate_program
+        from repro.isa import assemble
+        from repro.workloads import get_workload
+
+        program = assemble(get_workload("mcf").build(0.6))
+        return simulate_program(program, workload_name="mcf")
+
+    benchmark(one_workload_sweep)
+
+    result = figure14_result
+    for design, series in result.overhead_percent.items():
+        benchmark.extra_info[f"{design}_avg_overhead_percent"] = round(
+            result.average_overhead(design), 2)
+    benchmark.extra_info["baseline_avg_cpi"] = round(
+        result.average_baseline_cpi(), 2)
+
+    assert result.average_overhead("hiperrf") == pytest.approx(
+        paper_data.FIGURE14_AVG_OVERHEAD_PERCENT["hiperrf"], abs=3.0)
+    assert result.average_overhead("dual_bank_hiperrf") == pytest.approx(
+        paper_data.FIGURE14_AVG_OVERHEAD_PERCENT["dual_bank_hiperrf"],
+        abs=2.5)
+    assert result.average_overhead("dual_bank_hiperrf_ideal") == \
+        pytest.approx(paper_data.FIGURE14_AVG_OVERHEAD_PERCENT[
+            "dual_bank_hiperrf_ideal"], abs=2.5)
+
+
+def test_figure14_per_benchmark_shape(figure14_result):
+    """Every workload individually: HiPerRF slowest of the three designs."""
+    result = figure14_result
+    for workload in result.baseline_cpi:
+        hiper = result.overhead_percent["hiperrf"][workload]
+        dual = result.overhead_percent["dual_bank_hiperrf"][workload]
+        assert hiper >= dual - 0.5, workload

@@ -1,0 +1,14 @@
+"""Regenerate Figure 15 (placed loopback path) and benchmark the placer."""
+
+import pytest
+
+from repro.experiments import figure15, paper_data
+
+
+def test_figure15_regeneration(benchmark):
+    result = benchmark(figure15.run)
+    benchmark.extra_info["longest_wire_delay_ps"] = \
+        result["longest_wire_delay_ps"]
+    assert result["longest_wire_delay_ps"] == pytest.approx(
+        paper_data.FIGURE15_LONGEST_LOOPBACK_WIRE_PS, abs=1.5)
+    assert result["margin_ps"] > 40.0

@@ -1,0 +1,16 @@
+"""Regenerate the Section VI-A full-chip benefit and benchmark it."""
+
+import pytest
+
+from repro.experiments import fullchip, paper_data
+
+
+def test_fullchip_regeneration(benchmark):
+    result = benchmark(fullchip.run)
+    benchmark.extra_info.update({
+        "baseline_total_jj": result["baseline_total_jj"],
+        "hiperrf_total_jj": result["hiperrf_total_jj"],
+        "saving_percent": round(result["saving_percent"], 2),
+    })
+    assert result["saving_percent"] == pytest.approx(
+        paper_data.FULLCHIP_SAVING_PERCENT, abs=0.5)

@@ -1,0 +1,23 @@
+"""Benchmark the ISA substrate: assembler and functional executor throughput."""
+
+from repro.isa import Executor, assemble
+from repro.workloads import PASS_EXIT_CODE, get_workload
+
+
+def test_assembler_throughput(benchmark):
+    source = get_workload("libquantum").build()
+    program = benchmark(assemble, source)
+    assert program.num_instructions > 50
+
+
+def test_executor_throughput(benchmark):
+    program = assemble(get_workload("specrand").build())
+
+    def run_program():
+        executor = Executor(program)
+        executor.run(max_instructions=200_000)
+        return executor
+
+    executor = benchmark(run_program)
+    assert executor.exit_code == PASS_EXIT_CODE
+    benchmark.extra_info["instructions"] = executor.instructions_retired

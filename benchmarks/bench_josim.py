@@ -1,0 +1,23 @@
+"""Benchmark the analog RCSJ solver on the Section II-D cell study."""
+
+import pytest
+
+from repro.experiments import josim_cells
+from repro.josim.testbench import HCDROTestbench
+
+
+def test_hcdro_analog_study(benchmark):
+    def full_capacity_roundtrip():
+        return HCDROTestbench().run(writes=3, reads=4)
+
+    report = benchmark(full_capacity_roundtrip)
+    benchmark.extra_info["stored"] = report.stored_after_writes
+    benchmark.extra_info["popped"] = report.output_pulses
+    assert report.stored_after_writes == 3
+    assert report.output_pulses == 3
+
+
+def test_josim_experiment_sweep(benchmark):
+    rows = benchmark.pedantic(josim_cells.run, rounds=1, iterations=1)
+    for row in rows:
+        assert row["stored"] == min(row["writes"], 3)

@@ -1,0 +1,45 @@
+"""Benchmark the pulse-level register file netlists (functional model).
+
+Not a paper artifact per se, but the substrate behind the paper's
+functional verification - useful for tracking simulator performance.
+"""
+
+from repro.pulse import Engine
+from repro.rf.geometry import RFGeometry
+from repro.rf.netlist import PulseHiPerRF, PulseNdroRF
+
+
+def test_pulse_ndro_rf_roundtrip(benchmark):
+    def roundtrip():
+        engine = Engine()
+        rf = PulseNdroRF(engine, RFGeometry(8, 8))
+        t = 0.0
+        for register in range(8):
+            rf.schedule_write(register, (register * 37) & 0xFF, t)
+            t += rf.op_period_ps
+        engine.run(until_ps=t)
+        values = []
+        for register in range(8):
+            values.append(rf.read_word(register, t))
+            t += rf.op_period_ps
+        return values
+
+    values = benchmark(roundtrip)
+    assert values == [(r * 37) & 0xFF for r in range(8)]
+
+
+def test_pulse_hiperrf_loopback_roundtrip(benchmark):
+    def roundtrip():
+        engine = Engine()
+        rf = PulseHiPerRF(engine, RFGeometry(4, 8))
+        t = 0.0
+        for register in range(4):
+            t = rf.write_word(register, (register * 81) & 0xFF, t)
+        values = []
+        for register in range(4):
+            values.append(rf.read_word(register, t))
+            t += 2 * rf.op_period_ps
+        return values
+
+    values = benchmark(roundtrip)
+    assert values == [(r * 81) & 0xFF for r in range(4)]

@@ -1,0 +1,29 @@
+"""Benchmark the gate-level synthesis passes (the qPalace stand-in)."""
+
+import pytest
+
+from repro.synth import build_execute_stage, synthesize
+
+
+def test_execute_stage_synthesis(benchmark):
+    def full_flow():
+        return synthesize(build_execute_stage(32))
+
+    report = benchmark(full_flow)
+    benchmark.extra_info.update({
+        "depth": report.depth,
+        "total_jj": report.total_jj,
+        "balancing_buffers": report.balancing_buffers,
+    })
+    # Section VI-B: the execute stage is 28 gate stages deep.
+    assert abs(report.depth - 28) <= 2
+
+
+def test_depth_vs_width_sweep(benchmark):
+    def sweep():
+        return {width: synthesize(build_execute_stage(width)).depth
+                for width in (8, 16, 32)}
+
+    depths = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"depth_w{w}": d for w, d in depths.items()})
+    assert depths[8] < depths[16] < depths[32]

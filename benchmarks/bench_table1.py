@@ -1,0 +1,24 @@
+"""Regenerate Table I (total JJ count) and benchmark the census roll-up."""
+
+import pytest
+
+from repro.experiments import paper_data, table1
+
+
+def test_table1_regeneration(benchmark):
+    result = benchmark(table1.run)
+    # Attach the paper-facing numbers to the benchmark record.
+    for design in paper_data.DESIGN_ORDER:
+        for label in paper_data.GEOMETRY_LABELS:
+            cell = result[design][label]
+            benchmark.extra_info[f"{design}_{label}_jj"] = cell["jj"]
+    # The headline: HiPerRF cuts the 32x32 RF JJ count by ~56%.
+    saving = 100.0 - result["hiperrf"]["32x32"]["percent_of_baseline"]
+    benchmark.extra_info["hiperrf_32x32_jj_saving_percent"] = saving
+    assert saving == pytest.approx(
+        paper_data.HEADLINE_RF_JJ_SAVING_PERCENT, abs=2.0)
+
+
+def test_table1_report_rendering(benchmark):
+    text = benchmark(table1.render)
+    assert "Table I" in text

@@ -1,0 +1,18 @@
+"""Regenerate Table II (static power) and benchmark the power roll-up."""
+
+import pytest
+
+from repro.experiments import paper_data, table2
+
+
+def test_table2_regeneration(benchmark):
+    result = benchmark(table2.run)
+    for design in paper_data.DESIGN_ORDER:
+        for label in paper_data.GEOMETRY_LABELS:
+            cell = result[design][label]
+            benchmark.extra_info[f"{design}_{label}_uw"] = round(
+                cell["power_uw"], 2)
+    saving = 100.0 - result["hiperrf"]["32x32"]["percent_of_baseline"]
+    benchmark.extra_info["hiperrf_32x32_power_saving_percent"] = saving
+    assert saving == pytest.approx(
+        paper_data.HEADLINE_RF_POWER_SAVING_PERCENT, abs=2.5)

@@ -1,0 +1,19 @@
+"""Regenerate Table III (readout delay) and benchmark the path model."""
+
+import pytest
+
+from repro.experiments import paper_data, table3
+
+
+def test_table3_regeneration(benchmark):
+    result = benchmark(table3.run)
+    for design in paper_data.DESIGN_ORDER:
+        for label in paper_data.GEOMETRY_LABELS:
+            cell = result[design][label]
+            benchmark.extra_info[f"{design}_{label}_ps"] = round(
+                cell["delay_ps"], 1)
+    # Shape: HiPerRF pays ~24% at 32x32, the banked design only ~8%.
+    hiper = result["hiperrf"]["32x32"]["percent_of_baseline"]
+    dual = result["dual_bank_hiperrf"]["32x32"]["percent_of_baseline"]
+    assert hiper == pytest.approx(124.11, abs=3.0)
+    assert dual == pytest.approx(108.33, abs=3.0)

@@ -1,0 +1,18 @@
+"""Regenerate Table IV (PTL wire-aware delays) and benchmark it."""
+
+import pytest
+
+from repro.experiments import paper_data, table4
+
+
+def test_table4_regeneration(benchmark):
+    result = benchmark(table4.run)
+    for design, cell in result.items():
+        benchmark.extra_info[f"{design}_readout_ps"] = round(
+            cell["readout_ps"], 1)
+        if cell["loopback_ps"] is not None:
+            benchmark.extra_info[f"{design}_loopback_ps"] = round(
+                cell["loopback_ps"], 1)
+    for design in paper_data.DESIGN_ORDER:
+        assert result[design]["readout_ps"] == pytest.approx(
+            paper_data.TABLE4_READOUT_PS[design], rel=0.03)

@@ -1,0 +1,25 @@
+"""Regenerate Figures 8/11/12 (port schedules) and benchmark validation."""
+
+from repro.experiments import timing_figs
+from repro.rf.timing import Instr, schedule_dual_bank, schedule_hiperrf, \
+    schedule_ndro
+
+
+def test_timing_figures_regeneration(benchmark):
+    schedules = benchmark(timing_figs.run)
+    for name, schedule in schedules.items():
+        benchmark.extra_info[f"{name}_cycles"] = schedule.total_cycles()
+
+
+def test_long_stream_schedule_validation(benchmark):
+    """Throughput of schedule generation + constraint validation."""
+    stream = [Instr((i % 30) + 1, ((i % 7) + 1, (i % 11) + 2))
+              for i in range(500)]
+
+    def build_and_validate():
+        for builder in (schedule_ndro, schedule_hiperrf, schedule_dual_bank):
+            schedule = builder(stream)
+            schedule.validate()
+        return schedule
+
+    benchmark(build_and_validate)

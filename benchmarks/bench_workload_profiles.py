@@ -1,0 +1,18 @@
+"""Workload-characterisation bench: the dependency profiles behind Fig 14."""
+
+from repro.workloads.analysis import profile_all
+
+
+def test_workload_profiles(benchmark):
+    profiles = benchmark.pedantic(lambda: profile_all(scale=0.6),
+                                  rounds=1, iterations=1)
+    for name, profile in profiles.items():
+        summary = profile.summary()
+        benchmark.extra_info[f"{name}_load_fraction"] = round(
+            summary["load_fraction"], 3)
+        benchmark.extra_info[f"{name}_reread_within_2"] = round(
+            summary["reread_within_2"], 3)
+    # The SPEC stand-ins must keep their namesakes' characters.
+    assert profiles["sjeng"].branch_fraction > 0.25
+    assert profiles["mcf"].load_fraction > 0.15
+    assert profiles["specrand"].raw_distance_at_most(3) > 0.4

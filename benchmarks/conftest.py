@@ -1,0 +1,13 @@
+"""Shared benchmark fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def figure14_result():
+    """One Figure 14 sweep shared by the benchmarks that inspect it."""
+    from repro.experiments import figure14
+
+    return figure14.run(scale=0.6, max_instructions=300_000)

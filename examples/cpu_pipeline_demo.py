@@ -1,0 +1,53 @@
+"""CPU demo: where do the cycles go on an SFQ gate-pipelined core?
+
+Runs the synthetic 429.mcf stand-in (pointer-chasing - the worst case for
+loopback hazards) on all four register file configurations and breaks the
+stall cycles down by cause, reproducing the Section VI-B narrative:
+HiPerRF pays for loopback waits and slower readout; banking recovers most
+of it.
+
+Run:  python examples/cpu_pipeline_demo.py
+"""
+
+from repro.cpu import CpuSimulator
+from repro.cpu.rf_model import RF_DESIGN_NAMES
+from repro.isa import Executor, assemble
+from repro.workloads import PASS_EXIT_CODE, get_workload
+
+
+def main() -> None:
+    workload = get_workload("mcf")
+    program = assemble(workload.build())
+
+    executor = Executor(program)
+    ops = list(executor.trace())
+    assert executor.exit_code == PASS_EXIT_CODE
+    print(f"workload: {workload.name} - {workload.description}")
+    print(f"retired {len(ops)} instructions "
+          f"({sum(1 for op in ops if op.is_load)} loads, "
+          f"{sum(1 for op in ops if op.branch_taken)} taken branches)\n")
+
+    print(f"{'design':26s} {'CPI':>7s} {'port':>8s} {'RAW':>8s} "
+          f"{'loopback':>9s} {'branch':>8s}")
+    print("-" * 72)
+    baseline_cpi = None
+    for design in RF_DESIGN_NAMES:
+        report = CpuSimulator(design).run_trace(ops, workload.name)
+        if baseline_cpi is None:
+            baseline_cpi = report.cpi
+        stalls = report.stall_cycles
+        marker = "" if design == "ndro_rf" else \
+            f"  ({100 * (report.cpi / baseline_cpi - 1):+.1f}%)"
+        print(f"{design:26s} {report.cpi:7.2f} {stalls['port']:>8d} "
+              f"{stalls['raw']:>8d} {stalls['loopback']:>9d} "
+              f"{stalls['branch']:>8d}{marker}")
+
+    print("\nNotes: 28 ps gate cycles, 28-stage execute, 53 ps register "
+          "file port cycles.")
+    print("Loopback stalls only exist on the HC-DRO designs: a just-read "
+          "register is unreadable until its value recycles through the "
+          "LoopBuffer.")
+
+
+if __name__ == "__main__":
+    main()

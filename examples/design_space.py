@@ -1,0 +1,60 @@
+"""Design-space exploration: how HiPerRF's advantage scales with RF size.
+
+The paper argues (Section VI-A) that HiPerRF's fixed HC-READ/HC-WRITE
+overheads amortise as the register file grows, so both the JJ and power
+advantages widen with size while the readout-delay penalty shrinks.
+This script sweeps geometries beyond the paper's three points to map the
+whole trend, including the break-even point at small sizes.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.rf import DualBankHiPerRF, HiPerRF, NdroRegisterFile, RFGeometry
+
+
+def sweep() -> None:
+    print(f"{'geometry':>10s} | {'baseline JJ':>12s} {'HiPerRF JJ':>11s} "
+          f"{'JJ ratio':>9s} | {'power ratio':>11s} | {'delay ratio':>11s}")
+    print("-" * 78)
+    for num_registers in (4, 8, 16, 32, 64, 128):
+        width = min(num_registers, 64)  # keep words realistic
+        geometry = RFGeometry(num_registers, width)
+        baseline = NdroRegisterFile(geometry)
+        hiperrf = HiPerRF(geometry)
+        jj_ratio = hiperrf.jj_count() / baseline.jj_count()
+        power_ratio = hiperrf.static_power_uw() / baseline.static_power_uw()
+        delay_ratio = hiperrf.readout_delay_ps() / baseline.readout_delay_ps()
+        print(f"{geometry.label():>10s} | {baseline.jj_count():>12,d} "
+              f"{hiperrf.jj_count():>11,d} {jj_ratio:>8.1%} "
+              f"| {power_ratio:>10.1%} | {delay_ratio:>10.1%}")
+
+
+def break_even() -> None:
+    """Find where HiPerRF stops paying off in JJs."""
+    print("\nBreak-even scan (square geometries):")
+    for num_registers in (2, 4, 8):
+        geometry = RFGeometry(num_registers, max(num_registers, 2))
+        baseline = NdroRegisterFile(geometry)
+        hiperrf = HiPerRF(geometry)
+        verdict = "wins" if hiperrf.jj_count() < baseline.jj_count() else "loses"
+        print(f"  {geometry.label():>6s}: HiPerRF {verdict} "
+              f"({hiperrf.jj_count()} vs {baseline.jj_count()} JJs)")
+
+
+def banked_premium() -> None:
+    """What does the second port pair cost at each size?"""
+    print("\nDual-bank premium over single HiPerRF:")
+    for num_registers in (8, 16, 32, 64):
+        geometry = RFGeometry(num_registers, 32)
+        single = HiPerRF(geometry)
+        dual = DualBankHiPerRF(geometry)
+        premium = dual.jj_count() / single.jj_count() - 1
+        delay_gain = 1 - dual.readout_delay_ps() / single.readout_delay_ps()
+        print(f"  {geometry.label():>7s}: +{premium:.1%} JJs buys "
+              f"2R/2W ports and {delay_gain:.1%} lower readout delay")
+
+
+if __name__ == "__main__":
+    sweep()
+    break_even()
+    banked_premium()

@@ -1,0 +1,58 @@
+"""Quickstart: the HiPerRF library in five minutes.
+
+Builds the three register file designs the paper evaluates, prints their
+JJ / power / delay costs, and runs one RISC-V workload through the
+gate-level CPU simulator to show the application-level impact.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cpu import simulate_program
+from repro.isa import assemble
+from repro.rf import (
+    DualBankHiPerRF,
+    HiPerRF,
+    NdroRegisterFile,
+    RFGeometry,
+    compare_designs,
+)
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    # 1. Hardware: a 32-entry, 32-bit register file in each design.
+    geometry = RFGeometry(32, 32)
+    baseline = NdroRegisterFile(geometry)
+    designs = [baseline, HiPerRF(geometry), DualBankHiPerRF(geometry)]
+
+    print("Register file design comparison (32x32)")
+    print("-" * 72)
+    print(f"{'design':24s} {'JJs':>8s} {'power uW':>10s} {'readout ps':>11s} "
+          f"{'% of baseline JJs':>18s}")
+    for design in designs:
+        comparison = compare_designs(baseline, design)
+        print(f"{design.paper_name:24s} {design.jj_count():>8,d} "
+              f"{design.static_power_uw():>10.1f} "
+              f"{design.readout_delay_ps():>11.1f} "
+              f"{comparison.jj_percent_of_baseline:>17.1f}%")
+
+    saving = 1 - designs[1].jj_count() / baseline.jj_count()
+    print(f"\nHiPerRF saves {saving:.1%} of the register file JJs "
+          "(paper: 56.1%).\n")
+
+    # 2. Software: CPI impact of each design on a real RV32I kernel.
+    workload = get_workload("qsort")
+    program = assemble(workload.build())
+    reports = simulate_program(program, workload_name=workload.name)
+    base_cpi = reports["ndro_rf"].cpi
+    print(f"CPI on '{workload.name}' ({workload.description}, "
+          f"{reports['ndro_rf'].instructions} instructions):")
+    for design_name, report in reports.items():
+        overhead = 100.0 * (report.cpi / base_cpi - 1.0)
+        print(f"  {design_name:26s} CPI={report.cpi:6.2f}  "
+              f"({overhead:+.1f}% vs baseline)")
+    print("\nSee `hiperrf-experiments all` for every table and figure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""HiPerRF reproduction: a dual-bit dense storage SFQ register file.
+
+Full reproduction of "HiPerRF: A Dual-Bit Dense Storage SFQ Register File"
+(HPCA 2022): SFQ cell library, pulse-level simulator, analog RCSJ cell
+solver, the three register file designs, an RV32I gate-level-pipelined CPU
+simulator, and the experiment harness regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+# Convenience re-exports of the most common entry points; the
+# subpackages remain the canonical import paths (see docs/api.md).
+from repro.rf import (  # noqa: E402
+    DualBankHiPerRF,
+    HiPerRF,
+    NdroRegisterFile,
+    RFGeometry,
+    compare_designs,
+)
+
+__all__ = [
+    "DualBankHiPerRF",
+    "HiPerRF",
+    "NdroRegisterFile",
+    "RFGeometry",
+    "__version__",
+    "compare_designs",
+]

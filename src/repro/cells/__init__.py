@@ -1,0 +1,38 @@
+"""SFQ cell library: JJ counts, static power and timing per cell.
+
+This package is the reproduction's stand-in for the RSFQlib cell library and
+the qPalace extractions the paper relies on.  Every analytic result in
+Tables I-IV is a roll-up of the per-cell constants defined here over an
+explicit structural netlist built by :mod:`repro.rf`.
+
+Public API
+----------
+``CellSpec``
+    Immutable record of one cell's cost model.
+``CELL_LIBRARY``
+    Mapping of cell name to :class:`CellSpec` for every primitive and
+    composite cell used by the register file designs.
+``get_cell`` / ``cell_names``
+    Lookup helpers that raise :class:`repro.errors.CellLibraryError` on
+    unknown names.
+"""
+
+from repro.cells.library import (
+    CELL_LIBRARY,
+    CellKind,
+    CellSpec,
+    cell_names,
+    composite_cost,
+    get_cell,
+)
+from repro.cells import params
+
+__all__ = [
+    "CELL_LIBRARY",
+    "CellKind",
+    "CellSpec",
+    "cell_names",
+    "composite_cost",
+    "get_cell",
+    "params",
+]

@@ -1,0 +1,202 @@
+"""Cell specification records and the calibrated cell registry."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.cells import params
+from repro.errors import CellLibraryError
+
+
+class CellKind(enum.Enum):
+    """Broad functional category of a library cell."""
+
+    STORAGE = "storage"
+    LOGIC = "logic"
+    INTERCONNECT = "interconnect"
+    COMPOSITE = "composite"
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Cost and timing model of a single SFQ library cell.
+
+    Attributes
+    ----------
+    name:
+        Library name, lowercase (e.g. ``"ndroc"``).
+    kind:
+        Functional category.
+    jj_count:
+        Number of Josephson junctions in the cell; the paper's primary
+        density metric.
+    static_power_uw:
+        DC bias power drawn by the cell in microwatts.
+    propagation_ps:
+        Input-to-output propagation delay used by critical-path roll-ups.
+    min_separation_ps:
+        Minimum spacing between two successive input pulses on the same
+        pin (throughput constraint); 0 when unconstrained at our level of
+        modelling.
+    bits_stored:
+        Storage capacity in bits (0 for non-storage cells).
+    composition:
+        For composite cells, a mapping of primitive cell name to count.
+    """
+
+    name: str
+    kind: CellKind
+    jj_count: int
+    static_power_uw: float
+    propagation_ps: float = 0.0
+    min_separation_ps: float = 0.0
+    bits_stored: int = 0
+    composition: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.jj_count < 0:
+            raise CellLibraryError(f"cell {self.name!r}: negative jj_count")
+        if self.static_power_uw < 0:
+            raise CellLibraryError(f"cell {self.name!r}: negative static power")
+        if self.propagation_ps < 0:
+            raise CellLibraryError(f"cell {self.name!r}: negative delay")
+
+    @property
+    def jj_per_bit(self) -> float:
+        """JJ cost per stored bit; the paper's density figure of merit."""
+        if self.bits_stored == 0:
+            raise CellLibraryError(f"cell {self.name!r} stores no bits")
+        return self.jj_count / self.bits_stored
+
+
+def _composite(name: str, composition: Mapping[str, int],
+               propagation_ps: float, primitives: Mapping[str, CellSpec]) -> CellSpec:
+    """Build a composite cell spec by rolling up primitive costs."""
+    jj = 0
+    power = 0.0
+    for prim_name, count in composition.items():
+        if prim_name not in primitives:
+            raise CellLibraryError(
+                f"composite {name!r} references unknown primitive {prim_name!r}")
+        if count < 0:
+            raise CellLibraryError(
+                f"composite {name!r}: negative count for {prim_name!r}")
+        spec = primitives[prim_name]
+        jj += spec.jj_count * count
+        power += spec.static_power_uw * count
+    return CellSpec(
+        name=name,
+        kind=CellKind.COMPOSITE,
+        jj_count=jj,
+        static_power_uw=power,
+        propagation_ps=propagation_ps,
+        composition=dict(composition),
+    )
+
+
+def _build_library() -> Dict[str, CellSpec]:
+    p = params.POWER_UW
+    d = params.DELAY_PS
+    primitives: Dict[str, CellSpec] = {}
+
+    def add(spec: CellSpec) -> None:
+        primitives[spec.name] = spec
+
+    add(CellSpec("dro", CellKind.STORAGE, params.JJ_DRO, p["dro"],
+                 propagation_ps=d["ndro_clk_to_q"], bits_stored=1))
+    add(CellSpec("hcdro", CellKind.STORAGE, params.JJ_HCDRO, p["hcdro"],
+                 propagation_ps=d["hcdro_clk_to_q"],
+                 min_separation_ps=params.HC_PULSE_SPACING_PS, bits_stored=2))
+    add(CellSpec("ndro", CellKind.STORAGE, params.JJ_NDRO, p["ndro"],
+                 propagation_ps=d["ndro_clk_to_q"], bits_stored=1))
+    add(CellSpec("ndroc", CellKind.LOGIC, params.JJ_NDROC, p["ndroc"],
+                 propagation_ps=d["ndroc"],
+                 min_separation_ps=params.NDROC_MIN_ENABLE_SEPARATION_PS,
+                 bits_stored=1))
+    add(CellSpec("splitter", CellKind.INTERCONNECT, params.JJ_SPLITTER,
+                 p["splitter"], propagation_ps=d["splitter"]))
+    add(CellSpec("merger", CellKind.INTERCONNECT, params.JJ_MERGER,
+                 p["merger"], propagation_ps=d["merger"]))
+    add(CellSpec("jtl", CellKind.INTERCONNECT, params.JJ_JTL, p["jtl"],
+                 propagation_ps=d["jtl"]))
+    add(CellSpec("dand", CellKind.LOGIC, params.JJ_DAND, p["dand"],
+                 propagation_ps=d["dand"]))
+    add(CellSpec("and", CellKind.LOGIC, params.JJ_AND, p["and"],
+                 propagation_ps=d["ndroc"]))
+    add(CellSpec("not", CellKind.LOGIC, params.JJ_NOT, p["not"],
+                 propagation_ps=d["ndroc"]))
+    add(CellSpec("tff", CellKind.LOGIC, params.JJ_TFF, p["tff"],
+                 propagation_ps=d["tff"], bits_stored=1))
+    add(CellSpec("ptl_driver", CellKind.INTERCONNECT, params.JJ_PTL_DRIVER,
+                 p["ptl_driver"]))
+    add(CellSpec("ptl_receiver", CellKind.INTERCONNECT, params.JJ_PTL_RECEIVER,
+                 p["ptl_receiver"]))
+
+    library = dict(primitives)
+    library["hc_clk"] = _composite(
+        "hc_clk",
+        {"splitter": params.HC_CLK_SPLITTERS,
+         "merger": params.HC_CLK_MERGERS,
+         "jtl": params.HC_CLK_JTLS},
+        propagation_ps=d["hc_clk_insertion"],
+        primitives=primitives,
+    )
+    library["hc_write"] = _composite(
+        "hc_write",
+        {"splitter": params.HC_WRITE_SPLITTERS,
+         "merger": params.HC_WRITE_MERGERS,
+         "jtl": params.HC_WRITE_JTLS},
+        propagation_ps=d["hc_clk_insertion"],
+        primitives=primitives,
+    )
+    library["hc_read"] = _composite(
+        "hc_read",
+        {"tff": params.HC_READ_TFFS,
+         "splitter": params.HC_READ_SPLITTERS,
+         "jtl": params.HC_READ_JTLS},
+        propagation_ps=d["hc_read_settle"],
+        primitives=primitives,
+    )
+    return library
+
+
+CELL_LIBRARY: Dict[str, CellSpec] = _build_library()
+
+
+def get_cell(name: str) -> CellSpec:
+    """Look up a cell spec by name.
+
+    Raises
+    ------
+    CellLibraryError
+        If the cell is not in the library.
+    """
+    try:
+        return CELL_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(sorted(CELL_LIBRARY))
+        raise CellLibraryError(f"unknown cell {name!r}; known cells: {known}") from None
+
+
+def cell_names() -> Tuple[str, ...]:
+    """All cell names in the library, sorted."""
+    return tuple(sorted(CELL_LIBRARY))
+
+
+def composite_cost(census: Mapping[str, int]) -> Tuple[int, float]:
+    """Roll a component census up into ``(total_jj, total_static_power_uw)``.
+
+    ``census`` maps cell names to instance counts; this is the primitive
+    operation behind Tables I and II.
+    """
+    jj = 0
+    power = 0.0
+    for name, count in census.items():
+        if count < 0:
+            raise CellLibraryError(f"negative count for cell {name!r}")
+        spec = get_cell(name)
+        jj += spec.jj_count * count
+        power += spec.static_power_uw * count
+    return jj, power

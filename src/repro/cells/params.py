@@ -1,0 +1,123 @@
+"""Calibrated per-cell constants for the SFQ cell library.
+
+JJ counts are the ones the paper states directly (Sections II-E, III-A) or
+standard RSFQ values for the remaining primitives.  Static-power constants
+are fitted once against the paper's Table II roll-ups; timing constants are
+fitted against Table III (see DESIGN.md Section 5 for the methodology).
+
+The paper's headline device constraints that the timing model encodes:
+
+* NDROC throughput limit: two enable pulses must be >= 53 ps apart, which
+  sets the register-file cycle time (Section III-E).
+* NDROC propagation delay: ~24 ps per tree level.
+* RESET -> WEN separation within a cycle: 10 ps.
+* HC-DRO consecutive-pulse spacing (setup+hold): 10 ps, so a 3-pulse read
+  train spans an extra 20 ps.
+* PTL wire delay: 1 ps / 100 um, average inter-gate wire 262 um.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# JJ counts (Section II / III of the paper, RSFQlib for the rest)
+# --------------------------------------------------------------------------
+
+JJ_DRO = 4  # J0, J1, J2 plus output buffer junction
+JJ_HCDRO = 3  # "HC-DRO uses only 3 JJs to store 2-bit" (Section II-E)
+JJ_NDRO = 11  # Section II-E
+JJ_NDROC = 33  # NDROC-based 1-to-2 DEMUX element (Section III-A)
+JJ_SPLITTER = 3
+JJ_MERGER = 5
+JJ_JTL = 2
+JJ_DAND = 5  # clockless dynamic AND (Rylov)
+JJ_AND = 12  # Section III-A, Figure 5
+JJ_NOT = 10  # Section III-A
+JJ_TFF = 7  # toggle flip-flop used by the HC-READ counters
+JJ_PTL_DRIVER = 1
+JJ_PTL_RECEIVER = 1
+
+# Composite HC circuits (Figure 10), expressed through their primitive
+# decomposition so the roll-up stays structural:
+#   HC-CLK   = 2 splitters + 2 mergers + 6 JTLs          -> 28 JJ
+#   HC-WRITE = 1 splitter + 2 mergers + 5 JTLs           -> 23 JJ
+#   HC-READ  = 2 T-flip-flops + 2 splitters + 2 JTLs     -> 24 JJ
+HC_CLK_SPLITTERS = 2
+HC_CLK_MERGERS = 2
+HC_CLK_JTLS = 6
+HC_WRITE_SPLITTERS = 1
+HC_WRITE_MERGERS = 2
+HC_WRITE_JTLS = 5
+HC_READ_TFFS = 2
+HC_READ_SPLITTERS = 2
+HC_READ_JTLS = 2
+
+# --------------------------------------------------------------------------
+# Static power per cell (uW). Fitted against Table II; see
+# tests/experiments/test_table2.py for the resulting accuracy.
+# --------------------------------------------------------------------------
+
+POWER_UW = {
+    "dro": 0.90,
+    "hcdro": 1.50,
+    "ndro": 1.20,
+    "ndroc": 9.46,
+    "splitter": 0.787,
+    "merger": 1.019,
+    "jtl": 0.10,
+    "dand": 0.923,
+    "and": 2.60,
+    "not": 2.10,
+    "tff": 0.60,
+    "ptl_driver": 0.25,
+    "ptl_receiver": 0.25,
+}
+
+# --------------------------------------------------------------------------
+# Timing (ps)
+# --------------------------------------------------------------------------
+
+# Cycle-level constraints (Section III-E / IV-D).
+NDROC_MIN_ENABLE_SEPARATION_PS = 53.0
+NDROC_PROPAGATION_PS = 24.0
+RESET_TO_WEN_PS = 10.0
+HC_PULSE_SPACING_PS = 10.0
+RF_CYCLE_PS = NDROC_MIN_ENABLE_SEPARATION_PS
+
+# Per-cell propagation delays used by the readout critical-path model.
+DELAY_PS = {
+    "splitter": 5.0,
+    "merger": 5.6,
+    "jtl": 2.0,
+    "ndro_clk_to_q": 5.8,
+    "hcdro_clk_to_q": 5.8,
+    "dand": 5.0,
+    "tff": 5.0,
+    "ndroc": NDROC_PROPAGATION_PS,
+    # Insertion delay of the first pulse through HC-CLK / HC-READ (the
+    # 3-pulse train adds 2 * HC_PULSE_SPACING_PS on top of these).
+    "hc_clk_insertion": 7.0,
+    "hc_read_settle": 10.0,
+}
+
+# Dynamic AND coincidence window (hold time, Figure 7b).
+DAND_HOLD_WINDOW_PS = 10.0
+
+# NDRO / HC-DRO setup and hold around the clock pulse.
+SETUP_PS = 2.0
+HOLD_PS = 2.0
+
+# --------------------------------------------------------------------------
+# Wiring (Section VI-C)
+# --------------------------------------------------------------------------
+
+PTL_PS_PER_100UM = 1.0
+AVG_WIRE_LENGTH_UM = 262.0
+AVG_WIRE_DELAY_PS = AVG_WIRE_LENGTH_UM / 100.0 * PTL_PS_PER_100UM  # 2.62 ps
+
+# --------------------------------------------------------------------------
+# CPU-level constants (Section VI-B)
+# --------------------------------------------------------------------------
+
+GATE_CYCLE_PS = 28.0  # worst-case gate-level cycle from qPalace synthesis
+EXECUTE_STAGE_DEPTH = 28  # "The execution stage of the RISC-V core is 28 stages deep"
+RF_ACCESS_GATE_CYCLES = 2  # 53 ps port cycle == 2 gate cycles at 28 ps

@@ -1,0 +1,15 @@
+"""Full-chip JJ budget: the RISC-V Sodor core with each register file."""
+
+from repro.chip.sodor import (
+    SODOR_COMPONENT_JJ,
+    ChipBudget,
+    chip_budget,
+    full_chip_comparison,
+)
+
+__all__ = [
+    "SODOR_COMPONENT_JJ",
+    "ChipBudget",
+    "chip_budget",
+    "full_chip_comparison",
+]

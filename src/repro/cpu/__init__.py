@@ -1,0 +1,33 @@
+"""Gate-level-pipelined in-order CPU timing simulator.
+
+The paper evaluates HiPerRF inside a modified RISC-V Sodor core simulated
+at gate-level granularity: every SFQ gate is a pipeline stage, the gate
+cycle is 28 ps (qPalace synthesis worst case), the execute block is 28
+stages deep and each register file port operation spans two gate cycles
+(the 53 ps NDROC limit).  This package reproduces that model:
+
+* :class:`CoreConfig` - pipeline depths and latencies,
+* :class:`RFTimingModel` - per-design register file timing derived from
+  the analytic models in :mod:`repro.rf` (readout cycles, loopback
+  cycles, static issue schedule, forwarding capability),
+* :class:`GateLevelPipeline` - the timing engine consuming the
+  functional executor's retirement stream,
+* :class:`CpuSimulator` - program in, :class:`CpiReport` out.
+"""
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.rf_model import RF_DESIGN_NAMES, RFTimingModel
+from repro.cpu.pipeline import GateLevelPipeline, StallBreakdown
+from repro.cpu.stats import CpiReport
+from repro.cpu.simulator import CpuSimulator, simulate_program
+
+__all__ = [
+    "CoreConfig",
+    "CpiReport",
+    "CpuSimulator",
+    "GateLevelPipeline",
+    "RFTimingModel",
+    "RF_DESIGN_NAMES",
+    "StallBreakdown",
+    "simulate_program",
+]

@@ -1,0 +1,53 @@
+"""Core pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cells import params
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Gate-level pipeline shape of the Sodor-like in-order core.
+
+    All depths are in gate cycles (one SFQ gate-pipeline stage each, 28 ps
+    per Section VI-B).  The execute depth of 28 is stated in the paper;
+    the front-end depths come from the same qPalace synthesis style of
+    budgeting and are shared by every register file design, so they shift
+    absolute CPI but cancel in the Figure 14 ratios.
+    """
+
+    gate_cycle_ps: float = params.GATE_CYCLE_PS
+    fetch_depth: int = 6
+    decode_depth: int = 6
+    execute_depth: int = params.EXECUTE_STAGE_DEPTH
+    writeback_depth: int = 1
+    #: 77 K external memory: load-use latency beyond the execute stage
+    #: (Section VI-B interfaces all memory at 77 K).
+    memory_latency: int = 12
+    #: Gate cycles per register file port cycle (53 ps / 28 ps -> 2).
+    rf_cycle_gates: int = params.RF_ACCESS_GATE_CYCLES
+    #: Whether not-taken branches flow through without penalty (the
+    #: front end fetches fall-through speculatively).
+    fall_through_speculation: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("fetch_depth", "decode_depth", "execute_depth",
+                     "writeback_depth", "memory_latency", "rf_cycle_gates"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if self.gate_cycle_ps <= 0:
+            raise ConfigError("gate_cycle_ps must be positive")
+
+    @property
+    def branch_redirect_penalty(self) -> int:
+        """Gate cycles lost re-steering the front end on a taken branch."""
+        return self.fetch_depth + self.decode_depth
+
+    def ps_to_gate_cycles(self, delay_ps: float) -> int:
+        """Round a physical delay up to whole gate cycles."""
+        import math
+
+        return int(math.ceil(delay_ps / self.gate_cycle_ps - 1e-9))

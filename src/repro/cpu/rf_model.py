@@ -1,0 +1,187 @@
+"""Per-design register file timing as seen by the CPU pipeline.
+
+Derives gate-cycle timing from the analytic design models of
+:mod:`repro.rf` (with PTL wire delays, Section VI-C) and the static port
+schedules of :mod:`repro.rf.timing`:
+
+* ``issue_gap`` - RF-port cycles an instruction occupies before the next
+  may issue (the Figure 11/12 static schedule),
+* ``read_slot`` - when each source's read enable fires relative to issue,
+* ``readout_cycles`` - read enable to data-at-ALU latency (Table IV),
+* ``loopback_cycles`` - extra time a register stays unreadable after a
+  read while the loopback write restores it (HiPerRF designs only),
+* ``supports_forwarding`` - the baseline writes before reads within a
+  cycle (Section III-E); HiPerRF cannot (Section IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.cpu.config import CoreConfig
+from repro.errors import ConfigError
+from repro.rf import (
+    DualBankHiPerRF,
+    HiPerRF,
+    NdroRegisterFile,
+    RFGeometry,
+    wire_aware_delays,
+)
+from repro.rf.timing import issue_cycles_for
+
+RF_DESIGN_NAMES = ("ndro_rf", "hiperrf", "dual_bank_hiperrf",
+                   "dual_bank_hiperrf_ideal")
+
+#: Extra ablation variant: every two-source pair treated as same-bank
+#: (the anti-ideal bound on the static banking policy).
+ABLATION_DESIGN_NAMES = RF_DESIGN_NAMES + ("dual_bank_hiperrf_worst",)
+
+_DESIGN_CLASSES = {
+    "ndro_rf": NdroRegisterFile,
+    "hiperrf": HiPerRF,
+    "dual_bank_hiperrf": DualBankHiPerRF,
+    "dual_bank_hiperrf_ideal": DualBankHiPerRF,
+    "dual_bank_hiperrf_worst": DualBankHiPerRF,
+}
+
+
+def _design_for(name: str, geometry: RFGeometry):
+    """Resolve a design name, including the generic hiperrf_x<N> family."""
+    import re as _re
+
+    if name in _DESIGN_CLASSES:
+        return _DESIGN_CLASSES[name](geometry)
+    match = _re.fullmatch(r"hiperrf_x(\d+)", name)
+    if match:
+        from repro.rf.multibank import MultiBankHiPerRF
+
+        return MultiBankHiPerRF(geometry, banks=int(match.group(1)))
+    raise ConfigError(
+        f"unknown RF design {name!r}; expected one of "
+        f"{tuple(_DESIGN_CLASSES)} or 'hiperrf_x<N>'")
+
+
+def _dedup(srcs: Sequence[int]) -> Tuple[int, ...]:
+    seen: list = []
+    for src in srcs:
+        if src not in seen:
+            seen.append(src)
+    return tuple(seen)
+
+
+@dataclass(frozen=True)
+class RFTimingModel:
+    """Gate-cycle register file timing for one design."""
+
+    name: str
+    readout_cycles: int
+    loopback_cycles: int
+    supports_forwarding: bool
+    rf_cycle_gates: int
+
+    @classmethod
+    def for_design(cls, name: str, config: CoreConfig | None = None,
+                   geometry: RFGeometry | None = None,
+                   include_wire_delays: bool = False) -> "RFTimingModel":
+        """Build the timing model for a named design (32x32 by default).
+
+        The paper translates the Table III readout delays (without PTL
+        parasitics) into gate cycles for the CPI study and bounds the
+        wire contribution separately at ~1 % (Section VI-C); pass
+        ``include_wire_delays=True`` to use the Table IV delays instead.
+        """
+        config = config or CoreConfig()
+        geometry = geometry or RFGeometry(32, 32)
+        design = _design_for(name, geometry)
+        if include_wire_delays:
+            delays = wire_aware_delays(design)
+            readout_ps = delays.readout_delay_ps
+            loopback_ps = delays.loopback_delay_ps
+        else:
+            readout_ps = design.readout_delay_ps()
+            loopback = design.loopback_path()
+            loopback_ps = loopback.delay_ps() if loopback is not None else None
+        # The access ports advance in 53 ps RF cycles ("each read or write
+        # operation takes two [gate] cycles"), so the readout latency the
+        # pipeline observes is quantized in whole port cycles.
+        import math
+
+        from repro.cells import params as cell_params
+
+        readout_port_cycles = math.ceil(
+            readout_ps / cell_params.RF_CYCLE_PS - 1e-9)
+        readout = readout_port_cycles * config.rf_cycle_gates
+        loopback_cycles = 0
+        if loopback_ps is not None:
+            loopback_cycles = config.ps_to_gate_cycles(loopback_ps)
+        return cls(
+            name=name,
+            readout_cycles=readout,
+            loopback_cycles=loopback_cycles,
+            supports_forwarding=(name == "ndro_rf"),
+            rf_cycle_gates=config.rf_cycle_gates,
+        )
+
+    # -- static schedule ---------------------------------------------------
+
+    def issue_gap_gates(self, sources: Sequence[int],
+                        dest: Optional[int]) -> int:
+        """Gate cycles the instruction occupies the RF ports."""
+        rf_cycles = issue_cycles_for(self.name, dest, tuple(sources))
+        return rf_cycles * self.rf_cycle_gates
+
+    def read_slots_gates(self, sources: Sequence[int]) -> Tuple[int, ...]:
+        """Read-enable offsets (gate cycles after issue) for each unique source."""
+        unique = _dedup(sources)
+        if not unique:
+            return ()
+        g = self.rf_cycle_gates
+        if self.name == "ndro_rf":
+            # Figure 8: reads on consecutive RF cycles starting at issue.
+            return tuple(k * g for k in range(len(unique)))
+        if self.name == "hiperrf":
+            # Figure 11: write reset-read at issue; source reads at +1/+2.
+            return tuple((k + 1) * g for k in range(len(unique)))
+        # Dual-banked (Figure 12): both reads in the cycle after issue when
+        # the sources sit in different banks, else serialised (+1 and +3).
+        import re as _re
+
+        banks = 2
+        match = _re.fullmatch(r"hiperrf_x(\d+)", self.name)
+        if match:
+            banks = int(match.group(1))
+        same_bank = (len(unique) == 2
+                     and (unique[0] % banks) == (unique[1] % banks))
+        if len(unique) == 2 and (
+                (self.name in ("dual_bank_hiperrf",) and same_bank)
+                or (match and banks > 1 and same_bank)
+                or self.name == "dual_bank_hiperrf_worst"):
+            return (g, 3 * g)
+        return tuple(g for _ in unique)
+
+    @property
+    def has_loopback(self) -> bool:
+        return self.loopback_cycles > 0
+
+    def write_visible_extra_gates(self) -> int:
+        """Gate cycles after write-back before the value is readable.
+
+        Zero for every design: the baseline forwards internally
+        (write-before-read within one 53 ps cycle, Section III-E), and
+        HiPerRF's inability to forward (Section IV-D) is carried by its
+        static issue pattern - the reset-read and WEN cycles it reserves
+        before any dependent read slot can fire - so charging it again
+        here would double count.
+        """
+        return 0
+
+    def loopback_busy_gates(self) -> int:
+        """Gate cycles a just-read register stays unreadable.
+
+        The loopback write occupies the port cycle after the read
+        (Figure 11) and its pulses land ``loopback_cycles`` later.
+        """
+        if not self.has_loopback:
+            return 0
+        return 2 * self.rf_cycle_gates + self.loopback_cycles

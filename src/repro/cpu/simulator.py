@@ -1,0 +1,87 @@
+"""Glue: assemble, functionally execute, and time a program on a design."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.pipeline import GateLevelPipeline, PipelineResult
+from repro.cpu.rf_model import RF_DESIGN_NAMES, RFTimingModel
+from repro.cpu.stats import CpiReport
+from repro.errors import ExecutionError
+from repro.isa.assembler import Program, assemble
+from repro.isa.executor import ExecutedOp, Executor, HaltReason
+
+
+class CpuSimulator:
+    """Run one program on one register file design.
+
+    The functional executor produces the retirement stream once; the
+    gate-level pipeline then replays it under the selected design's RF
+    timing.  (The paper's simulator does both in one pass; splitting them
+    is equivalent for an in-order core because the instruction stream
+    does not depend on timing.)
+    """
+
+    def __init__(self, design: str = "ndro_rf",
+                 config: Optional[CoreConfig] = None) -> None:
+        self.config = config or CoreConfig()
+        self.rf = RFTimingModel.for_design(design, self.config)
+        self.design = design
+
+    def run_program(self, program: Program, workload_name: str = "program",
+                    max_instructions: int = 2_000_000,
+                    expect_exit_code: Optional[int] = None) -> CpiReport:
+        executor = Executor(program)
+        pipeline = GateLevelPipeline(self.rf, self.config)
+        for op in executor.trace(max_instructions=max_instructions):
+            pipeline.feed(op)
+        if executor.halt_reason is HaltReason.INSTRUCTION_LIMIT:
+            raise ExecutionError(
+                f"{workload_name}: hit the {max_instructions}-instruction "
+                "limit without exiting")
+        if expect_exit_code is not None \
+                and executor.exit_code != expect_exit_code:
+            raise ExecutionError(
+                f"{workload_name}: exit code {executor.exit_code} != "
+                f"expected {expect_exit_code} (functional bug)")
+        return CpiReport.from_result(workload_name, pipeline.result(),
+                                     exit_code=executor.exit_code)
+
+    def run_source(self, source: str, workload_name: str = "program",
+                   **kwargs) -> CpiReport:
+        return self.run_program(assemble(source), workload_name, **kwargs)
+
+    def run_trace(self, ops: Iterable[ExecutedOp],
+                  workload_name: str = "trace") -> CpiReport:
+        """Time a pre-recorded retirement stream (used by Figure 14 sweeps)."""
+        pipeline = GateLevelPipeline(self.rf, self.config)
+        for op in ops:
+            pipeline.feed(op)
+        return CpiReport.from_result(workload_name, pipeline.result())
+
+
+def simulate_program(program: Program, designs: Sequence[str] = RF_DESIGN_NAMES,
+                     workload_name: str = "program",
+                     config: Optional[CoreConfig] = None,
+                     max_instructions: int = 2_000_000) -> Dict[str, CpiReport]:
+    """Run one program across several designs, reusing one functional pass."""
+    executor = Executor(program)
+    ops = list(executor.trace(max_instructions=max_instructions))
+    if executor.halt_reason is HaltReason.INSTRUCTION_LIMIT:
+        raise ExecutionError(
+            f"{workload_name}: hit the {max_instructions}-instruction limit")
+    reports: Dict[str, CpiReport] = {}
+    for design in designs:
+        simulator = CpuSimulator(design, config)
+        report = simulator.run_trace(ops, workload_name)
+        reports[design] = CpiReport(
+            workload=report.workload,
+            design=report.design,
+            instructions=report.instructions,
+            total_cycles=report.total_cycles,
+            cpi=report.cpi,
+            stall_cycles=report.stall_cycles,
+            exit_code=executor.exit_code,
+        )
+    return reports

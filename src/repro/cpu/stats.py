@@ -1,0 +1,56 @@
+"""CPI reporting structures for the application-level evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cpu.pipeline import PipelineResult
+
+
+@dataclass(frozen=True)
+class CpiReport:
+    """CPI of one workload on one register file design."""
+
+    workload: str
+    design: str
+    instructions: int
+    total_cycles: int
+    cpi: float
+    stall_cycles: Dict[str, int]
+    exit_code: Optional[int] = None
+
+    @classmethod
+    def from_result(cls, workload: str, result: PipelineResult,
+                    exit_code: Optional[int] = None) -> "CpiReport":
+        return cls(
+            workload=workload,
+            design=result.design,
+            instructions=result.instructions,
+            total_cycles=result.total_cycles,
+            cpi=result.cpi,
+            stall_cycles=result.stalls.as_dict(),
+            exit_code=exit_code,
+        )
+
+
+def cpi_overhead_percent(baseline: CpiReport, candidate: CpiReport) -> float:
+    """CPI overhead of ``candidate`` over ``baseline`` in percent (Figure 14)."""
+    if baseline.workload != candidate.workload:
+        raise ValueError(
+            f"workload mismatch: {baseline.workload} vs {candidate.workload}")
+    if baseline.cpi == 0:
+        raise ValueError("baseline CPI is zero")
+    return 100.0 * (candidate.cpi - baseline.cpi) / baseline.cpi
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean used for cross-benchmark CPI ratios."""
+    if not values:
+        raise ValueError("empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean needs positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the HiPerRF reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CellLibraryError(ReproError):
+    """Unknown cell name or inconsistent cell parameters."""
+
+
+class NetlistError(ReproError):
+    """Structural problem while building or connecting a netlist."""
+
+
+class SimulationError(ReproError):
+    """Pulse-level or analog simulation failed or diverged."""
+
+
+class TimingViolationError(SimulationError):
+    """Two pulses violated a cell's setup/hold or throughput constraint."""
+
+
+class AssemblerError(ReproError):
+    """RISC-V assembly source could not be assembled."""
+
+
+class DecodeError(ReproError):
+    """A 32-bit word does not decode to a valid RV32I instruction."""
+
+
+class ExecutionError(ReproError):
+    """The functional or timing simulator hit an unrecoverable state."""
+
+
+class ConfigError(ReproError):
+    """Invalid design or simulator configuration."""

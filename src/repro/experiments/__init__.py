@@ -1,0 +1,28 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+One module per artifact:
+
+================  =====================================================
+Module            Paper artifact
+================  =====================================================
+``table1``        Table I - total JJ count (+ % of baseline)
+``table2``        Table II - static power (+ % of baseline)
+``table3``        Table III - readout delay (+ % of baseline)
+``table4``        Table IV - readout/loopback delay with PTL wires
+``fullchip``      Section VI-A full-chip benefit (16.3% JJ saving)
+``figure14``      Figure 14 - CPI overhead per benchmark and design
+``figure15``      Figure 15 - placed-and-routed loopback path study
+``timing_figs``   Figures 8/11/12 - port control schedules
+``josim_cells``   Section II-D - analog HC-DRO storage verification
+================  =====================================================
+
+Each module exposes ``run()`` returning a structured result plus
+``render(result)`` producing the human-readable report; the CLI
+(``hiperrf-experiments``) drives them and EXPERIMENTS.md records the
+paper-vs-measured outcome.
+"""
+
+from repro.experiments import paper_data
+from repro.experiments.report import ComparisonRow, format_table
+
+__all__ = ["ComparisonRow", "format_table", "paper_data"]

@@ -1,0 +1,56 @@
+"""Fault-injection study: the reliability cost of destructive readout.
+
+Not a paper artifact, but the natural question the paper's design poses:
+HiPerRF's density win comes from letting the stored value leave the cell
+on every read and writing it back via the LoopBuffer - so what does one
+lost pulse do?  The pulse netlists give a precise answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.rf.faults import (
+    FaultKind,
+    FaultOutcome,
+    inject_hiperrf_fault,
+    inject_ndro_fault,
+)
+
+
+def run() -> List[FaultOutcome]:
+    outcomes = [
+        inject_hiperrf_fault(FaultKind.DROP_LOOPBACK_PULSE),
+        inject_hiperrf_fault(FaultKind.EXTRA_DATA_PULSE),
+        inject_hiperrf_fault(FaultKind.DROP_READ_ENABLE),
+        inject_ndro_fault(FaultKind.EXTRA_DATA_PULSE),
+        inject_ndro_fault(FaultKind.DROP_READ_ENABLE),
+    ]
+    return outcomes
+
+
+def render(outcomes: List[FaultOutcome] | None = None) -> str:
+    outcomes = outcomes or run()
+    title = "Single-event fault study (pulse-level netlists)"
+    lines = [title, "=" * len(title),
+             f"{'design':9s} {'fault':24s} {'read':>6s} {'stored':>7s} "
+             f"{'expected':>9s}  verdict"]
+    for outcome in outcomes:
+        read = "-" if outcome.read_value is None \
+            else f"{outcome.read_value:#04x}"
+        verdict = "STATE CORRUPTED" if outcome.state_corrupted else "safe"
+        lines.append(f"{outcome.design:9s} {outcome.fault.value:24s} "
+                     f"{read:>6s} {outcome.stored_after:>#7x} "
+                     f"{outcome.expected:>#9x}  {verdict}")
+    lines.append("")
+    lines.append("A dropped loopback pulse is a *permanent* soft error in "
+                 "HiPerRF - the value left the cell and never came back - "
+                 "while every injected fault leaves the NDRO baseline's "
+                 "state intact.  This is the reliability price of the "
+                 "55.9% JJ saving, and why the paper stresses robust "
+                 "HC-DRO margins (Section II-D).")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render())

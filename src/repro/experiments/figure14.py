@@ -1,0 +1,101 @@
+"""Figure 14: CPI overhead over the NDRO RF baseline per benchmark.
+
+Runs the full workload suite (riscv-tests kernels plus the synthetic
+SPEC 2006 stand-ins) through the functional executor once per workload
+and replays the retirement stream through the gate-level pipeline for
+each register file design, exactly as Section VI-B describes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.cpu import CoreConfig, simulate_program
+from repro.cpu.rf_model import RF_DESIGN_NAMES
+from repro.errors import ExecutionError
+from repro.experiments import paper_data
+from repro.isa import assemble
+from repro.workloads import PASS_EXIT_CODE, get_workload
+
+OVERHEAD_DESIGNS = ("hiperrf", "dual_bank_hiperrf", "dual_bank_hiperrf_ideal")
+
+#: The paper's Figure 14 benchmark list: the riscv-tests kernels plus the
+#: four SPEC CPU 2006 entries Section VI-B names.  The registry carries
+#: additional kernels (memcpy, fibonacci, matmul) used by the extension
+#: studies; they are excluded here to keep the figure faithful.
+FIGURE14_WORKLOADS = ("vvadd", "median", "multiply", "qsort", "rsort",
+                      "towers", "spmv", "dhrystone",
+                      "mcf", "sjeng", "libquantum", "specrand")
+
+
+@dataclass
+class Figure14Result:
+    """Per-workload CPIs and the overhead-vs-baseline series."""
+
+    baseline_cpi: Dict[str, float] = field(default_factory=dict)
+    overhead_percent: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    instructions: Dict[str, int] = field(default_factory=dict)
+
+    def average_overhead(self, design: str) -> float:
+        return statistics.mean(self.overhead_percent[design].values())
+
+    def average_baseline_cpi(self) -> float:
+        return statistics.mean(self.baseline_cpi.values())
+
+
+def run(scale: float = 1.0, designs: Sequence[str] = RF_DESIGN_NAMES,
+        config: CoreConfig | None = None,
+        max_instructions: int = 400_000) -> Figure14Result:
+    """Run the Figure 14 sweep at the given problem-size scale."""
+    result = Figure14Result(
+        overhead_percent={d: {} for d in designs if d != "ndro_rf"})
+    for workload in (get_workload(name) for name in FIGURE14_WORKLOADS):
+        program = assemble(workload.build(scale))
+        reports = simulate_program(program, designs, workload.name,
+                                   config=config,
+                                   max_instructions=max_instructions)
+        baseline = reports["ndro_rf"]
+        if baseline.exit_code != PASS_EXIT_CODE:
+            raise ExecutionError(
+                f"{workload.name}: self-check failed "
+                f"(exit {baseline.exit_code})")
+        result.baseline_cpi[workload.name] = baseline.cpi
+        result.instructions[workload.name] = baseline.instructions
+        for design in designs:
+            if design == "ndro_rf":
+                continue
+            overhead = 100.0 * (reports[design].cpi / baseline.cpi - 1.0)
+            result.overhead_percent[design][workload.name] = overhead
+    return result
+
+
+def render(result: Figure14Result | None = None) -> str:
+    result = result or run()
+    title = "Figure 14: CPI overhead over baseline (NDRO RF)"
+    lines = [title, "=" * len(title)]
+    designs = list(result.overhead_percent)
+    header = f"{'benchmark':12s} {'base CPI':>9s}" + "".join(
+        f" {d[:18]:>20s}" for d in designs)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, cpi in result.baseline_cpi.items():
+        row = f"{name:12s} {cpi:9.2f}"
+        for design in designs:
+            row += f" {result.overhead_percent[design][name]:+19.2f}%"
+        lines.append(row)
+    lines.append("-" * len(header))
+    avg = f"{'average':12s} {result.average_baseline_cpi():9.2f}"
+    for design in designs:
+        avg += f" {result.average_overhead(design):+19.2f}%"
+    lines.append(avg)
+    lines.append("")
+    lines.append("paper averages: " + ", ".join(
+        f"{d} {v:+.1f}%" for d, v in
+        paper_data.FIGURE14_AVG_OVERHEAD_PERCENT.items()))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render())

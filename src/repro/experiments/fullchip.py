@@ -1,0 +1,38 @@
+"""Section VI-A "Full Chip Benefit": Sodor core totals and the 16.3% saving."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.chip import chip_budget, full_chip_comparison
+from repro.experiments import paper_data
+from repro.experiments.report import ComparisonRow, format_table
+
+
+def run() -> Dict[str, float]:
+    return full_chip_comparison()
+
+
+def render(result: Dict[str, float] | None = None) -> str:
+    result = result or run()
+    rows = [
+        ComparisonRow("Sodor core with NDRO RF",
+                      result["baseline_total_jj"],
+                      float(paper_data.FULLCHIP_BASELINE_JJ), unit="JJ"),
+        ComparisonRow("Sodor core with HiPerRF",
+                      result["hiperrf_total_jj"],
+                      float(paper_data.FULLCHIP_HIPERRF_JJ), unit="JJ"),
+        ComparisonRow("full-chip JJ saving",
+                      result["saving_percent"],
+                      paper_data.FULLCHIP_SAVING_PERCENT, unit="%"),
+    ]
+    lines = [format_table("Full-chip benefit (Section VI-A)", rows, precision=1)]
+    budget = chip_budget("ndro_rf")
+    lines.append("\nBaseline component breakdown (JJ):")
+    for component, jj in budget.breakdown().items():
+        lines.append(f"  {component:20s} {jj:>10,d}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,68 @@
+"""The paper's published numbers, in one place.
+
+Every experiment compares its measurement against these values; tests
+assert the *shape* (orderings and ratios) with a few percent tolerance,
+per the calibration methodology in DESIGN.md Section 5.
+"""
+
+from __future__ import annotations
+
+GEOMETRY_LABELS = ("4x4", "16x16", "32x32")
+DESIGN_ORDER = ("ndro_rf", "hiperrf", "dual_bank_hiperrf")
+
+PAPER_NAMES = {
+    "ndro_rf": "NDRO RF (Baseline Design)",
+    "hiperrf": "HiPerRF",
+    "dual_bank_hiperrf": "Dual-banked HiPerRF",
+    "dual_bank_hiperrf_ideal": "Dual-banked HiPerRF (ideal)",
+}
+
+# Table I: total JJ count.
+TABLE1_JJ = {
+    "ndro_rf": {"4x4": 784, "16x16": 9850, "32x32": 36722},
+    "hiperrf": {"4x4": 695, "16x16": 5195, "32x32": 16133},
+    "dual_bank_hiperrf": {"4x4": 736, "16x16": 5626, "32x32": 17094},
+}
+
+# Table II: static power in uW.
+TABLE2_POWER_UW = {
+    "ndro_rf": {"4x4": 170.73, "16x16": 1997.49, "32x32": 7262.17},
+    "hiperrf": {"4x4": 149.16, "16x16": 1220.05, "32x32": 3911.00},
+    "dual_bank_hiperrf": {"4x4": 148.47, "16x16": 1289.89, "32x32": 4077.88},
+}
+
+# Table III: readout delay in ps.
+TABLE3_DELAY_PS = {
+    "ndro_rf": {"4x4": 77.0, "16x16": 144.0, "32x32": 177.5},
+    "hiperrf": {"4x4": 122.8, "16x16": 187.8, "32x32": 220.3},
+    "dual_bank_hiperrf": {"4x4": 94.8, "16x16": 159.8, "32x32": 192.3},
+}
+
+# Table IV: 32x32 readout delay and loopback latency with PTL wires (ps).
+TABLE4_READOUT_PS = {"ndro_rf": 216.8, "hiperrf": 270.1,
+                     "dual_bank_hiperrf": 236.8}
+TABLE4_LOOPBACK_PS = {"hiperrf": 108.4, "dual_bank_hiperrf": 93.7}
+
+# Section VI-A full-chip benefit.
+FULLCHIP_BASELINE_JJ = 139_801
+FULLCHIP_HIPERRF_JJ = 117_039
+FULLCHIP_SAVING_PERCENT = 16.3
+
+# Figure 14 averages (CPI overhead over the NDRO baseline).
+FIGURE14_AVG_OVERHEAD_PERCENT = {
+    "hiperrf": 9.8,
+    "dual_bank_hiperrf": 3.6,
+    "dual_bank_hiperrf_ideal": 2.3,
+}
+FIGURE14_BASELINE_CPI = 30.0  # "about 30 cycles averaged across benchmarks"
+
+# Figure 15: longest loopback wire after place & route.
+FIGURE15_LONGEST_LOOPBACK_WIRE_PS = 4.6
+
+# Headline abstract numbers.
+HEADLINE_RF_JJ_SAVING_PERCENT = 56.1
+HEADLINE_RF_POWER_SAVING_PERCENT = 46.2
+HEADLINE_CHIP_JJ_SAVING_PERCENT = 16.3
+
+# Section II-D HC-DRO parameters.
+HCDRO_CAPACITY_FLUXONS = 3

@@ -1,0 +1,48 @@
+"""Workload dependency profiles: the evidence behind the SPEC stand-ins.
+
+DESIGN.md argues the synthetic SPEC kernels preserve the register-reuse
+and dependency-distance profiles that drive Figure 14.  This experiment
+prints those measured profiles for the whole suite so the claim can be
+inspected: mcf's load-heavy pointer chase, sjeng's branch ladder,
+specrand's tight recurrence, libquantum's streaming independence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.analysis import TraceProfile, profile_all
+
+
+def run(scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+    return {name: profile.summary()
+            for name, profile in profile_all(scale).items()}
+
+
+def render(result: Dict[str, Dict[str, float]] | None = None) -> str:
+    result = result or run()
+    title = "Workload dependency profiles (drives Figure 14)"
+    lines = [title, "=" * len(title),
+             f"{'workload':12s} {'instr':>7s} {'load%':>6s} {'store%':>7s} "
+             f"{'branch%':>8s} {'taken%':>7s} {'RAW<=2':>7s} "
+             f"{'reread<=2':>10s} {'sameB%':>7s}"]
+    for name, summary in result.items():
+        lines.append(
+            f"{name:12s} {summary['instructions']:>7.0f} "
+            f"{summary['load_fraction']:>6.1%} "
+            f"{summary['store_fraction']:>7.1%} "
+            f"{summary['branch_fraction']:>8.1%} "
+            f"{summary['taken_branch_fraction']:>7.1%} "
+            f"{summary['raw_within_2']:>7.1%} "
+            f"{summary['reread_within_2']:>10.1%} "
+            f"{summary['same_bank_pair_fraction']:>7.1%}")
+    lines.append("")
+    lines.append("RAW<=2: dependencies within 2 instructions (deep-pipeline "
+                 "stalls); reread<=2: re-reads within 2 instructions "
+                 "(loopback hazards); sameB%: two-source pairs sharing a "
+                 "parity bank (dual-bank serialisation).")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,44 @@
+"""Report formatting: paper-vs-measured comparison tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One measured quantity next to the paper's published value."""
+
+    label: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+
+    @property
+    def delta_percent(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return 100.0 * (self.measured - self.paper) / self.paper
+
+
+def format_table(title: str, rows: Sequence[ComparisonRow],
+                 precision: int = 2) -> str:
+    """Render comparison rows as an aligned text table."""
+    header = (f"{'':40s} {'measured':>12s} {'paper':>12s} {'delta':>8s}")
+    lines = [title, "=" * len(title), header, "-" * len(header)]
+    for row in rows:
+        measured = f"{row.measured:,.{precision}f}"
+        paper = f"{row.paper:,.{precision}f}" if row.paper is not None else "-"
+        delta = (f"{row.delta_percent:+.1f}%"
+                 if row.delta_percent is not None else "-")
+        label = f"{row.label} [{row.unit}]" if row.unit else row.label
+        lines.append(f"{label:40s} {measured:>12s} {paper:>12s} {delta:>8s}")
+    return "\n".join(lines)
+
+
+def max_abs_delta_percent(rows: Sequence[ComparisonRow]) -> float:
+    """Largest |measured - paper| / paper across rows with paper values."""
+    deltas = [abs(row.delta_percent) for row in rows
+              if row.delta_percent is not None]
+    return max(deltas) if deltas else 0.0

@@ -1,0 +1,147 @@
+"""CLI entry point: regenerate any or all of the paper's tables/figures.
+
+Usage::
+
+    hiperrf-experiments               # run everything
+    hiperrf-experiments table1 table3
+    hiperrf-experiments figure14 --scale 2.0
+    hiperrf-experiments table1 --json # machine-readable output
+    python -m repro.experiments.runner all
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    banking,
+    energy,
+    alternatives,
+    fault_study,
+    figure14,
+    figure15,
+    fullchip,
+    josim_cells,
+    margins,
+    profiles,
+    memory_sensitivity,
+    scaling,
+    scheduling,
+    skew,
+    synthesis,
+    table1,
+    table2,
+    table3,
+    table4,
+    timing_figs,
+    wire_cpi,
+)
+
+EXPERIMENTS: Dict[str, Callable[..., str]] = {
+    "table1": lambda **_: table1.render(),
+    "table2": lambda **_: table2.render(),
+    "table3": lambda **_: table3.render(),
+    "table4": lambda **_: table4.render(),
+    "fullchip": lambda **_: fullchip.render(),
+    "figure14": lambda scale=1.0, **_: figure14.render(figure14.run(scale)),
+    "figure15": lambda **_: figure15.render(),
+    "timing": lambda **_: timing_figs.render(),
+    "josim": lambda **_: josim_cells.render(),
+    "scaling": lambda **_: scaling.render(),
+    "wire_cpi": lambda **_: wire_cpi.render(),
+    "alternatives": lambda **_: alternatives.render(),
+    "ablations": lambda **_: ablations.render(),
+    "margins": lambda **_: margins.render(),
+    "synthesis": lambda **_: synthesis.render(),
+    "memory": lambda **_: memory_sensitivity.render(),
+    "energy": lambda **_: energy.render(),
+    "banking": lambda **_: banking.render(),
+    "skew": lambda **_: skew.render(),
+    "faults": lambda **_: fault_study.render(),
+    "scheduling": lambda **_: scheduling.render(),
+    "profiles": lambda **_: profiles.render(),
+}
+
+
+#: run() callables for --json output (experiments with structured results).
+RAW_RUNNERS: Dict[str, Callable[..., Any]] = {}
+
+
+def _register_raw() -> None:
+    from repro.experiments import (ablations as _ab, alternatives as _al,
+                                   banking as _bk, fault_study as _fs,
+                                   figure15 as _f15, fullchip as _fc,
+                                   josim_cells as _jc, margins as _mg,
+                                   memory_sensitivity as _ms,
+                                   scaling as _sc, scheduling as _sd,
+                                   skew as _sk, synthesis as _sy,
+                                   profiles as _pf,
+                                   table1 as _t1, table2 as _t2,
+                                   table3 as _t3, table4 as _t4,
+                                   wire_cpi as _wc)
+
+    RAW_RUNNERS.update({
+        "table1": _t1.run, "table2": _t2.run, "table3": _t3.run,
+        "table4": _t4.run, "fullchip": _fc.run, "figure15": _f15.run,
+        "scaling": _sc.run, "alternatives": _al.run, "ablations": _ab.run,
+        "banking": _bk.run, "skew": _sk.run, "faults": _fs.run,
+        "scheduling": _sd.run, "synthesis": _sy.run, "margins": _mg.run,
+        "memory": _ms.run, "wire_cpi": _wc.run, "josim": _jc.run, "profiles": _pf.run,
+    })
+
+
+def _jsonable(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    import enum
+
+    if isinstance(value, enum.Enum):
+        return value.value
+    return value
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hiperrf-experiments",
+        description="Regenerate the HiPerRF paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*", default=["all"],
+                        help=f"subset of: {', '.join(EXPERIMENTS)} (or 'all')")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload problem-size scale for figure14")
+    parser.add_argument("--json", action="store_true",
+                        help="emit raw run() results as JSON")
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or ["all"]
+    if "all" in selected:
+        selected = list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    if args.json:
+        _register_raw()
+        unsupported = [n for n in selected if n not in RAW_RUNNERS]
+        if unsupported:
+            parser.error(
+                f"--json unsupported for: {', '.join(unsupported)}")
+        payload = {name: _jsonable(RAW_RUNNERS[name]()) for name in selected}
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    for name in selected:
+        print(EXPERIMENTS[name](scale=args.scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Compiler scheduling study: spreading RAW dependencies (Section VI-B).
+
+The paper: conventional compilers place dependent instructions close to
+exploit forwarding, "However, SFQ based CPUs require quite the opposite
+- to spread the RAW dependency instructions as far apart as possible."
+
+We verify the claim end to end: an unrolled kernel with independent
+dependence chains is emitted twice - naive iteration order versus the
+greedy list schedule of :mod:`repro.cpu.scheduler` - and both are run on
+every register file design.  The scheduler also shrinks the *relative*
+HiPerRF gap: with dependencies spread, the loopback and readout
+latencies hide behind independent work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cpu import simulate_program
+from repro.cpu.scheduler import list_schedule, mean_raw_distance
+from repro.isa import assemble
+from repro.workloads.schedulable import _kernel_ir, build_schedulable_kernel
+
+
+def run(unroll: int = 4, iterations: int = 24) -> Dict[str, Dict[str, float]]:
+    result: Dict[str, Dict[str, float]] = {}
+    naive_ir = _kernel_ir(unroll)
+    result["_ir"] = {
+        "naive_mean_raw_distance": mean_raw_distance(naive_ir),
+        "scheduled_mean_raw_distance": mean_raw_distance(
+            list_schedule(naive_ir)),
+    }
+    for label, scheduled in (("naive", False), ("scheduled", True)):
+        source = build_schedulable_kernel(unroll, iterations, scheduled)
+        reports = simulate_program(assemble(source),
+                                   workload_name=f"sched_{label}")
+        result[label] = {design: report.cpi
+                         for design, report in reports.items()}
+    return result
+
+
+def render(result: Dict[str, Dict[str, float]] | None = None) -> str:
+    result = result or run()
+    ir = result["_ir"]
+    title = ("Compiler scheduling study: spreading RAW dependencies "
+             "(Section VI-B)")
+    lines = [title, "=" * len(title),
+             f"mean RAW distance: naive "
+             f"{ir['naive_mean_raw_distance']:.2f} -> scheduled "
+             f"{ir['scheduled_mean_raw_distance']:.2f}",
+             "",
+             f"{'design':26s} {'naive CPI':>10s} {'scheduled CPI':>14s} "
+             f"{'speedup':>8s}"]
+    for design in result["naive"]:
+        naive = result["naive"][design]
+        sched = result["scheduled"][design]
+        lines.append(f"{design:26s} {naive:>10.2f} {sched:>14.2f} "
+                     f"{naive / sched:>7.2f}x")
+    hiper_gap_naive = result["naive"]["hiperrf"] / result["naive"]["ndro_rf"]
+    hiper_gap_sched = (result["scheduled"]["hiperrf"]
+                       / result["scheduled"]["ndro_rf"])
+    lines.append("")
+    lines.append(f"HiPerRF overhead vs baseline: naive "
+                 f"{100 * (hiper_gap_naive - 1):+.1f}%, scheduled "
+                 f"{100 * (hiper_gap_sched - 1):+.1f}% - dependency-"
+                 "spreading compilers help every design, and the 28-deep "
+                 "execute stage is why the paper calls for them.")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,38 @@
+"""RV32I instruction set substrate.
+
+The paper's application-level evaluation runs RISC-V RV32I binaries on a
+Spike-derived gate-level simulator.  This package is the reproduction's
+ISA layer: instruction encoding/decoding, a two-pass assembler with the
+standard pseudo-instructions, a sparse byte-addressed memory, and a
+functional instruction-set simulator used both to execute workloads and
+as the golden model the timing simulator consumes.
+"""
+
+from repro.isa.encoding import (
+    ABI_REGISTER_NAMES,
+    REGISTER_ALIASES,
+    sign_extend,
+)
+from repro.isa.instructions import Instruction, decode
+from repro.isa.assembler import assemble, assemble_to_words, Program
+from repro.isa.disassembler import disassemble
+from repro.isa.memory import Memory
+from repro.isa.state import CpuState
+from repro.isa.executor import ExecutedOp, Executor, HaltReason
+
+__all__ = [
+    "ABI_REGISTER_NAMES",
+    "CpuState",
+    "ExecutedOp",
+    "Executor",
+    "HaltReason",
+    "Instruction",
+    "Memory",
+    "Program",
+    "REGISTER_ALIASES",
+    "assemble",
+    "assemble_to_words",
+    "decode",
+    "disassemble",
+    "sign_extend",
+]

@@ -1,0 +1,456 @@
+"""A two-pass RV32I assembler with the standard pseudo-instructions.
+
+Supports the subset of GNU-as syntax the bundled workloads use:
+
+* labels, ``#``/``//`` comments, ``.text``/``.data`` sections,
+* directives: ``.word``, ``.half``, ``.byte``, ``.space``/``.zero``,
+  ``.align``, ``.globl`` (ignored), ``.asciz``,
+* ``%hi(sym)`` / ``%lo(sym)`` relocations,
+* pseudo-instructions: ``li``, ``la``, ``mv``, ``nop``, ``not``, ``neg``,
+  ``seqz``/``snez``/``sltz``/``sgtz``, ``beqz``/``bnez``/``blez``/
+  ``bgez``/``bltz``/``bgtz``, ``bgt``/``ble``/``bgtu``/``bleu``,
+  ``j``, ``jr``, ``call``, ``ret``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.isa import encoding as enc
+from repro.isa.encoding import register_number, sign_extend
+
+DEFAULT_TEXT_BASE = 0x0000_1000
+DEFAULT_DATA_BASE = 0x0001_0000
+
+_BRANCH_F3 = {"beq": 0b000, "bne": 0b001, "blt": 0b100,
+              "bge": 0b101, "bltu": 0b110, "bgeu": 0b111}
+_LOAD_F3 = {"lb": 0b000, "lh": 0b001, "lw": 0b010, "lbu": 0b100, "lhu": 0b101}
+_STORE_F3 = {"sb": 0b000, "sh": 0b001, "sw": 0b010}
+_IMM_F3 = {"addi": 0b000, "slti": 0b010, "sltiu": 0b011,
+           "xori": 0b100, "ori": 0b110, "andi": 0b111}
+_REG_F37 = {"add": (0b000, 0), "sub": (0b000, 0x20), "sll": (0b001, 0),
+            "slt": (0b010, 0), "sltu": (0b011, 0), "xor": (0b100, 0),
+            "srl": (0b101, 0), "sra": (0b101, 0x20), "or": (0b110, 0),
+            "and": (0b111, 0)}
+_SHIFT_IMM = {"slli": (0b001, 0), "srli": (0b101, 0), "srai": (0b101, 0x20)}
+
+
+@dataclass
+class Program:
+    """An assembled program image.
+
+    ``image`` maps byte addresses to byte values for every initialised
+    byte of text and data; ``symbols`` maps label names to addresses.
+    """
+
+    entry: int
+    image: Dict[int, int] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    text_base: int = DEFAULT_TEXT_BASE
+    text_size: int = 0
+
+    def words(self) -> Dict[int, int]:
+        """Little-endian 32-bit view of the initialised image."""
+        out: Dict[int, int] = {}
+        for addr in sorted(self.image):
+            base = addr & ~3
+            out.setdefault(base, 0)
+        for base in out:
+            value = 0
+            for k in range(4):
+                value |= self.image.get(base + k, 0) << (8 * k)
+            out[base] = value
+        return out
+
+    @property
+    def num_instructions(self) -> int:
+        return self.text_size // 4
+
+
+@dataclass
+class _Item:
+    """One pass-1 item: an instruction slot or a data blob."""
+
+    kind: str  # "instr" | "data"
+    address: int
+    mnemonic: str = ""
+    operands: Tuple[str, ...] = ()
+    data: bytes = b""
+    line_no: int = 0
+    source: str = ""
+
+
+_MEM_OPERAND = re.compile(r"^(-?\w+|%\w+\([.\w$]+\)|-?0x[0-9a-fA-F]+)\((\w+)\)$")
+
+
+def _split_operands(rest: str) -> Tuple[str, ...]:
+    rest = rest.strip()
+    if not rest:
+        return ()
+    parts = []
+    depth = 0
+    current = ""
+    for char in rest:
+        if char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+            continue
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        current += char
+    parts.append(current.strip())
+    return tuple(p for p in parts if p)
+
+
+class Assembler:
+    """Two-pass assembler; use the module-level :func:`assemble` helper."""
+
+    def __init__(self, text_base: int = DEFAULT_TEXT_BASE,
+                 data_base: int = DEFAULT_DATA_BASE) -> None:
+        self.text_base = text_base
+        self.data_base = data_base
+        self.symbols: Dict[str, int] = {}
+        self.items: List[_Item] = []
+        self._text_cursor = text_base
+        self._data_cursor = data_base
+        self._section = "text"
+
+    # -- pass 1 ---------------------------------------------------------
+
+    def _cursor(self) -> int:
+        return self._text_cursor if self._section == "text" else self._data_cursor
+
+    def _advance(self, nbytes: int) -> None:
+        if self._section == "text":
+            self._text_cursor += nbytes
+        else:
+            self._data_cursor += nbytes
+
+    def _emit_instr_slots(self, mnemonic: str, operands: Tuple[str, ...],
+                          line_no: int, source: str) -> None:
+        if self._section != "text":
+            raise AssemblerError(
+                f"line {line_no}: instruction outside .text: {source!r}")
+        count = self._expansion_size(mnemonic, operands, line_no)
+        self.items.append(_Item("instr", self._cursor(), mnemonic, operands,
+                                line_no=line_no, source=source))
+        self._advance(4 * count)
+
+    def _expansion_size(self, mnemonic: str, operands: Tuple[str, ...],
+                        line_no: int) -> int:
+        """Instruction words a (pseudo-)instruction expands to."""
+        if mnemonic == "li":
+            if len(operands) != 2:
+                raise AssemblerError(f"line {line_no}: li needs 2 operands")
+            value = self._parse_constant(operands[1], line_no)
+            return 1 if -2048 <= value < 2048 else 2
+        if mnemonic == "la":
+            return 2
+        return 1
+
+    def _parse_constant(self, text: str, line_no: int) -> int:
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblerError(
+                f"line {line_no}: expected a constant, got {text!r}") from None
+
+    def _handle_directive(self, directive: str, rest: str, line_no: int) -> None:
+        if directive in (".text", ".data"):
+            self._section = directive[1:]
+            return
+        if directive in (".globl", ".global", ".option", ".type", ".size",
+                         ".file", ".attribute", ".p2align"):
+            return
+        if directive == ".align":
+            power = int(rest.strip() or "2", 0)
+            alignment = 1 << power
+            cursor = self._cursor()
+            pad = (-cursor) % alignment
+            if pad:
+                self.items.append(_Item("data", cursor, data=b"\x00" * pad,
+                                        line_no=line_no))
+                self._advance(pad)
+            return
+        if directive in (".word", ".half", ".byte"):
+            size = {".word": 4, ".half": 2, ".byte": 1}[directive]
+            values = _split_operands(rest)
+            self.items.append(_Item("data", self._cursor(),
+                                    mnemonic=directive, operands=values,
+                                    line_no=line_no))
+            self._advance(size * len(values))
+            return
+        if directive in (".space", ".zero"):
+            nbytes = int(rest.strip(), 0)
+            self.items.append(_Item("data", self._cursor(),
+                                    data=b"\x00" * nbytes, line_no=line_no))
+            self._advance(nbytes)
+            return
+        if directive == ".asciz":
+            text = rest.strip()
+            if not (text.startswith('"') and text.endswith('"')):
+                raise AssemblerError(f"line {line_no}: bad .asciz operand")
+            blob = text[1:-1].encode().decode("unicode_escape").encode() + b"\x00"
+            self.items.append(_Item("data", self._cursor(), data=blob,
+                                    line_no=line_no))
+            self._advance(len(blob))
+            return
+        raise AssemblerError(f"line {line_no}: unknown directive {directive}")
+
+    def first_pass(self, source: str) -> None:
+        for line_no, raw_line in enumerate(source.splitlines(), start=1):
+            line = raw_line.split("#")[0].split("//")[0].strip()
+            while line:
+                match = re.match(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$", line)
+                if match:
+                    label, line = match.group(1), match.group(2)
+                    if label in self.symbols:
+                        raise AssemblerError(
+                            f"line {line_no}: duplicate label {label!r}")
+                    self.symbols[label] = self._cursor()
+                    continue
+                break
+            if not line:
+                continue
+            pieces = line.split(None, 1)
+            head = pieces[0].lower()
+            rest = pieces[1] if len(pieces) > 1 else ""
+            if head.startswith("."):
+                self._handle_directive(head, rest, line_no)
+            else:
+                self._emit_instr_slots(head, _split_operands(rest),
+                                       line_no, line)
+
+    # -- pass 2 ---------------------------------------------------------
+
+    def _resolve(self, text: str, line_no: int, pc: int,
+                 relative: bool = False) -> int:
+        """Resolve an immediate operand: constant, label, or %hi/%lo."""
+        text = text.strip()
+        match = re.match(r"^%(hi|lo)\(([\w.$]+)\)$", text)
+        if match:
+            kind, symbol = match.groups()
+            value = self._symbol_or_const(symbol, line_no)
+            if kind == "hi":
+                return ((value + 0x800) >> 12) & 0xFFFFF
+            return sign_extend(value & 0xFFF, 12)
+        value = self._symbol_or_const(text, line_no)
+        if relative and (text in self.symbols):
+            return value - pc
+        return value
+
+    def _symbol_or_const(self, text: str, line_no: int) -> int:
+        if text in self.symbols:
+            return self.symbols[text]
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblerError(
+                f"line {line_no}: unresolved symbol {text!r}") from None
+
+    def _branch_target(self, text: str, line_no: int, pc: int) -> int:
+        value = self._symbol_or_const(text, line_no)
+        if text in self.symbols:
+            return value - pc
+        return value  # already an offset
+
+    def _encode_one(self, item: _Item) -> List[int]:
+        m, ops, pc, ln = item.mnemonic, item.operands, item.address, item.line_no
+
+        def reg(i: int) -> int:
+            return register_number(ops[i])
+
+        def need(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblerError(
+                    f"line {ln}: {m} expects {count} operands, got "
+                    f"{len(ops)}: {item.source!r}")
+
+        def mem_operand(i: int) -> Tuple[int, int]:
+            match = _MEM_OPERAND.match(ops[i].replace(" ", ""))
+            if not match:
+                raise AssemblerError(
+                    f"line {ln}: expected offset(reg), got {ops[i]!r}")
+            offset = self._resolve(match.group(1), ln, pc)
+            return offset, register_number(match.group(2))
+
+        # -- base instructions ------------------------------------------
+        if m in _REG_F37:
+            need(3)
+            f3, f7 = _REG_F37[m]
+            return [enc.encode_r(enc.OP_REG, reg(0), f3, reg(1), reg(2), f7)]
+        if m in _IMM_F3:
+            need(3)
+            return [enc.encode_i(enc.OP_IMM, reg(0), _IMM_F3[m], reg(1),
+                                 self._resolve(ops[2], ln, pc))]
+        if m in _SHIFT_IMM:
+            need(3)
+            f3, f7 = _SHIFT_IMM[m]
+            shamt = self._resolve(ops[2], ln, pc)
+            if not 0 <= shamt < 32:
+                raise AssemblerError(f"line {ln}: shift amount {shamt} invalid")
+            return [enc.encode_r(enc.OP_IMM, reg(0), f3, reg(1), shamt, f7)]
+        if m in _LOAD_F3:
+            need(2)
+            offset, base = mem_operand(1)
+            return [enc.encode_i(enc.OP_LOAD, reg(0), _LOAD_F3[m], base, offset)]
+        if m in _STORE_F3:
+            need(2)
+            offset, base = mem_operand(1)
+            return [enc.encode_s(enc.OP_STORE, _STORE_F3[m], base, reg(0), offset)]
+        if m in _BRANCH_F3:
+            need(3)
+            return [enc.encode_b(enc.OP_BRANCH, _BRANCH_F3[m], reg(0), reg(1),
+                                 self._branch_target(ops[2], ln, pc))]
+        if m == "lui":
+            need(2)
+            return [enc.encode_u(enc.OP_LUI, reg(0),
+                                 self._resolve(ops[1], ln, pc) & 0xFFFFF)]
+        if m == "auipc":
+            need(2)
+            return [enc.encode_u(enc.OP_AUIPC, reg(0),
+                                 self._resolve(ops[1], ln, pc) & 0xFFFFF)]
+        if m == "jal":
+            if len(ops) == 1:
+                return [enc.encode_j(enc.OP_JAL, 1,
+                                     self._branch_target(ops[0], ln, pc))]
+            need(2)
+            return [enc.encode_j(enc.OP_JAL, reg(0),
+                                 self._branch_target(ops[1], ln, pc))]
+        if m == "jalr":
+            if len(ops) == 1:
+                return [enc.encode_i(enc.OP_JALR, 1, 0, reg(0), 0)]
+            if len(ops) == 2 and "(" in ops[1]:
+                offset, base = mem_operand(1)
+                return [enc.encode_i(enc.OP_JALR, reg(0), 0, base, offset)]
+            need(3)
+            return [enc.encode_i(enc.OP_JALR, reg(0), 0, reg(1),
+                                 self._resolve(ops[2], ln, pc))]
+        if m == "fence":
+            return [0x0000000F]
+        if m == "ecall":
+            return [0x00000073]
+        if m == "ebreak":
+            return [0x00100073]
+
+        # -- pseudo-instructions ------------------------------------------
+        if m == "nop":
+            return [enc.encode_i(enc.OP_IMM, 0, 0, 0, 0)]
+        if m == "li":
+            need(2)
+            value = self._parse_constant(ops[1], ln)
+            rd = reg(0)
+            if -2048 <= value < 2048:
+                return [enc.encode_i(enc.OP_IMM, rd, 0, 0, value)]
+            upper = ((value + 0x800) >> 12) & 0xFFFFF
+            lower = sign_extend(value & 0xFFF, 12)
+            return [enc.encode_u(enc.OP_LUI, rd, upper),
+                    enc.encode_i(enc.OP_IMM, rd, 0, rd, lower)]
+        if m == "la":
+            need(2)
+            rd = reg(0)
+            target = self._symbol_or_const(ops[1], ln)
+            delta = target - pc
+            upper = ((delta + 0x800) >> 12) & 0xFFFFF
+            lower = sign_extend(delta & 0xFFF, 12)
+            return [enc.encode_u(enc.OP_AUIPC, rd, upper),
+                    enc.encode_i(enc.OP_IMM, rd, 0, rd, lower)]
+        if m == "mv":
+            need(2)
+            return [enc.encode_i(enc.OP_IMM, reg(0), 0, reg(1), 0)]
+        if m == "not":
+            need(2)
+            return [enc.encode_i(enc.OP_IMM, reg(0), 0b100, reg(1), -1)]
+        if m == "neg":
+            need(2)
+            return [enc.encode_r(enc.OP_REG, reg(0), 0, 0, reg(1), 0x20)]
+        if m == "seqz":
+            need(2)
+            return [enc.encode_i(enc.OP_IMM, reg(0), 0b011, reg(1), 1)]
+        if m == "snez":
+            need(2)
+            return [enc.encode_r(enc.OP_REG, reg(0), 0b011, 0, reg(1), 0)]
+        if m == "sltz":
+            need(2)
+            return [enc.encode_r(enc.OP_REG, reg(0), 0b010, reg(1), 0, 0)]
+        if m == "sgtz":
+            need(2)
+            return [enc.encode_r(enc.OP_REG, reg(0), 0b010, 0, reg(1), 0)]
+        if m in ("beqz", "bnez", "blez", "bgez", "bltz", "bgtz"):
+            need(2)
+            offset = self._branch_target(ops[1], ln, pc)
+            r = reg(0)
+            table = {
+                "beqz": ("beq", r, 0), "bnez": ("bne", r, 0),
+                "blez": ("bge", 0, r), "bgez": ("bge", r, 0),
+                "bltz": ("blt", r, 0), "bgtz": ("blt", 0, r),
+            }
+            base, rs1, rs2 = table[m]
+            return [enc.encode_b(enc.OP_BRANCH, _BRANCH_F3[base], rs1, rs2,
+                                 offset)]
+        if m in ("bgt", "ble", "bgtu", "bleu"):
+            need(3)
+            offset = self._branch_target(ops[2], ln, pc)
+            base = {"bgt": "blt", "ble": "bge",
+                    "bgtu": "bltu", "bleu": "bgeu"}[m]
+            return [enc.encode_b(enc.OP_BRANCH, _BRANCH_F3[base], reg(1),
+                                 reg(0), offset)]
+        if m == "j":
+            need(1)
+            return [enc.encode_j(enc.OP_JAL, 0,
+                                 self._branch_target(ops[0], ln, pc))]
+        if m == "jr":
+            need(1)
+            return [enc.encode_i(enc.OP_JALR, 0, 0, reg(0), 0)]
+        if m == "call":
+            need(1)
+            return [enc.encode_j(enc.OP_JAL, 1,
+                                 self._branch_target(ops[0], ln, pc))]
+        if m == "ret":
+            return [enc.encode_i(enc.OP_JALR, 0, 0, 1, 0)]
+        raise AssemblerError(f"line {ln}: unknown mnemonic {m!r}")
+
+    def second_pass(self) -> Program:
+        program = Program(entry=self.symbols.get("_start", self.text_base),
+                          symbols=dict(self.symbols),
+                          text_base=self.text_base)
+        for item in self.items:
+            if item.kind == "instr":
+                for offset, word in enumerate(self._encode_one(item)):
+                    addr = item.address + 4 * offset
+                    for k in range(4):
+                        program.image[addr + k] = (word >> (8 * k)) & 0xFF
+            else:
+                if item.data:
+                    for k, byte in enumerate(item.data):
+                        program.image[item.address + k] = byte
+                else:
+                    size = {".word": 4, ".half": 2, ".byte": 1}[item.mnemonic]
+                    for index, text in enumerate(item.operands):
+                        value = self._resolve(text, item.line_no, item.address)
+                        addr = item.address + size * index
+                        for k in range(size):
+                            program.image[addr + k] = (value >> (8 * k)) & 0xFF
+        program.text_size = self._text_cursor - self.text_base
+        return program
+
+
+def assemble(source: str, text_base: int = DEFAULT_TEXT_BASE,
+             data_base: int = DEFAULT_DATA_BASE) -> Program:
+    """Assemble RV32I source into a :class:`Program` image."""
+    assembler = Assembler(text_base=text_base, data_base=data_base)
+    assembler.first_pass(source)
+    return assembler.second_pass()
+
+
+def assemble_to_words(source: str, **kwargs) -> List[int]:
+    """Assemble and return just the text-section instruction words."""
+    program = assemble(source, **kwargs)
+    words = program.words()
+    return [words[addr] for addr in sorted(words)
+            if program.text_base <= addr < program.text_base + program.text_size]

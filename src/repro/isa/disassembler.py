@@ -1,0 +1,43 @@
+"""Minimal RV32I disassembler for traces and debugging."""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+from repro.isa.encoding import ABI_REGISTER_NAMES
+from repro.isa.instructions import Instruction, decode
+
+
+def _reg(index: int) -> str:
+    return ABI_REGISTER_NAMES[index]
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render a decoded instruction in conventional assembly syntax."""
+    m = instr.mnemonic
+    if m in ("lui", "auipc"):
+        return f"{m} {_reg(instr.rd)}, {instr.imm >> 12 & 0xFFFFF:#x}"
+    if m == "jal":
+        return f"jal {_reg(instr.rd)}, {instr.imm}"
+    if m == "jalr":
+        return f"jalr {_reg(instr.rd)}, {instr.imm}({_reg(instr.rs1)})"
+    if instr.is_branch:
+        return f"{m} {_reg(instr.rs1)}, {_reg(instr.rs2)}, {instr.imm}"
+    if instr.is_load:
+        return f"{m} {_reg(instr.rd)}, {instr.imm}({_reg(instr.rs1)})"
+    if instr.is_store:
+        return f"{m} {_reg(instr.rs2)}, {instr.imm}({_reg(instr.rs1)})"
+    if m in ("ecall", "ebreak", "fence"):
+        return m
+    if instr.rs2 is not None:
+        return f"{m} {_reg(instr.rd)}, {_reg(instr.rs1)}, {_reg(instr.rs2)}"
+    if instr.rs1 is not None:
+        return f"{m} {_reg(instr.rd)}, {_reg(instr.rs1)}, {instr.imm}"
+    return str(instr)
+
+
+def disassemble(word: int) -> str:
+    """Disassemble one 32-bit word (returns ``.word`` form when invalid)."""
+    try:
+        return format_instruction(decode(word))
+    except DecodeError:
+        return f".word {word:#010x}"

@@ -1,0 +1,170 @@
+"""RV32I instruction formats, field packing and register naming."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import AssemblerError
+
+MASK32 = 0xFFFF_FFFF
+
+# Major opcodes (RV32I base).
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_REG = 0b0110011
+OP_FENCE = 0b0001111
+OP_SYSTEM = 0b1110011
+
+#: ABI register names indexed by register number.
+ABI_REGISTER_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+#: All accepted register spellings -> register number.
+REGISTER_ALIASES: Dict[str, int] = {}
+for _i in range(32):
+    REGISTER_ALIASES[f"x{_i}"] = _i
+for _i, _name in enumerate(ABI_REGISTER_NAMES):
+    REGISTER_ALIASES[_name] = _i
+REGISTER_ALIASES["fp"] = 8
+
+
+def register_number(name: str) -> int:
+    """Parse a register spelling (``x13``, ``a3``, ``fp``...)."""
+    key = name.strip().lower()
+    if key not in REGISTER_ALIASES:
+        raise AssemblerError(f"unknown register {name!r}")
+    return REGISTER_ALIASES[key]
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low ``bits`` of ``value`` as a signed integer."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def to_u32(value: int) -> int:
+    return value & MASK32
+
+
+def to_s32(value: int) -> int:
+    return sign_extend(value, 32)
+
+
+def _check_range(value: int, bits: int, what: str) -> None:
+    low = -(1 << (bits - 1))
+    high = (1 << bits) - 1  # allow unsigned spellings of bit patterns
+    if not low <= value <= high:
+        raise AssemblerError(
+            f"{what} {value} does not fit in {bits} bits")
+
+
+# -- format encoders ---------------------------------------------------------
+
+
+def encode_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int,
+             funct7: int) -> int:
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (rd << 7) | opcode
+
+
+def encode_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    _check_range(imm, 12, "I-immediate")
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (rd << 7) | opcode
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    _check_range(imm, 12, "S-immediate")
+    imm &= 0xFFF
+    return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | ((imm & 0x1F) << 7) | opcode
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    if imm % 2:
+        raise AssemblerError(f"branch offset {imm} is not 2-byte aligned")
+    _check_range(imm, 13, "B-immediate")
+    imm &= 0x1FFF
+    return (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25) \
+        | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | opcode
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    if not 0 <= imm <= 0xFFFFF:
+        raise AssemblerError(f"U-immediate {imm} out of range")
+    return (imm << 12) | (rd << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, imm: int) -> int:
+    if imm % 2:
+        raise AssemblerError(f"jump offset {imm} is not 2-byte aligned")
+    _check_range(imm, 21, "J-immediate")
+    imm &= 0x1FFFFF
+    return (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21) \
+        | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12) \
+        | (rd << 7) | opcode
+
+
+# -- field extractors --------------------------------------------------------
+
+
+def field_opcode(word: int) -> int:
+    return word & 0x7F
+
+
+def field_rd(word: int) -> int:
+    return (word >> 7) & 0x1F
+
+
+def field_funct3(word: int) -> int:
+    return (word >> 12) & 0x7
+
+
+def field_rs1(word: int) -> int:
+    return (word >> 15) & 0x1F
+
+
+def field_rs2(word: int) -> int:
+    return (word >> 20) & 0x1F
+
+
+def field_funct7(word: int) -> int:
+    return (word >> 25) & 0x7F
+
+
+def imm_i(word: int) -> int:
+    return sign_extend(word >> 20, 12)
+
+
+def imm_s(word: int) -> int:
+    value = ((word >> 25) << 5) | ((word >> 7) & 0x1F)
+    return sign_extend(value, 12)
+
+
+def imm_b(word: int) -> int:
+    value = (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) \
+        | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+    return sign_extend(value, 13)
+
+
+def imm_u(word: int) -> int:
+    return word & 0xFFFFF000
+
+
+def imm_j(word: int) -> int:
+    value = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) \
+        | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+    return sign_extend(value, 21)

@@ -1,0 +1,221 @@
+"""Functional RV32I instruction-set simulator (the Spike stand-in).
+
+Executes a :class:`repro.isa.assembler.Program` and, for every retired
+instruction, yields an :class:`ExecutedOp` record carrying the operand
+registers, taken-branch information and memory behaviour the gate-level
+timing simulator (:mod:`repro.cpu`) consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from repro.errors import ExecutionError
+from repro.isa.assembler import Program
+from repro.isa.encoding import MASK32, sign_extend, to_s32
+from repro.isa.instructions import Instruction, decode
+from repro.isa.memory import Memory
+from repro.isa.state import CpuState
+
+#: RISC-V Linux-style syscall numbers honoured by ECALL.
+SYSCALL_EXIT = 93
+SYSCALL_WRITE_CHAR = 64
+
+
+class HaltReason(enum.Enum):
+    EXIT_SYSCALL = "exit syscall"
+    EBREAK = "ebreak"
+    INSTRUCTION_LIMIT = "instruction limit"
+
+
+@dataclass(frozen=True)
+class ExecutedOp:
+    """One retired instruction with everything the timing model needs."""
+
+    pc: int
+    instr: Instruction
+    sources: tuple
+    destination: Optional[int]
+    branch_taken: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    #: Effective byte address for loads/stores (None otherwise), used by
+    #: the optional cache model in :mod:`repro.mem`.
+    mem_address: Optional[int] = None
+
+
+class Executor:
+    """Functional executor for an assembled program."""
+
+    def __init__(self, program: Program,
+                 stack_top: int = 0x0080_0000) -> None:
+        self.program = program
+        self.memory = Memory()
+        self.memory.load_image(program.image)
+        self.state = CpuState(pc=program.entry)
+        self.state.write(2, stack_top)  # sp
+        self.instructions_retired = 0
+        self.exit_code: Optional[int] = None
+        self.halt_reason: Optional[HaltReason] = None
+        self.output_chars: List[str] = []
+        self._decode_cache: dict[int, Instruction] = {}
+
+    # -- execution --------------------------------------------------------
+
+    def _fetch_decode(self, pc: int) -> Instruction:
+        cached = self._decode_cache.get(pc)
+        if cached is not None:
+            return cached
+        word = self.memory.read_word(pc)
+        if word == 0:
+            raise ExecutionError(
+                f"fetched all-zero word at {pc:#010x}; fell off the program?")
+        instr = decode(word)
+        self._decode_cache[pc] = instr
+        return instr
+
+    def step(self) -> ExecutedOp:
+        """Execute one instruction and return its retirement record."""
+        if self.halt_reason is not None:
+            raise ExecutionError("executor is halted")
+        state = self.state
+        pc = state.pc
+        instr = self._fetch_decode(pc)
+        m = instr.mnemonic
+        rs1 = state.read(instr.rs1) if instr.rs1 is not None else 0
+        rs2 = state.read(instr.rs2) if instr.rs2 is not None else 0
+        next_pc = (pc + 4) & MASK32
+        branch_taken = False
+        mem_address: Optional[int] = None
+
+        if m == "lui":
+            state.write(instr.rd, instr.imm)
+        elif m == "auipc":
+            state.write(instr.rd, pc + instr.imm)
+        elif m == "jal":
+            state.write(instr.rd, pc + 4)
+            next_pc = (pc + instr.imm) & MASK32
+            branch_taken = True
+        elif m == "jalr":
+            state.write(instr.rd, pc + 4)
+            next_pc = (rs1 + instr.imm) & MASK32 & ~1
+            branch_taken = True
+        elif instr.is_branch:
+            lhs, rhs = to_s32(rs1), to_s32(rs2)
+            taken = {
+                "beq": rs1 == rs2,
+                "bne": rs1 != rs2,
+                "blt": lhs < rhs,
+                "bge": lhs >= rhs,
+                "bltu": rs1 < rs2,
+                "bgeu": rs1 >= rs2,
+            }[m]
+            if taken:
+                next_pc = (pc + instr.imm) & MASK32
+                branch_taken = True
+        elif instr.is_load:
+            address = (rs1 + instr.imm) & MASK32
+            size = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}[m]
+            signed = m in ("lb", "lh")
+            state.write(instr.rd, self.memory.read(address, size, signed))
+            mem_address = address
+        elif instr.is_store:
+            address = (rs1 + instr.imm) & MASK32
+            size = {"sb": 1, "sh": 2, "sw": 4}[m]
+            self.memory.write(address, rs2, size)
+            mem_address = address
+        elif m == "addi":
+            state.write(instr.rd, rs1 + instr.imm)
+        elif m == "slti":
+            state.write(instr.rd, 1 if to_s32(rs1) < instr.imm else 0)
+        elif m == "sltiu":
+            state.write(instr.rd, 1 if rs1 < (instr.imm & MASK32) else 0)
+        elif m == "xori":
+            state.write(instr.rd, rs1 ^ instr.imm)
+        elif m == "ori":
+            state.write(instr.rd, rs1 | instr.imm)
+        elif m == "andi":
+            state.write(instr.rd, rs1 & instr.imm)
+        elif m == "slli":
+            state.write(instr.rd, rs1 << instr.imm)
+        elif m == "srli":
+            state.write(instr.rd, rs1 >> instr.imm)
+        elif m == "srai":
+            state.write(instr.rd, to_s32(rs1) >> instr.imm)
+        elif m == "add":
+            state.write(instr.rd, rs1 + rs2)
+        elif m == "sub":
+            state.write(instr.rd, rs1 - rs2)
+        elif m == "sll":
+            state.write(instr.rd, rs1 << (rs2 & 31))
+        elif m == "slt":
+            state.write(instr.rd, 1 if to_s32(rs1) < to_s32(rs2) else 0)
+        elif m == "sltu":
+            state.write(instr.rd, 1 if rs1 < rs2 else 0)
+        elif m == "xor":
+            state.write(instr.rd, rs1 ^ rs2)
+        elif m == "srl":
+            state.write(instr.rd, rs1 >> (rs2 & 31))
+        elif m == "sra":
+            state.write(instr.rd, to_s32(rs1) >> (rs2 & 31))
+        elif m == "or":
+            state.write(instr.rd, rs1 | rs2)
+        elif m == "and":
+            state.write(instr.rd, rs1 & rs2)
+        elif m == "fence":
+            pass
+        elif m == "ebreak":
+            self.halt_reason = HaltReason.EBREAK
+        elif m == "ecall":
+            self._syscall()
+        else:  # pragma: no cover - decoder guarantees coverage
+            raise ExecutionError(f"unhandled mnemonic {m!r}")
+
+        state.pc = next_pc
+        self.instructions_retired += 1
+        return ExecutedOp(
+            pc=pc,
+            instr=instr,
+            sources=instr.source_registers(),
+            destination=instr.rd if instr.writes_register else None,
+            branch_taken=branch_taken,
+            is_load=instr.is_load,
+            is_store=instr.is_store,
+            mem_address=mem_address,
+        )
+
+    def _syscall(self) -> None:
+        number = self.state.read(17)  # a7
+        arg0 = self.state.read(10)  # a0
+        if number == SYSCALL_EXIT:
+            self.exit_code = to_s32(arg0)
+            self.halt_reason = HaltReason.EXIT_SYSCALL
+        elif number == SYSCALL_WRITE_CHAR:
+            self.output_chars.append(chr(arg0 & 0xFF))
+        else:
+            raise ExecutionError(f"unsupported syscall {number}")
+
+    # -- drivers --------------------------------------------------------
+
+    def run(self, max_instructions: int = 5_000_000) -> HaltReason:
+        """Run until the program exits or the instruction budget is spent."""
+        while self.halt_reason is None:
+            if self.instructions_retired >= max_instructions:
+                self.halt_reason = HaltReason.INSTRUCTION_LIMIT
+                break
+            self.step()
+        return self.halt_reason
+
+    def trace(self, max_instructions: int = 5_000_000) -> Iterator[ExecutedOp]:
+        """Yield one :class:`ExecutedOp` per retired instruction."""
+        while self.halt_reason is None:
+            if self.instructions_retired >= max_instructions:
+                self.halt_reason = HaltReason.INSTRUCTION_LIMIT
+                break
+            yield self.step()
+
+    @property
+    def output(self) -> str:
+        return "".join(self.output_chars)

@@ -1,0 +1,173 @@
+"""Instruction record and the RV32I decoder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import DecodeError
+from repro.isa import encoding as enc
+
+# funct3 tables.
+_BRANCH_NAMES = {0b000: "beq", 0b001: "bne", 0b100: "blt",
+                 0b101: "bge", 0b110: "bltu", 0b111: "bgeu"}
+_LOAD_NAMES = {0b000: "lb", 0b001: "lh", 0b010: "lw",
+               0b100: "lbu", 0b101: "lhu"}
+_STORE_NAMES = {0b000: "sb", 0b001: "sh", 0b010: "sw"}
+_IMM_NAMES = {0b000: "addi", 0b010: "slti", 0b011: "sltiu",
+              0b100: "xori", 0b110: "ori", 0b111: "andi"}
+_REG_NAMES = {(0b000, 0): "add", (0b000, 0x20): "sub",
+              (0b001, 0): "sll", (0b010, 0): "slt", (0b011, 0): "sltu",
+              (0b100, 0): "xor", (0b101, 0): "srl", (0b101, 0x20): "sra",
+              (0b110, 0): "or", (0b111, 0): "and"}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded RV32I instruction.
+
+    ``rd`` is None when the instruction writes no register (stores,
+    branches, fences); ``rs1``/``rs2`` are None when unused.  ``imm`` is
+    sign-extended where the format says so.
+    """
+
+    mnemonic: str
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+    raw: int = 0
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_branch(self) -> bool:
+        return self.mnemonic in _BRANCH_NAMES.values()
+
+    @property
+    def is_jump(self) -> bool:
+        return self.mnemonic in ("jal", "jalr")
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.is_branch or self.is_jump
+
+    @property
+    def is_load(self) -> bool:
+        return self.mnemonic in _LOAD_NAMES.values()
+
+    @property
+    def is_store(self) -> bool:
+        return self.mnemonic in _STORE_NAMES.values()
+
+    @property
+    def is_system(self) -> bool:
+        return self.mnemonic in ("ecall", "ebreak", "fence")
+
+    @property
+    def writes_register(self) -> bool:
+        """True when the instruction architecturally writes a register.
+
+        Writes to x0 are discarded, so they do not count: the register
+        file sees no write port traffic for them.
+        """
+        return self.rd is not None and self.rd != 0
+
+    def source_registers(self) -> Tuple[int, ...]:
+        """Registers the instruction reads from the register file.
+
+        x0 is hardwired zero in the Sodor datapath and never occupies a
+        read port, so it is excluded.
+        """
+        sources = []
+        if self.rs1 is not None and self.rs1 != 0:
+            sources.append(self.rs1)
+        if self.rs2 is not None and self.rs2 != 0:
+            sources.append(self.rs2)
+        return tuple(sources)
+
+    def __str__(self) -> str:
+        parts = [self.mnemonic]
+        if self.rd is not None:
+            parts.append(f"x{self.rd}")
+        if self.rs1 is not None:
+            parts.append(f"x{self.rs1}")
+        if self.rs2 is not None:
+            parts.append(f"x{self.rs2}")
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        return " ".join(parts)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an RV32I instruction.
+
+    Raises
+    ------
+    DecodeError
+        If the word is not a valid RV32I encoding.
+    """
+    word &= enc.MASK32
+    opcode = enc.field_opcode(word)
+    rd = enc.field_rd(word)
+    funct3 = enc.field_funct3(word)
+    rs1 = enc.field_rs1(word)
+    rs2 = enc.field_rs2(word)
+    funct7 = enc.field_funct7(word)
+
+    if opcode == enc.OP_LUI:
+        return Instruction("lui", rd=rd, imm=enc.imm_u(word), raw=word)
+    if opcode == enc.OP_AUIPC:
+        return Instruction("auipc", rd=rd, imm=enc.imm_u(word), raw=word)
+    if opcode == enc.OP_JAL:
+        return Instruction("jal", rd=rd, imm=enc.imm_j(word), raw=word)
+    if opcode == enc.OP_JALR:
+        if funct3 != 0:
+            raise DecodeError(f"bad JALR funct3 {funct3} in {word:#010x}")
+        return Instruction("jalr", rd=rd, rs1=rs1, imm=enc.imm_i(word), raw=word)
+    if opcode == enc.OP_BRANCH:
+        if funct3 not in _BRANCH_NAMES:
+            raise DecodeError(f"bad branch funct3 {funct3} in {word:#010x}")
+        return Instruction(_BRANCH_NAMES[funct3], rs1=rs1, rs2=rs2,
+                           imm=enc.imm_b(word), raw=word)
+    if opcode == enc.OP_LOAD:
+        if funct3 not in _LOAD_NAMES:
+            raise DecodeError(f"bad load funct3 {funct3} in {word:#010x}")
+        return Instruction(_LOAD_NAMES[funct3], rd=rd, rs1=rs1,
+                           imm=enc.imm_i(word), raw=word)
+    if opcode == enc.OP_STORE:
+        if funct3 not in _STORE_NAMES:
+            raise DecodeError(f"bad store funct3 {funct3} in {word:#010x}")
+        return Instruction(_STORE_NAMES[funct3], rs1=rs1, rs2=rs2,
+                           imm=enc.imm_s(word), raw=word)
+    if opcode == enc.OP_IMM:
+        if funct3 == 0b001:
+            if funct7 != 0:
+                raise DecodeError(f"bad SLLI funct7 in {word:#010x}")
+            return Instruction("slli", rd=rd, rs1=rs1, imm=rs2, raw=word)
+        if funct3 == 0b101:
+            if funct7 == 0:
+                return Instruction("srli", rd=rd, rs1=rs1, imm=rs2, raw=word)
+            if funct7 == 0x20:
+                return Instruction("srai", rd=rd, rs1=rs1, imm=rs2, raw=word)
+            raise DecodeError(f"bad shift funct7 in {word:#010x}")
+        if funct3 not in _IMM_NAMES:
+            raise DecodeError(f"bad OP-IMM funct3 {funct3} in {word:#010x}")
+        return Instruction(_IMM_NAMES[funct3], rd=rd, rs1=rs1,
+                           imm=enc.imm_i(word), raw=word)
+    if opcode == enc.OP_REG:
+        key = (funct3, funct7)
+        if key not in _REG_NAMES:
+            raise DecodeError(
+                f"bad OP funct3/funct7 {funct3}/{funct7:#x} in {word:#010x}")
+        return Instruction(_REG_NAMES[key], rd=rd, rs1=rs1, rs2=rs2, raw=word)
+    if opcode == enc.OP_FENCE:
+        return Instruction("fence", raw=word)
+    if opcode == enc.OP_SYSTEM:
+        imm = word >> 20
+        if funct3 == 0 and imm == 0:
+            return Instruction("ecall", raw=word)
+        if funct3 == 0 and imm == 1:
+            return Instruction("ebreak", raw=word)
+        raise DecodeError(f"unsupported SYSTEM encoding {word:#010x}")
+    raise DecodeError(f"unknown opcode {opcode:#04x} in word {word:#010x}")

@@ -1,0 +1,90 @@
+"""Sparse byte-addressable little-endian memory."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import ExecutionError
+from repro.isa.encoding import MASK32, sign_extend
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+_PAGE_MASK = _PAGE_SIZE - 1
+
+
+class Memory:
+    """Paged sparse memory; unwritten bytes read as zero."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+        self.loads = 0
+        self.stores = 0
+
+    def _page_for(self, address: int, create: bool) -> bytearray | None:
+        page_number = address >> _PAGE_BITS
+        page = self._pages.get(page_number)
+        if page is None and create:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    # -- byte primitives -------------------------------------------------
+
+    def read_byte(self, address: int) -> int:
+        address &= MASK32
+        page = self._page_for(address, create=False)
+        if page is None:
+            return 0
+        return page[address & _PAGE_MASK]
+
+    def write_byte(self, address: int, value: int) -> None:
+        address &= MASK32
+        page = self._page_for(address, create=True)
+        page[address & _PAGE_MASK] = value & 0xFF
+
+    # -- sized accessors -----------------------------------------------------
+
+    def read(self, address: int, size: int, signed: bool = False) -> int:
+        if size not in (1, 2, 4):
+            raise ExecutionError(f"bad access size {size}")
+        if address % size:
+            raise ExecutionError(
+                f"misaligned {size}-byte load at {address:#010x}")
+        self.loads += 1
+        value = 0
+        for k in range(size):
+            value |= self.read_byte(address + k) << (8 * k)
+        if signed:
+            value = sign_extend(value, 8 * size)
+        return value
+
+    def write(self, address: int, value: int, size: int) -> None:
+        if size not in (1, 2, 4):
+            raise ExecutionError(f"bad access size {size}")
+        if address % size:
+            raise ExecutionError(
+                f"misaligned {size}-byte store at {address:#010x}")
+        self.stores += 1
+        for k in range(size):
+            self.write_byte(address + k, (value >> (8 * k)) & 0xFF)
+
+    def read_word(self, address: int) -> int:
+        return self.read(address, 4)
+
+    def write_word(self, address: int, value: int) -> None:
+        self.write(address, value, 4)
+
+    # -- bulk helpers -----------------------------------------------------
+
+    def load_image(self, image: Mapping[int, int]) -> None:
+        """Load a byte image (e.g. ``Program.image``) without counting stats."""
+        for address, byte in image.items():
+            page = self._page_for(address & MASK32, create=True)
+            page[address & _PAGE_MASK] = byte & 0xFF
+
+    def read_block(self, address: int, length: int) -> bytes:
+        return bytes(self.read_byte(address + k) for k in range(length))
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._pages) * _PAGE_SIZE

@@ -1,0 +1,34 @@
+"""Architectural CPU state: the register file view and the PC."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ExecutionError
+from repro.isa.encoding import MASK32
+
+
+class CpuState:
+    """32 general-purpose registers (x0 hardwired to zero) plus the PC."""
+
+    def __init__(self, pc: int = 0) -> None:
+        self._regs: List[int] = [0] * 32
+        self.pc = pc & MASK32
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < 32:
+            raise ExecutionError(f"register index {index} out of range")
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < 32:
+            raise ExecutionError(f"register index {index} out of range")
+        if index == 0:
+            return  # x0 ignores writes
+        self._regs[index] = value & MASK32
+
+    def dump(self) -> List[int]:
+        return list(self._regs)
+
+    def __repr__(self) -> str:
+        return f"CpuState(pc={self.pc:#010x})"

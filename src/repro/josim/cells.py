@@ -1,0 +1,141 @@
+"""Prebuilt cell netlists for the analog solver: JTL, DRO and HC-DRO.
+
+The HC-DRO topology follows the paper's Figure 1(b): an input inductor L1
+into junction J1, the storage loop J1-L2-J2, and a readout side where a
+CLK pulse through L3 pushes J2 past critical so one stored fluxon escapes
+to the output via the buffer junction J3.
+
+On parameters: the paper quotes L1~6 pH, L2~20 pH, L3~4 pH, J1~115 uA,
+J2~111 uA, J3~80 uA (``PAPER_HCDRO_PARAMS``).  In a lumped-element RCSJ
+model a bare 20 pH loop cannot hold three fluxons (each fluxon needs
+PHI0/L2 ~ 103 uA of circulating current, exceeding the junction critical
+currents); the fabricated cell relies on distributed/kinetic inductance
+and bias shaping that a SPICE-level netlist reproduces with a larger
+*effective* storage inductance.  ``build_hcdro_cell`` therefore defaults
+to the effective-parameter set (``EFFECTIVE_HCDRO_PARAMS``) that yields
+the robust 0-3 fluxon behaviour the paper reports; the storage loop,
+junction roles and readout mechanism are unchanged.  DESIGN.md records
+this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.josim.circuit import Circuit
+
+#: Parameter names follow Figure 1(b).
+PAPER_HCDRO_PARAMS: Dict[str, float] = {
+    "l1_ph": 6.0,
+    "l2_ph": 20.0,
+    "l3_ph": 4.0,
+    "j1_ua": 115.0,
+    "j2_ua": 111.0,
+    "j3_ua": 80.0,
+}
+
+#: Effective lumped parameters that realise the 3-fluxon storage window.
+EFFECTIVE_HCDRO_PARAMS: Dict[str, float] = {
+    "l1_ph": 6.0,
+    "l2_ph": 80.0,
+    "l3_ph": 4.0,
+    "j1_ua": 115.0,
+    "j2_ua": 111.0,
+    "j3_ua": 80.0,
+}
+
+#: Verified drive point (see tests/josim): writes always deposit exactly
+#: one fluxon up to the 3-fluxon capacity; reads pop exactly one stored
+#: fluxon per CLK pulse and are silent on an empty cell.  The read
+#: amplitude has a ~10% working margin (450-500 uA at 75 uA J2 bias).
+RECOMMENDED_WRITE_PULSE_UA = 600.0
+RECOMMENDED_READ_PULSE_UA = 450.0
+RECOMMENDED_PULSE_WIDTH_PS = 3.0
+RECOMMENDED_J2_BIAS_UA = 75.0
+
+
+@dataclass(frozen=True)
+class CellHandles:
+    """Named handles into a built cell netlist."""
+
+    circuit: Circuit
+    input_node: str
+    clock_node: str
+    output_node: str
+    input_jj: str
+    output_jj: str
+    storage_inductor: str
+
+
+def build_jtl_stage(bias_fraction: float = 0.7,
+                    ic_ua: float = 100.0) -> CellHandles:
+    """A two-junction JTL stage: pulse in at ``in``, pulse out at ``out``."""
+    ckt = Circuit()
+    ckt.inductor("LIN", "in", "n1", inductance_ph=2.0)
+    ckt.jj("J1", "n1", "gnd", critical_current_ua=ic_ua)
+    ckt.bias("IB1", "n1", current_ua=bias_fraction * ic_ua)
+    ckt.inductor("L12", "n1", "n2", inductance_ph=4.0)
+    ckt.jj("J2", "n2", "gnd", critical_current_ua=ic_ua)
+    ckt.bias("IB2", "n2", current_ua=bias_fraction * ic_ua)
+    ckt.inductor("LOUT", "n2", "out", inductance_ph=2.0)
+    ckt.resistor("ROUT", "out", "gnd", resistance_ohm=8.0)
+    return CellHandles(ckt, "in", "", "out", "J1", "J2", "L12")
+
+
+def _build_dro_like(params: Dict[str, float], j1_bias_ua: float,
+                    j2_bias_ua: float) -> CellHandles:
+    ckt = Circuit()
+    # Input branch: D pulse -> L1 -> storage loop entry (J1).
+    ckt.inductor("L1", "d", "n1", inductance_ph=params["l1_ph"])
+    ckt.jj("J1", "n1", "gnd", critical_current_ua=params["j1_ua"])
+    ckt.bias("IB1", "n1", current_ua=j1_bias_ua)
+    # Storage loop J1 - L2 - J2.
+    ckt.inductor("L2", "n1", "n2", inductance_ph=params["l2_ph"])
+    ckt.jj("J2", "n2", "gnd", critical_current_ua=params["j2_ua"])
+    ckt.bias("IB2", "n2", current_ua=j2_bias_ua)
+    # Readout: CLK pulse through L3 pushes J2 over critical; the released
+    # fluxon escapes through J3 to the output.
+    ckt.inductor("L3", "clk", "n2", inductance_ph=params["l3_ph"])
+    ckt.jj("J3", "n2", "out", critical_current_ua=params["j3_ua"])
+    ckt.inductor("LOUT", "out", "gnd", inductance_ph=6.0)
+    ckt.resistor("ROUT", "out", "gnd", resistance_ohm=5.0)
+    return CellHandles(ckt, "d", "clk", "out", "J1", "J2", "L2")
+
+
+def build_dro_cell() -> CellHandles:
+    """Single-fluxon DRO cell (Figure 1a-like loop)."""
+    params = dict(EFFECTIVE_HCDRO_PARAMS)
+    params["l2_ph"] = 24.0  # one-fluxon loop
+    return _build_dro_like(params, j1_bias_ua=0.0, j2_bias_ua=75.0)
+
+
+def build_hcdro_cell(params: Dict[str, float] | None = None,
+                     j1_bias_ua: float = 0.0,
+                     j2_bias_ua: float = 75.0) -> CellHandles:
+    """HC-DRO cell able to hold up to three fluxons (Figure 1b)."""
+    chosen = dict(EFFECTIVE_HCDRO_PARAMS)
+    if params:
+        chosen.update(params)
+    return _build_dro_like(chosen, j1_bias_ua=j1_bias_ua,
+                           j2_bias_ua=j2_bias_ua)
+
+
+def build_splitter_cell(ic_ua: float = 100.0) -> CellHandles:
+    """Analog splitter (Figure 3a): one input pulse, two output pulses.
+
+    A driving junction feeds two output branches; when it switches, the
+    released fluxon reproduces into both branch junctions.
+    """
+    ckt = Circuit()
+    ckt.inductor("LIN", "in", "n1", inductance_ph=2.0)
+    ckt.jj("J1", "n1", "gnd", critical_current_ua=1.4 * ic_ua)
+    ckt.bias("IB1", "n1", current_ua=0.7 * 1.4 * ic_ua)
+    for branch, node in (("A", "outa"), ("B", "outb")):
+        ckt.inductor(f"L{branch}", "n1", f"m{branch}", inductance_ph=4.0)
+        ckt.jj(f"J{branch}", f"m{branch}", "gnd", critical_current_ua=ic_ua)
+        ckt.bias(f"IB{branch}", f"m{branch}", current_ua=0.7 * ic_ua)
+        ckt.inductor(f"LO{branch}", f"m{branch}", node, inductance_ph=2.0)
+        ckt.resistor(f"RO{branch}", node, "gnd", resistance_ohm=6.0)
+    return CellHandles(ckt, "in", "", "outa", "J1", "JA", "LA")
+

@@ -1,0 +1,119 @@
+"""Netlist container for the phase-domain solver."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.errors import NetlistError
+from repro.josim.elements import (
+    BiasCurrent,
+    Capacitor,
+    Element,
+    Inductor,
+    JosephsonJunction,
+    PulseCurrent,
+    Resistor,
+)
+
+SourceElement = Union[BiasCurrent, PulseCurrent]
+
+
+class Circuit:
+    """A named-node netlist of superconducting circuit elements.
+
+    Nodes are referenced by string names; ``"gnd"`` (or ``"0"``) is the
+    ground reference.  Element factory methods mirror a SPICE deck:
+
+    >>> ckt = Circuit()
+    >>> ckt.jj("J1", "n1", "gnd", critical_current_ua=115.0)   # doctest: +ELLIPSIS
+    JosephsonJunction(...)
+    """
+
+    GROUND_NAMES = ("gnd", "0", "GND")
+
+    def __init__(self) -> None:
+        self._node_index: Dict[str, int] = {}
+        self.elements: List[Element] = []
+
+    # -- nodes -----------------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Index for a node name (0 is ground; new names are allocated)."""
+        if name in self.GROUND_NAMES:
+            return 0
+        if name not in self._node_index:
+            self._node_index[name] = len(self._node_index) + 1
+        return self._node_index[name]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._node_index)
+
+    def node_names(self) -> List[str]:
+        return sorted(self._node_index, key=self._node_index.get)
+
+    # -- element factories -------------------------------------------------
+
+    def _add(self, element: Element) -> Element:
+        if any(e.name == element.name for e in self.elements):
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        self.elements.append(element)
+        return element
+
+    def jj(self, name: str, pos: str, neg: str, **kwargs) -> JosephsonJunction:
+        return self._add(JosephsonJunction(
+            name, self.node(pos), self.node(neg), **kwargs))
+
+    def inductor(self, name: str, pos: str, neg: str,
+                 inductance_ph: float) -> Inductor:
+        return self._add(Inductor(name, self.node(pos), self.node(neg),
+                                  inductance_ph=inductance_ph))
+
+    def resistor(self, name: str, pos: str, neg: str,
+                 resistance_ohm: float) -> Resistor:
+        return self._add(Resistor(name, self.node(pos), self.node(neg),
+                                  resistance_ohm=resistance_ohm))
+
+    def capacitor(self, name: str, pos: str, neg: str,
+                  capacitance_ff: float) -> Capacitor:
+        return self._add(Capacitor(name, self.node(pos), self.node(neg),
+                                   capacitance_ff=capacitance_ff))
+
+    def bias(self, name: str, pos: str, neg: str = "gnd",
+             current_ua: float = 0.0, ramp_ps: float = 5.0) -> BiasCurrent:
+        return self._add(BiasCurrent(name, self.node(pos), self.node(neg),
+                                     current_ua=current_ua, ramp_ps=ramp_ps))
+
+    def pulse(self, name: str, pos: str, neg: str = "gnd",
+              start_ps: float = 10.0, amplitude_ua: float = 500.0,
+              width_ps: float = 4.0) -> PulseCurrent:
+        return self._add(PulseCurrent(name, self.node(pos), self.node(neg),
+                                      start_ps=start_ps,
+                                      amplitude_ua=amplitude_ua,
+                                      width_ps=width_ps))
+
+    # -- queries -----------------------------------------------------------
+
+    def element(self, name: str) -> Element:
+        for candidate in self.elements:
+            if candidate.name == name:
+                return candidate
+        raise NetlistError(f"no element named {name!r}")
+
+    def junctions(self) -> List[JosephsonJunction]:
+        return [e for e in self.elements if isinstance(e, JosephsonJunction)]
+
+    def sources(self) -> List[SourceElement]:
+        return [e for e in self.elements
+                if isinstance(e, (BiasCurrent, PulseCurrent))]
+
+    def validate(self) -> None:
+        """Sanity-check the netlist before simulation."""
+        if not self.elements:
+            raise NetlistError("empty circuit")
+        if self.num_nodes == 0:
+            raise NetlistError("circuit has no non-ground nodes")
+        grounded = any(0 in (e.pos, e.neg) for e in self.elements)
+        if not grounded:
+            raise NetlistError("no element references ground; floating circuit")

@@ -1,0 +1,180 @@
+"""Circuit elements for the phase-domain transient solver.
+
+Every element connects two nodes (node 0 is ground) and reports the
+current it draws from its positive node as a function of the node phase
+vector and its time derivatives:
+
+``I_element = f(phi_a - phi_b, d(phi)/dt, d2(phi)/dt2, t)``
+
+with the phase-to-voltage relation ``V = KAPPA * dphi/dt`` where
+``KAPPA = PHI0 / (2*pi)`` in mV*ps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.units import PHI0
+
+#: Phase-to-flux constant, PHI0 / 2pi, in mV*ps.
+KAPPA = PHI0 / (2.0 * math.pi)
+
+
+@dataclass
+class Element:
+    """Base class: a two-terminal element between ``pos`` and ``neg`` nodes."""
+
+    name: str
+    pos: int
+    neg: int
+
+    def __post_init__(self) -> None:
+        if self.pos < 0 or self.neg < 0:
+            raise ValueError(f"{self.name}: node indices must be >= 0")
+        if self.pos == self.neg:
+            raise ValueError(f"{self.name}: element shorts a node to itself")
+
+
+@dataclass
+class JosephsonJunction(Element):
+    """RCSJ junction: ``I = Ic sin(phi) + (KAPPA/R) phi' + KAPPA*C phi''``.
+
+    ``critical_current_ua`` is Ic in uA; ``shunt_ohm`` the damping shunt in
+    Ohm; ``capacitance_ff`` the junction capacitance in fF.  Defaults give
+    an overdamped junction (Stewart-McCumber parameter < 1), the standard
+    RSFQ operating point.
+    """
+
+    critical_current_ua: float = 100.0
+    shunt_ohm: float = 2.0
+    capacitance_ff: float = 200.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.critical_current_ua <= 0:
+            raise ValueError(f"{self.name}: Ic must be positive")
+        if self.shunt_ohm <= 0:
+            raise ValueError(f"{self.name}: shunt resistance must be positive")
+        if self.capacitance_ff < 0:
+            raise ValueError(f"{self.name}: capacitance must be >= 0")
+
+    @property
+    def conductance(self) -> float:
+        """Shunt conductance in uA/mV (1/R with R in mV/uA = kOhm)."""
+        return 1.0 / (self.shunt_ohm * 1e-3)
+
+    @property
+    def capacitance(self) -> float:
+        """Capacitance in uA*ps/mV (numerically equals fF * 1e0 * 1e-3...).
+
+        1 fF = 1e-15 F; in (uA*ps/mV): 1 F = 1 A*s/V = 1e6 uA * 1e12 ps
+        / 1e3 mV = 1e15, so 1 fF = 1 unit exactly.
+        """
+        return self.capacitance_ff
+
+    @property
+    def stewart_mccumber(self) -> float:
+        """Dimensionless damping parameter beta_c."""
+        r_mv_per_ua = self.shunt_ohm * 1e-3
+        return (2.0 * math.pi * self.critical_current_ua
+                * r_mv_per_ua ** 2 * self.capacitance / PHI0)
+
+
+@dataclass
+class Inductor(Element):
+    """Superconducting inductor: ``I = KAPPA * phi / L`` (L in pH).
+
+    In these units L carries an implicit 1e-3 scale: L[pH] * I[uA] =
+    1e-3 mV*ps, folded into :attr:`inv_l`.
+    """
+
+    inductance_ph: float = 10.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inductance_ph <= 0:
+            raise ValueError(f"{self.name}: inductance must be positive")
+
+    @property
+    def inv_l(self) -> float:
+        """KAPPA / L in uA per radian."""
+        return KAPPA / (self.inductance_ph * 1e-3)
+
+
+@dataclass
+class Resistor(Element):
+    """Ohmic resistor (rarely used in SFQ cells outside shunts)."""
+
+    resistance_ohm: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.resistance_ohm <= 0:
+            raise ValueError(f"{self.name}: resistance must be positive")
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / (self.resistance_ohm * 1e-3)
+
+
+@dataclass
+class Capacitor(Element):
+    """Linear capacitor (fF)."""
+
+    capacitance_ff: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.capacitance_ff <= 0:
+            raise ValueError(f"{self.name}: capacitance must be positive")
+
+
+@dataclass
+class BiasCurrent(Element):
+    """DC bias current injected into ``pos`` (returned from ``neg``).
+
+    The bias ramps up linearly over ``ramp_ps`` so switching it on does
+    not itself kick junctions through phase slips - the same settling
+    treatment JoSim decks use.
+    """
+
+    current_ua: float = 0.0
+    ramp_ps: float = 5.0
+
+    def value_at(self, t: float) -> float:
+        if self.ramp_ps <= 0 or t >= self.ramp_ps:
+            return self.current_ua
+        if t <= 0:
+            return 0.0
+        return self.current_ua * t / self.ramp_ps
+
+
+@dataclass
+class PulseCurrent(Element):
+    """SFQ-like input pulse: a raised-cosine current burst.
+
+    The default amplitude/width pair delivers roughly one flux quantum of
+    drive into a typical input inductor, which is how JoSim testbenches
+    launch SFQ pulses into a cell.
+    """
+
+    start_ps: float = 10.0
+    amplitude_ua: float = 500.0
+    width_ps: float = 4.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.width_ps <= 0:
+            raise ValueError(f"{self.name}: pulse width must be positive")
+
+    def value_at(self, t: float) -> float:
+        if not self.start_ps <= t <= self.start_ps + self.width_ps:
+            return 0.0
+        x = (t - self.start_ps) / self.width_ps
+        return self.amplitude_ua * 0.5 * (1.0 - math.cos(2.0 * math.pi * x))
+
+    @property
+    def charge_area(self) -> float:
+        """Integral of the pulse in uA*ps (flux delivered into 1 pH is area*1e-3)."""
+        return self.amplitude_ua * self.width_ps * 0.5

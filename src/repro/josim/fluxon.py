@@ -1,0 +1,56 @@
+"""Fluxon bookkeeping on transient results.
+
+In the phase picture, one fluxon passing through a junction is a 2*pi
+phase slip, so the net fluxon count through a junction is its final phase
+divided by 2*pi (rounded).  A storage loop's occupancy is the difference
+between fluxons that entered through its input junction and left through
+its output junction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.josim.solver import TransientResult
+
+
+def junction_fluxons(result: TransientResult, jj_name: str,
+                     at_ps: Optional[float] = None) -> int:
+    """Net fluxons that have passed through a junction by ``at_ps`` (default: end)."""
+    phase = result.junction_phase(jj_name)
+    if at_ps is None:
+        value = phase[-1]
+    else:
+        index = int(np.searchsorted(result.times_ps, at_ps))
+        index = min(index, len(phase) - 1)
+        value = phase[index]
+    return int(round(value / (2.0 * math.pi)))
+
+
+def loop_fluxons(result: TransientResult, input_jj: str, output_jj: str,
+                 at_ps: Optional[float] = None) -> int:
+    """Fluxons held in a storage loop bounded by two junctions.
+
+    For the DRO/HC-DRO loop ``J1 - L2 - J2`` every fluxon enters by
+    slipping J1 and leaves by slipping J2, so occupancy is
+    ``slips(J1) - slips(J2)``.
+    """
+    return (junction_fluxons(result, input_jj, at_ps)
+            - junction_fluxons(result, output_jj, at_ps))
+
+
+def switching_times_ps(result: TransientResult, jj_name: str) -> list:
+    """Approximate times at which the junction completed each 2*pi slip."""
+    phase = result.junction_phase(jj_name)
+    times = result.times_ps
+    events = []
+    threshold = math.pi  # halfway through the slip
+    next_level = 2.0 * math.pi
+    for t, value in zip(times, phase):
+        while value >= next_level - threshold + math.pi:
+            events.append(float(t))
+            next_level += 2.0 * math.pi
+    return events

@@ -1,0 +1,97 @@
+"""Operating-margin analysis for the HC-DRO cell.
+
+Section II-D claims that "with careful inductor sizing and critical
+current delivery to JJs, a 2-bit HC-DRO can be robustly built".  This
+module quantifies robustness for our RCSJ netlist: it sweeps the read
+pulse amplitude and the J2 bias around the nominal drive point and maps
+where the cell still behaves perfectly (stores exactly ``min(w, 3)``
+fluxons, pops exactly one per clock, empty reads silent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.josim.cells import (
+    RECOMMENDED_J2_BIAS_UA,
+    RECOMMENDED_READ_PULSE_UA,
+    build_hcdro_cell,
+)
+from repro.josim.testbench import HCDROTestbench
+
+
+@dataclass(frozen=True)
+class MarginPoint:
+    """One (read amplitude, bias) operating point and its verdict."""
+
+    read_amplitude_ua: float
+    j2_bias_ua: float
+    correct: bool
+
+
+def point_is_correct(read_amplitude_ua: float, j2_bias_ua: float,
+                     write_counts: Sequence[int] = (0, 2, 3)) -> bool:
+    """Exhaustive pass/fail of one operating point.
+
+    For each write count the cell must store exactly ``min(w, 3)``
+    fluxons, emit exactly that many output pulses over 4 reads, and end
+    empty.
+    """
+    for writes in write_counts:
+        bench = HCDROTestbench(
+            handles=build_hcdro_cell(j2_bias_ua=j2_bias_ua),
+            read_amplitude_ua=read_amplitude_ua)
+        report = bench.run(writes=writes, reads=4)
+        expected = min(writes, 3)
+        if (report.stored_after_writes != expected
+                or report.output_pulses != expected
+                or report.stored_at_end != 0):
+            return False
+    return True
+
+
+def sweep_read_amplitude(scales: Sequence[float] = (0.90, 0.95, 1.0, 1.05,
+                                                    1.10),
+                         j2_bias_ua: float = RECOMMENDED_J2_BIAS_UA
+                         ) -> List[MarginPoint]:
+    """Sweep the read amplitude at fixed bias."""
+    points = []
+    for scale in scales:
+        amplitude = RECOMMENDED_READ_PULSE_UA * scale
+        points.append(MarginPoint(
+            read_amplitude_ua=amplitude,
+            j2_bias_ua=j2_bias_ua,
+            correct=point_is_correct(amplitude, j2_bias_ua),
+        ))
+    return points
+
+
+def working_margin_percent(points: Sequence[MarginPoint]) -> float:
+    """Width of the contiguous working window around nominal, in percent.
+
+    Returns the +/- percentage span over which every tested point works
+    (0 if the nominal point itself fails).
+    """
+    nominal = RECOMMENDED_READ_PULSE_UA
+    working = sorted(p.read_amplitude_ua / nominal
+                     for p in points if p.correct)
+    if not working or 1.0 not in [round(w, 6) for w in working]:
+        if not any(abs(w - 1.0) < 1e-6 for w in working):
+            return 0.0
+    # Expand from nominal outwards while contiguous in the tested grid.
+    scales = sorted(p.read_amplitude_ua / nominal for p in points)
+    verdicts = {round(p.read_amplitude_ua / nominal, 6): p.correct
+                for p in points}
+    low = high = 1.0
+    for scale in sorted((s for s in scales if s <= 1.0), reverse=True):
+        if verdicts[round(scale, 6)]:
+            low = scale
+        else:
+            break
+    for scale in sorted(s for s in scales if s >= 1.0):
+        if verdicts[round(scale, 6)]:
+            high = scale
+        else:
+            break
+    return 100.0 * min(1.0 - low, high - 1.0)

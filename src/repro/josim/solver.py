@@ -1,0 +1,210 @@
+"""Trapezoidal transient solver with a Newton iteration per timestep."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.josim.circuit import Circuit
+from repro.josim.elements import (
+    BiasCurrent,
+    Capacitor,
+    Inductor,
+    JosephsonJunction,
+    KAPPA,
+    PulseCurrent,
+    Resistor,
+)
+
+
+@dataclass
+class TransientResult:
+    """Time series produced by a transient run.
+
+    ``phases`` has shape ``(num_steps, num_nodes + 1)``: column 0 is the
+    ground node (identically zero) so node indices from the circuit can be
+    used directly.
+    """
+
+    circuit: Circuit
+    times_ps: np.ndarray
+    phases: np.ndarray
+    velocities: np.ndarray
+
+    def node_phase(self, name: str) -> np.ndarray:
+        return self.phases[:, self.circuit.node(name)]
+
+    def node_voltage_mv(self, name: str) -> np.ndarray:
+        """Node voltage: V = KAPPA * dphi/dt."""
+        return KAPPA * self.velocities[:, self.circuit.node(name)]
+
+    def junction_phase(self, jj_name: str) -> np.ndarray:
+        """Phase difference across a junction over time."""
+        element = self.circuit.element(jj_name)
+        return self.phases[:, element.pos] - self.phases[:, element.neg]
+
+    def element_delta_phase(self, name: str) -> np.ndarray:
+        element = self.circuit.element(name)
+        return self.phases[:, element.pos] - self.phases[:, element.neg]
+
+    def inductor_current_ua(self, name: str) -> np.ndarray:
+        """Current through an inductor over time (uA)."""
+        element = self.circuit.element(name)
+        if not isinstance(element, Inductor):
+            raise SimulationError(f"{name!r} is not an inductor")
+        return element.inv_l * self.element_delta_phase(name)
+
+
+class TransientSolver:
+    """Phase-domain MNA with trapezoidal integration.
+
+    State variables are the non-ground node phases.  Each step solves the
+    nonlinear KCL system with Newton's method; the Jacobian is dense
+    (cells have a handful of nodes).
+    """
+
+    def __init__(self, circuit: Circuit, timestep_ps: float = 0.05,
+                 newton_tol_ua: float = 1e-6, max_newton_iter: int = 60) -> None:
+        circuit.validate()
+        if timestep_ps <= 0:
+            raise SimulationError("timestep must be positive")
+        self.circuit = circuit
+        self.h = timestep_ps
+        self.tol = newton_tol_ua
+        self.max_iter = max_newton_iter
+        self._n = circuit.num_nodes  # non-ground nodes
+
+    # -- assembly helpers --------------------------------------------------
+
+    def _stamp(self, matrix: np.ndarray, pos: int, neg: int, value: float) -> None:
+        """Stamp a two-terminal conductance-like derivative into the Jacobian."""
+        if pos > 0:
+            matrix[pos - 1, pos - 1] += value
+            if neg > 0:
+                matrix[pos - 1, neg - 1] -= value
+        if neg > 0:
+            matrix[neg - 1, neg - 1] += value
+            if pos > 0:
+                matrix[neg - 1, pos - 1] -= value
+
+    def _residual_and_jacobian(self, phi: np.ndarray, phi_prev: np.ndarray,
+                               v_prev: np.ndarray, a_prev: np.ndarray,
+                               t: float):
+        """KCL residual F (uA) and Jacobian dF/dphi at trial phases ``phi``."""
+        h = self.h
+        # Trapezoidal derivative estimates at the trial point.
+        v = 2.0 / h * (phi - phi_prev) - v_prev
+        a = 4.0 / (h * h) * (phi - phi_prev) - 4.0 / h * v_prev - a_prev
+        dv = 2.0 / h
+        da = 4.0 / (h * h)
+
+        residual = np.zeros(self._n)
+        jacobian = np.zeros((self._n, self._n))
+
+        def delta(vector: np.ndarray, pos: int, neg: int) -> float:
+            left = vector[pos - 1] if pos > 0 else 0.0
+            right = vector[neg - 1] if neg > 0 else 0.0
+            return left - right
+
+        def accumulate(pos: int, neg: int, current: float) -> None:
+            if pos > 0:
+                residual[pos - 1] += current
+            if neg > 0:
+                residual[neg - 1] -= current
+
+        for element in self.circuit.elements:
+            pos, neg = element.pos, element.neg
+            if isinstance(element, JosephsonJunction):
+                dphi = delta(phi, pos, neg)
+                current = (element.critical_current_ua * np.sin(dphi)
+                           + KAPPA * element.conductance * delta(v, pos, neg)
+                           + KAPPA * element.capacitance * delta(a, pos, neg))
+                accumulate(pos, neg, current)
+                slope = (element.critical_current_ua * np.cos(dphi)
+                         + KAPPA * element.conductance * dv
+                         + KAPPA * element.capacitance * da)
+                self._stamp(jacobian, pos, neg, slope)
+            elif isinstance(element, Inductor):
+                current = element.inv_l * delta(phi, pos, neg)
+                accumulate(pos, neg, current)
+                self._stamp(jacobian, pos, neg, element.inv_l)
+            elif isinstance(element, Resistor):
+                current = KAPPA * element.conductance * delta(v, pos, neg)
+                accumulate(pos, neg, current)
+                self._stamp(jacobian, pos, neg, KAPPA * element.conductance * dv)
+            elif isinstance(element, Capacitor):
+                current = KAPPA * element.capacitance_ff * delta(a, pos, neg)
+                accumulate(pos, neg, current)
+                self._stamp(jacobian, pos, neg,
+                            KAPPA * element.capacitance_ff * da)
+            elif isinstance(element, (BiasCurrent, PulseCurrent)):
+                injected = element.value_at(t)
+                # Injected INTO pos: appears as a negative outflow term.
+                if pos > 0:
+                    residual[pos - 1] -= injected
+                if neg > 0:
+                    residual[neg - 1] += injected
+        return residual, jacobian, v, a
+
+    # -- main entry ----------------------------------------------------------
+
+    def run(self, duration_ps: float,
+            record_every: int = 1) -> TransientResult:
+        """Integrate for ``duration_ps`` and return the recorded series."""
+        if duration_ps <= 0:
+            raise SimulationError("duration must be positive")
+        steps = int(round(duration_ps / self.h))
+        phi = np.zeros(self._n)
+        v = np.zeros(self._n)
+        a = np.zeros(self._n)
+
+        times: List[float] = [0.0]
+        phase_rows: List[np.ndarray] = [phi.copy()]
+        velocity_rows: List[np.ndarray] = [v.copy()]
+
+        t = 0.0
+        for step in range(1, steps + 1):
+            t = step * self.h
+            trial = phi.copy()  # previous solution is the predictor
+            converged = False
+            for _ in range(self.max_iter):
+                residual, jacobian, v_trial, a_trial = \
+                    self._residual_and_jacobian(trial, phi, v, a, t)
+                norm = float(np.max(np.abs(residual)))
+                if norm < self.tol:
+                    converged = True
+                    break
+                try:
+                    update = np.linalg.solve(jacobian, residual)
+                except np.linalg.LinAlgError as exc:
+                    raise SimulationError(
+                        f"singular Jacobian at t={t:.3f} ps") from exc
+                # Damped Newton keeps 2pi phase slips stable.
+                max_step = float(np.max(np.abs(update)))
+                if max_step > 1.0:
+                    update *= 1.0 / max_step
+                trial -= update
+            if not converged:
+                raise SimulationError(
+                    f"Newton failed to converge at t={t:.3f} ps "
+                    f"(residual {norm:.3e} uA)")
+            _, _, v_new, a_new = self._residual_and_jacobian(trial, phi, v, a, t)
+            phi, v, a = trial, v_new, a_new
+            if step % record_every == 0:
+                times.append(t)
+                phase_rows.append(phi.copy())
+                velocity_rows.append(v.copy())
+
+        phases = np.column_stack(
+            [np.zeros(len(times)), np.vstack(phase_rows)])
+        velocities = np.column_stack(
+            [np.zeros(len(times)), np.vstack(velocity_rows)])
+        return TransientResult(
+            circuit=self.circuit,
+            times_ps=np.asarray(times),
+            phases=phases,
+            velocities=velocities,
+        )

@@ -1,0 +1,97 @@
+"""Testbench driver for analog cell simulations.
+
+Builds pulse stimulus decks around the prebuilt cell netlists and runs
+the transient solver - the analog analogue of the pulse-level drivers in
+:mod:`repro.rf.netlist`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.josim.cells import (
+    CellHandles,
+    RECOMMENDED_J2_BIAS_UA,
+    RECOMMENDED_PULSE_WIDTH_PS,
+    RECOMMENDED_READ_PULSE_UA,
+    RECOMMENDED_WRITE_PULSE_UA,
+    build_hcdro_cell,
+)
+from repro.josim.fluxon import junction_fluxons, loop_fluxons
+from repro.josim.solver import TransientResult, TransientSolver
+
+
+@dataclass
+class HCDRORunReport:
+    """Outcome of one HC-DRO stimulus run."""
+
+    result: TransientResult
+    writes: int
+    reads: int
+    stored_after_writes: int
+    stored_at_end: int
+    output_pulses: int
+
+    @property
+    def popped(self) -> int:
+        """Fluxons that left the cell during the read phase."""
+        return self.stored_after_writes - self.stored_at_end
+
+
+class HCDROTestbench:
+    """Drive an HC-DRO cell with write/read pulse sequences.
+
+    >>> report = HCDROTestbench().run(writes=2, reads=3)
+    >>> (report.stored_after_writes, report.output_pulses)
+    (2, 2)
+    """
+
+    def __init__(self, handles: Optional[CellHandles] = None,
+                 write_amplitude_ua: float = RECOMMENDED_WRITE_PULSE_UA,
+                 read_amplitude_ua: float = RECOMMENDED_READ_PULSE_UA,
+                 pulse_width_ps: float = RECOMMENDED_PULSE_WIDTH_PS,
+                 pulse_spacing_ps: float = 25.0,
+                 timestep_ps: float = 0.05) -> None:
+        self.handles = handles or build_hcdro_cell(
+            j2_bias_ua=RECOMMENDED_J2_BIAS_UA)
+        self.write_amplitude_ua = write_amplitude_ua
+        self.read_amplitude_ua = read_amplitude_ua
+        self.pulse_width_ps = pulse_width_ps
+        self.pulse_spacing_ps = pulse_spacing_ps
+        self.timestep_ps = timestep_ps
+
+    def run(self, writes: int = 0, reads: int = 0,
+            settle_ps: float = 30.0) -> HCDRORunReport:
+        """Apply ``writes`` D pulses then ``reads`` CLK pulses."""
+        if writes < 0 or reads < 0:
+            raise ValueError("writes and reads must be non-negative")
+        handles = self.handles
+        circuit = handles.circuit
+        t = 20.0
+        for k in range(writes):
+            circuit.pulse(f"TBW{k}", handles.input_node, start_ps=t,
+                          amplitude_ua=self.write_amplitude_ua,
+                          width_ps=self.pulse_width_ps)
+            t += self.pulse_spacing_ps
+        read_start = t + settle_ps
+        for k in range(reads):
+            circuit.pulse(f"TBR{k}", handles.clock_node,
+                          start_ps=read_start + k * self.pulse_spacing_ps,
+                          amplitude_ua=self.read_amplitude_ua,
+                          width_ps=self.pulse_width_ps)
+        end = read_start + reads * self.pulse_spacing_ps + settle_ps
+        solver = TransientSolver(circuit, timestep_ps=self.timestep_ps)
+        result = solver.run(end)
+        stored_mid = loop_fluxons(result, handles.input_jj,
+                                  handles.output_jj, at_ps=read_start - 5.0)
+        stored_end = loop_fluxons(result, handles.input_jj, handles.output_jj)
+        out = junction_fluxons(result, "J3")
+        return HCDRORunReport(
+            result=result,
+            writes=writes,
+            reads=reads,
+            stored_after_writes=stored_mid,
+            stored_at_end=stored_end,
+            output_pulses=out,
+        )

@@ -1,0 +1,14 @@
+"""Cryogenic memory-interface models.
+
+The paper interfaces the SFQ core with an external memory at 77 K: "all
+memory references are satisfied from the 77 K memory" (Section VI-B), a
+flat-latency model the CPU simulator's ``memory_latency`` reproduces.
+This package extends that substrate in the direction the paper's own
+discussion points (cold DRAM and emerging cryo-memories): a small
+direct-mapped buffer in front of the 77 K interface, so memory-locality
+effects on the Figure 14 overheads can be studied.
+"""
+
+from repro.mem.cache import CacheStats, DirectMappedCache, FlatMemory
+
+__all__ = ["CacheStats", "DirectMappedCache", "FlatMemory"]

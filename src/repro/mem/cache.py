@@ -1,0 +1,87 @@
+"""Memory-interface timing models: flat 77 K latency and a cryo buffer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    """Access accounting for a memory-interface model."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class FlatMemory:
+    """The paper's model: every reference costs the 77 K round trip."""
+
+    def __init__(self, latency_cycles: int = 12) -> None:
+        if latency_cycles < 0:
+            raise ConfigError("latency must be non-negative")
+        self.latency_cycles = latency_cycles
+        self.stats = CacheStats()
+
+    def access(self, address: Optional[int], is_store: bool = False) -> int:
+        """Latency (gate cycles) of one reference."""
+        self.stats.accesses += 1
+        return self.latency_cycles
+
+
+class DirectMappedCache:
+    """A direct-mapped write-through buffer in front of the 77 K memory.
+
+    Geometry is (lines x line_size bytes); a hit costs ``hit_cycles``,
+    a miss the full 77 K round trip.  Stores are write-through
+    (write-allocate), so they fill the line like loads do - a simple
+    policy adequate for studying locality sensitivity.
+    """
+
+    def __init__(self, lines: int = 64, line_size: int = 16,
+                 hit_cycles: int = 2, miss_cycles: int = 24) -> None:
+        if lines <= 0 or lines & (lines - 1):
+            raise ConfigError("lines must be a positive power of two")
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigError("line_size must be a positive power of two")
+        if hit_cycles < 0 or miss_cycles < hit_cycles:
+            raise ConfigError("need 0 <= hit_cycles <= miss_cycles")
+        self.lines = lines
+        self.line_size = line_size
+        self.hit_cycles = hit_cycles
+        self.miss_cycles = miss_cycles
+        self._tags: list = [None] * lines
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> tuple:
+        line_number = address // self.line_size
+        return line_number % self.lines, line_number
+
+    def access(self, address: Optional[int], is_store: bool = False) -> int:
+        """Latency (gate cycles) of one reference; fills on miss."""
+        self.stats.accesses += 1
+        if address is None:
+            return self.miss_cycles
+        index, tag = self._locate(address)
+        if self._tags[index] == tag:
+            self.stats.hits += 1
+            return self.hit_cycles
+        self._tags[index] = tag
+        return self.miss_cycles
+
+    def flush(self) -> None:
+        self._tags = [None] * self.lines
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.lines * self.line_size

@@ -1,0 +1,188 @@
+"""NDROC-tree DEMUX (paper Figure 6c): the access-port address decoder.
+
+A 1-to-n DEMUX built from n-1 NDROC routing cells arranged as a complete
+binary tree.  Select bits are written into the NDROC cells (SET pins) via
+splitter trees, then a single enable pulse entering the root CLK pin
+traverses the tree - exiting each cell's true output where the select bit
+was 1 and the complementary output where it was 0 - and emerges on exactly
+the addressed leaf.  After each operation the cells are RESET so the next
+address can be applied (Section III-A).
+
+The select-bit splitter trees are exactly the ones the structural census
+charges; the RESET fan-out tree reuses the same distribution wiring in the
+paper's design and is therefore not charged separately by the census.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NetlistError
+from repro.pulse.engine import Engine
+from repro.pulse.splittree import Node, SplitTree
+from repro.pulse.storage import NDROC
+from repro.rf.geometry import log2_int
+
+
+class NdrocDemux:
+    """A 1-to-``n`` NDROC tree DEMUX with pulse-level semantics."""
+
+    def __init__(self, engine: Engine, name: str, num_outputs: int) -> None:
+        if num_outputs < 2:
+            raise NetlistError(f"{name}: DEMUX needs at least 2 outputs")
+        self.name = name
+        self.num_outputs = num_outputs
+        self.depth = log2_int(num_outputs)
+        self._engine = engine
+
+        # Build the NDROC tree level by level (level 0 = root).
+        self._levels: List[List[NDROC]] = []
+        for level in range(self.depth):
+            row = [engine.add(NDROC(f"{name}.L{level}N{i}"))
+                   for i in range(2 ** level)]
+            self._levels.append(row)
+        for level in range(self.depth - 1):
+            for i, cell in enumerate(self._levels[level]):
+                # true output -> child for address bit 1, complement -> bit 0
+                cell.connect("out0", self._levels[level + 1][2 * i + 1], "clk")
+                cell.connect("out1", self._levels[level + 1][2 * i], "clk")
+
+        # Select-bit distribution trees (bit for level k drives 2**k cells).
+        self._select_trees: List[SplitTree] = []
+        for level in range(self.depth):
+            tree = SplitTree(engine, f"{name}.sel{level}", 2 ** level)
+            for i, cell in enumerate(self._levels[level]):
+                tree.connect_output(i, cell, "set")
+            self._select_trees.append(tree)
+
+        # RESET distribution: one tree per level, funnelled behind a
+        # global reset input.  Per-level taps are what make *pipelined*
+        # operation possible: level k can be re-armed for operation j+1
+        # while the enable pulse of operation j is still traversing the
+        # deeper levels.
+        self._level_reset_trees: List[SplitTree] = []
+        for level in range(self.depth):
+            tree = SplitTree(engine, f"{name}.rst{level}", 2 ** level)
+            for i, cell in enumerate(self._levels[level]):
+                tree.connect_output(i, cell, "reset")
+            self._level_reset_trees.append(tree)
+        self._reset_tree = SplitTree(engine, f"{name}.rst", self.depth)
+        for level, tree in enumerate(self._level_reset_trees):
+            root_comp, root_port = tree.inp
+            comp, port = self._reset_tree.outputs[level]
+            comp.connect(port, root_comp, root_port)
+
+        self.clk: Node = (self._levels[0][0], "clk")
+        self.reset: Node = self._reset_tree.inp
+
+    # -- leaf outputs --------------------------------------------------
+
+    def leaf(self, index: int) -> Node:
+        """Output endpoint for address ``index``.
+
+        Leaf ``2*i`` of the last level cell ``i`` is its complement output
+        (address bit 0) and leaf ``2*i + 1`` its true output (bit 1).
+        """
+        if not 0 <= index < self.num_outputs:
+            raise NetlistError(
+                f"{self.name}: leaf index {index} out of range")
+        cell = self._levels[-1][index // 2]
+        port = "out0" if index % 2 == 1 else "out1"
+        return (cell, port)
+
+    # -- driver helpers --------------------------------------------------
+
+    def apply_select(self, address: int, time_ps: float) -> None:
+        """Inject SET pulses encoding ``address`` (1-bits only).
+
+        Bit ``depth-1-k`` of the address steers tree level ``k`` (the MSB
+        picks the half of the register file, as Figure 6c's SEL[1] does).
+        Cells for 0-bits must already be clear - call :meth:`apply_reset`
+        after the previous operation.
+        """
+        if not 0 <= address < self.num_outputs:
+            raise NetlistError(
+                f"{self.name}: address {address} out of range")
+        for level in range(self.depth):
+            bit = (address >> (self.depth - 1 - level)) & 1
+            if bit:
+                comp, port = self._select_trees[level].inp
+                self._engine.schedule(comp, port, time_ps)
+
+    def fire(self, time_ps: float) -> None:
+        """Inject the enable pulse into the root CLK."""
+        comp, port = self.clk
+        self._engine.schedule(comp, port, time_ps)
+
+    def apply_reset(self, time_ps: float) -> None:
+        """Inject a RESET pulse clearing every NDROC in the tree."""
+        comp, port = self.reset
+        self._engine.schedule(comp, port, time_ps)
+
+    # -- per-level access (pipelined operation) ------------------------
+
+    def _select_tree_delay(self, level: int) -> float:
+        """Splitter-tree delay from a per-level injection to the cells."""
+        from repro.cells import params
+
+        return level * params.DELAY_PS["splitter"]
+
+    def select_arrives_at(self, level: int, bit: int,
+                          arrival_ps: float) -> None:
+        """Make op's select bit for ``level`` arrive at ``arrival_ps``."""
+        if bit:
+            comp, port = self._select_trees[level].inp
+            self._engine.schedule(
+                comp, port, arrival_ps - self._select_tree_delay(level))
+
+    def reset_arrives_at(self, level: int, arrival_ps: float) -> None:
+        """Make a per-level RESET arrive at the level's cells at ``arrival_ps``."""
+        comp, port = self._level_reset_trees[level].inp
+        self._engine.schedule(
+            comp, port, arrival_ps - self._select_tree_delay(level))
+
+    @property
+    def ndroc_count(self) -> int:
+        return self.num_outputs - 1
+
+
+class PipelinedDemuxDriver:
+    """Drive an :class:`NdrocDemux` at the full 53 ps pipelined rate.
+
+    Section III-E: the NDROC propagation is 24 ps against a 53 ps enable
+    separation, "hence the NDROC tree DEMUX can be fully pipelined at a
+    cycle time of 53 ps".  Pipelining requires per-level re-arming: while
+    operation ``j``'s pulse traverses level ``k+1``, level ``k`` is reset
+    and loaded with operation ``j+1``'s select bit.  This driver emits
+    that per-level reset/set/fire pattern for a stream of addresses.
+    """
+
+    def __init__(self, demux: NdrocDemux,
+                 cycle_ps: float | None = None) -> None:
+        from repro.cells import params
+
+        self.demux = demux
+        self.cycle_ps = cycle_ps or params.NDROC_MIN_ENABLE_SEPARATION_PS
+        self._level_latency = params.NDROC_PROPAGATION_PS
+
+    def run_stream(self, addresses: List[int], start_ps: float = 100.0) -> float:
+        """Fire one operation per cycle; returns the last completion time.
+
+        For operation ``j`` and tree level ``k``, the enable pulse hits
+        the level at ``start + j*cycle + k*24``; the level's reset (from
+        op ``j-1``) and new select bit are timed to land in the dead band
+        between consecutive pulses.
+        """
+        demux = self.demux
+        for j, address in enumerate(addresses):
+            fire_time = start_ps + j * self.cycle_ps
+            for level in range(demux.depth):
+                pulse_arrival = fire_time + level * self._level_latency
+                # Re-arm in the window after op j-1's pulse passed.
+                demux.reset_arrives_at(level,
+                                       pulse_arrival - self.cycle_ps + 15.0)
+                bit = (address >> (demux.depth - 1 - level)) & 1
+                demux.select_arrives_at(level, bit, pulse_arrival - 20.0)
+            demux.fire(fire_time)
+        last_fire = start_ps + (len(addresses) - 1) * self.cycle_ps
+        return last_fire + demux.depth * self._level_latency

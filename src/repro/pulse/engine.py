@@ -1,0 +1,183 @@
+"""Discrete-event core of the pulse-level SFQ simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NetlistError, SimulationError
+
+
+class Wire:
+    """A point-to-point pulse connection with a fixed propagation delay.
+
+    SFQ interconnect is either a Josephson transmission line or a passive
+    microstrip line; at this level of abstraction both are a delay.
+    """
+
+    def __init__(self, sink: "Component", sink_port: str, delay_ps: float = 0.0) -> None:
+        if delay_ps < 0:
+            raise NetlistError(f"wire delay must be non-negative, got {delay_ps}")
+        self.sink = sink
+        self.sink_port = sink_port
+        self.delay_ps = delay_ps
+
+    def __repr__(self) -> str:
+        return f"Wire(->{self.sink.name}.{self.sink_port}, {self.delay_ps} ps)"
+
+
+class Component:
+    """Base class of every pulse-level component.
+
+    Subclasses declare ``INPUTS`` and ``OUTPUTS`` (tuples of port names)
+    and implement :meth:`on_pulse`.  Output pulses are emitted with
+    :meth:`emit`; each output pin drives at most one wire - SFQ pulses
+    cannot fan out, so driving two loads requires an explicit splitter
+    (paper Section II-F).
+    """
+
+    INPUTS: Tuple[str, ...] = ()
+    OUTPUTS: Tuple[str, ...] = ()
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.engine: Optional[Engine] = None
+        self._wires: Dict[str, Wire] = {}
+
+    # -- wiring --------------------------------------------------------
+
+    def connect(self, out_port: str, sink: "Component", sink_port: str,
+                delay_ps: float = 0.0) -> None:
+        """Drive ``sink.sink_port`` from this component's ``out_port``."""
+        if out_port not in self.OUTPUTS:
+            raise NetlistError(
+                f"{self.name}: unknown output port {out_port!r} "
+                f"(has {self.OUTPUTS})")
+        if sink_port not in sink.INPUTS:
+            raise NetlistError(
+                f"{sink.name}: unknown input port {sink_port!r} "
+                f"(has {sink.INPUTS})")
+        if out_port in self._wires:
+            raise NetlistError(
+                f"{self.name}.{out_port} already drives "
+                f"{self._wires[out_port]}; SFQ outputs cannot fan out - "
+                "insert a Splitter")
+        self._wires[out_port] = Wire(sink, sink_port, delay_ps)
+
+    def wire_for(self, out_port: str) -> Optional[Wire]:
+        return self._wires.get(out_port)
+
+    # -- simulation ----------------------------------------------------
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        """Handle an incoming pulse; subclasses override."""
+        raise NotImplementedError
+
+    def emit(self, out_port: str, time_ps: float) -> None:
+        """Send a pulse out of ``out_port`` at ``time_ps``.
+
+        Unconnected outputs are legal; the pulse is simply dissipated
+        (a matched termination), mirroring real PTL sinks.
+        """
+        if self.engine is None:
+            raise SimulationError(f"{self.name} is not registered with an engine")
+        wire = self._wires.get(out_port)
+        if wire is None:
+            return
+        self.engine.schedule(wire.sink, wire.sink_port,
+                             time_ps + wire.delay_ps)
+
+    def reset_state(self) -> None:
+        """Return the component to its power-on state (optional override)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Engine:
+    """The global event queue: schedules and delivers pulses in time order."""
+
+    def __init__(self, strict_timing: bool = True) -> None:
+        #: When True, cells raise TimingViolationError on constraint
+        #: violations; when False they dissipate the offending pulse,
+        #: which is what the physical circuit would typically do.
+        self.strict_timing = strict_timing
+        self.now_ps = 0.0
+        self._queue: List[Tuple[float, int, Component, str]] = []
+        self._seq = itertools.count()
+        self._components: Dict[str, Component] = {}
+        self._delivered = 0
+
+    # -- registration ----------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        """Register a component (names must be unique within an engine)."""
+        if component.name in self._components:
+            raise NetlistError(f"duplicate component name {component.name!r}")
+        component.engine = self
+        self._components[component.name] = component
+        return component
+
+    def component(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise NetlistError(f"no component named {name!r}") from None
+
+    @property
+    def num_components(self) -> int:
+        return len(self._components)
+
+    # -- event processing --------------------------------------------------
+
+    def schedule(self, component: Component, port: str, time_ps: float) -> None:
+        """Enqueue a pulse arriving at ``component.port`` at ``time_ps``."""
+        if time_ps < self.now_ps - 1e-9:
+            raise SimulationError(
+                f"cannot schedule a pulse in the past: t={time_ps} < now={self.now_ps}")
+        if port not in component.INPUTS:
+            raise NetlistError(
+                f"{component.name}: unknown input port {port!r}")
+        heapq.heappush(self._queue,
+                       (time_ps, next(self._seq), component, port))
+
+    def inject(self, component: Component, port: str, time_ps: float) -> None:
+        """External stimulus: alias of :meth:`schedule` for test drivers."""
+        self.schedule(component, port, time_ps)
+
+    def run(self, until_ps: float = float("inf"), max_events: int = 10_000_000) -> int:
+        """Deliver pulses in time order until the queue drains or ``until_ps``.
+
+        Returns the number of pulses delivered.  ``max_events`` guards
+        against oscillating netlists.
+        """
+        delivered = 0
+        while self._queue:
+            time_ps, _seq, component, port = self._queue[0]
+            if time_ps > until_ps:
+                break
+            heapq.heappop(self._queue)
+            self.now_ps = time_ps
+            component.on_pulse(port, time_ps)
+            delivered += 1
+            if delivered > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; oscillating netlist?")
+        self._delivered += delivered
+        if not self._queue and until_ps != float("inf"):
+            self.now_ps = until_ps
+        return delivered
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def total_delivered(self) -> int:
+        return self._delivered
+
+    def reset_all_state(self) -> None:
+        """Reset every registered component to its power-on state."""
+        for component in self._components.values():
+            component.reset_state()

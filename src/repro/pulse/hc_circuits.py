@@ -1,0 +1,155 @@
+"""Composite HC circuits of Figure 10: HC-CLK, HC-WRITE and HC-READ.
+
+HC-DRO cells hold 0-3 fluxons, so the rest of the (single-pulse) CPU needs
+serialiser/deserialiser glue:
+
+* :class:`HCClk` duplicates one enable pulse into a 3-pulse train spaced
+  by the HC-DRO setup/hold requirement (10 ps), so a single read or write
+  enable can drain or fill a cell.
+* :class:`HCWrite` serialises a 2-bit datum (pulses on B0/B1) into a 0-3
+  pulse train: B0 contributes one pulse, B1 two.
+* :class:`HCRead` counts the 0-3 pulses coming back from a cell into a
+  2-bit parallel result.
+
+HC-CLK and HC-WRITE are built *structurally* from splitters, mergers and
+sized JTL chains - the same decomposition the census in
+:mod:`repro.cells.params` charges for - so the pulse-level topology and
+the JJ-count roll-up agree.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cells import params
+from repro.errors import NetlistError
+from repro.pulse.counters import PulseCounter
+from repro.pulse.engine import Component, Engine
+from repro.pulse.primitives import JTL, Merger, Splitter
+from repro.pulse.splittree import Node
+
+
+def _jtl_chain(engine: Engine, name: str, count: int,
+               total_delay_ps: float) -> List[JTL]:
+    """A chain of ``count`` JTLs whose delays sum to ``total_delay_ps``."""
+    if count < 1:
+        raise NetlistError(f"{name}: chain needs at least one JTL")
+    per_stage = total_delay_ps / count
+    stages = [engine.add(JTL(f"{name}.j{i}", delay_ps=per_stage))
+              for i in range(count)]
+    for previous, current in zip(stages, stages[1:]):
+        previous.connect("out", current, "in")
+    return stages
+
+
+class HCClk:
+    """1 pulse in, 3 pulses out, spaced ``spacing_ps`` apart (Figure 10b).
+
+    Structure: the input splits; the direct branch is the first pulse, a
+    sized JTL chain plus a second splitter makes the second, and a further
+    chain makes the third; two mergers funnel all three onto one output.
+    """
+
+    def __init__(self, engine: Engine, name: str,
+                 spacing_ps: float = params.HC_PULSE_SPACING_PS) -> None:
+        self.name = name
+        self.spacing_ps = spacing_ps
+        s = params.DELAY_PS["splitter"]
+        m = params.DELAY_PS["merger"]
+        spl1 = engine.add(Splitter(f"{name}.spl1"))
+        spl2 = engine.add(Splitter(f"{name}.spl2"))
+        m1 = engine.add(Merger(f"{name}.m1", dead_time_ps=spacing_ps / 2))
+        m2 = engine.add(Merger(f"{name}.m2", dead_time_ps=spacing_ps / 2))
+        # Chain A delays the 2nd pulse: A + splitter = spacing.
+        chain_a = _jtl_chain(engine, f"{name}.a", 3, spacing_ps - s)
+        # Chain B delays the 3rd pulse further: B - merger = spacing.
+        chain_b = _jtl_chain(engine, f"{name}.b", 3, spacing_ps + m)
+        # pulse 1: spl1 -> m1 -> m2
+        spl1.connect("out0", m1, "in0")
+        # pulse 2: spl1 -> chainA -> spl2 -> m1 -> m2
+        spl1.connect("out1", chain_a[0], "in")
+        chain_a[-1].connect("out", spl2, "in")
+        spl2.connect("out0", m1, "in1")
+        m1.connect("out", m2, "in0")
+        # pulse 3: spl2 -> chainB -> m2
+        spl2.connect("out1", chain_b[0], "in")
+        chain_b[-1].connect("out", m2, "in1")
+        self._m2 = m2
+        self.inp: Node = (spl1, "in")
+        self.out: Node = (m2, "out")
+
+    def connect_output(self, sink: Component, sink_port: str,
+                       delay_ps: float = 0.0) -> None:
+        self._m2.connect("out", sink, sink_port, delay_ps)
+
+
+class HCWrite:
+    """Serialise a 2-bit datum into a 0-3 pulse train (Figure 10a).
+
+    A pulse on B0 (LSB) becomes the first output pulse; a pulse on B1
+    (MSB) becomes the second and third: the emitted pulse count equals
+    the binary value ``2*B1 + B0``.
+    """
+
+    def __init__(self, engine: Engine, name: str,
+                 spacing_ps: float = params.HC_PULSE_SPACING_PS) -> None:
+        self.name = name
+        self.spacing_ps = spacing_ps
+        s = params.DELAY_PS["splitter"]
+        m = params.DELAY_PS["merger"]
+        m1 = engine.add(Merger(f"{name}.m1", dead_time_ps=spacing_ps / 2))
+        m2 = engine.add(Merger(f"{name}.m2", dead_time_ps=spacing_ps / 2))
+        spl = engine.add(Splitter(f"{name}.spl"))
+        # B1's first pulse trails B0's by spacing: C + splitter = spacing.
+        chain_c = _jtl_chain(engine, f"{name}.c", 2, spacing_ps - s)
+        # B1's second pulse trails its first by spacing: D - merger = spacing.
+        chain_d = _jtl_chain(engine, f"{name}.d", 3, spacing_ps + m)
+        # B0 path: m1 -> m2 -> OUT.
+        b0_entry = engine.add(JTL(f"{name}.b0in", delay_ps=0.0))
+        b0_entry.connect("out", m1, "in0")
+        # B1 path: chainC -> spl -> (m1, chainD -> m2).
+        b1_entry = engine.add(JTL(f"{name}.b1in", delay_ps=0.0))
+        b1_entry.connect("out", chain_c[0], "in")
+        chain_c[-1].connect("out", spl, "in")
+        spl.connect("out0", m1, "in1")
+        spl.connect("out1", chain_d[0], "in")
+        m1.connect("out", m2, "in0")
+        chain_d[-1].connect("out", m2, "in1")
+        self._m2 = m2
+        self.b0: Node = (b0_entry, "in")
+        self.b1: Node = (b1_entry, "in")
+        self.out: Node = (m2, "out")
+
+    def connect_output(self, sink: Component, sink_port: str,
+                       delay_ps: float = 0.0) -> None:
+        self._m2.connect("out", sink, sink_port, delay_ps)
+
+
+class HCRead:
+    """Deserialise a 0-3 pulse train into 2 parallel bits (Figure 10c/d).
+
+    Wraps the 2-bit :class:`PulseCounter` (behaviourally two cascaded
+    T-flip-flop counter stages): pulses on ``inp`` increment the count; a
+    pulse on ``read`` emits the count's set bits on ``b0``/``b1`` and the
+    caller then pulses ``reset`` to clear the counter for the next datum.
+    """
+
+    def __init__(self, engine: Engine, name: str) -> None:
+        self.name = name
+        self.counter = engine.add(PulseCounter(f"{name}.cnt", bits=2))
+        self.inp: Node = (self.counter, "in")
+        self.read: Node = (self.counter, "read")
+        self.reset: Node = (self.counter, "reset")
+
+    def connect_b0(self, sink: Component, sink_port: str,
+                   delay_ps: float = 0.0) -> None:
+        self.counter.connect("b0", sink, sink_port, delay_ps)
+
+    def connect_b1(self, sink: Component, sink_port: str,
+                   delay_ps: float = 0.0) -> None:
+        self.counter.connect("b1", sink, sink_port, delay_ps)
+
+    @property
+    def value(self) -> int:
+        """Current counter value (for test observation)."""
+        return self.counter.count

@@ -1,0 +1,92 @@
+"""Clocked SFQ logic gates (paper Section II-A).
+
+Unlike CMOS, SFQ logic cannot distinguish "0" from "pulse not here yet",
+so every logic gate is clocked: input pulses arriving during a clock
+period set internal flux states, and the clock pulse evaluates the
+function, emits the result pulse (for "1") and clears the state.  These
+behavioural gates let synthesised gate networks (:mod:`repro.synth`) run
+pulse-accurately with explicit gate-level clocking.
+"""
+
+from __future__ import annotations
+
+from repro.cells import params
+from repro.errors import NetlistError
+from repro.pulse.engine import Component
+
+
+class ClockedGate(Component):
+    """Base: pulses on ``a``/``b`` arm the gate; ``clk`` evaluates it."""
+
+    INPUTS = ("a", "b", "clk")
+    OUTPUTS = ("out",)
+    ARITY = 2
+
+    def __init__(self, name: str,
+                 delay_ps: float = params.DELAY_PS["dand"]) -> None:
+        super().__init__(name)
+        self.delay_ps = delay_ps
+        self._a = False
+        self._b = False
+        self.evaluations = 0
+
+    def _value(self) -> bool:  # pragma: no cover - subclasses define
+        raise NotImplementedError
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        if port == "a":
+            self._a = True
+        elif port == "b":
+            if self.ARITY < 2:
+                raise NetlistError(f"{self.name}: unary gate has no 'b' pin")
+            self._b = True
+        else:  # clk: evaluate, emit on true, clear
+            self.evaluations += 1
+            if self._value():
+                self.emit("out", time_ps + self.delay_ps)
+            self._a = False
+            self._b = False
+
+    def reset_state(self) -> None:
+        self._a = False
+        self._b = False
+        self.evaluations = 0
+
+
+class ClockedAnd(ClockedGate):
+    """Clocked AND (Figure 5): 12 JJs in the census."""
+
+    def _value(self) -> bool:
+        return self._a and self._b
+
+
+class ClockedOr(ClockedGate):
+    """Clocked OR (confluence + readout)."""
+
+    def _value(self) -> bool:
+        return self._a or self._b
+
+
+class ClockedXor(ClockedGate):
+    """Clocked XOR."""
+
+    def _value(self) -> bool:
+        return self._a != self._b
+
+
+class ClockedNot(ClockedGate):
+    """Clocked NOT/inverter: emits when NO pulse arrived this period."""
+
+    ARITY = 1
+
+    def _value(self) -> bool:
+        return not self._a
+
+
+class ClockedBuffer(ClockedGate):
+    """Clocked DRO buffer: re-emits whatever arrived this period."""
+
+    ARITY = 1
+
+    def _value(self) -> bool:
+        return self._a

@@ -1,0 +1,51 @@
+"""Observation helpers: pulse probes and train decoding."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.pulse.engine import Component
+
+
+class Probe(Component):
+    """Records the arrival time of every pulse it receives.
+
+    A probe is transparent: it forwards the pulse on its output so it can
+    be inserted mid-wire without changing netlist behaviour.
+    """
+
+    INPUTS = ("in",)
+    OUTPUTS = ("out",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.times_ps: List[float] = []
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        self.times_ps.append(time_ps)
+        self.emit("out", time_ps)
+
+    @property
+    def count(self) -> int:
+        return len(self.times_ps)
+
+    def pulses_in_window(self, start_ps: float, end_ps: float) -> List[float]:
+        """Pulse times within ``[start_ps, end_ps)``."""
+        return [t for t in self.times_ps if start_ps <= t < end_ps]
+
+    def clear(self) -> None:
+        self.times_ps.clear()
+
+    def reset_state(self) -> None:
+        self.clear()
+
+
+def train_value(times_ps: Sequence[float]) -> int:
+    """Interpret a pulse train as the 2-bit value it encodes (its length)."""
+    return len(times_ps)
+
+
+def train_spacings(times_ps: Sequence[float]) -> List[float]:
+    """Gaps between consecutive pulses of a train."""
+    ordered = sorted(times_ps)
+    return [b - a for a, b in zip(ordered, ordered[1:])]

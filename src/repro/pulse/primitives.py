@@ -1,0 +1,144 @@
+"""Interconnect and clock-less logic primitives: JTL, PTL, splitter, merger, DAND."""
+
+from __future__ import annotations
+
+from repro.cells import params
+from repro.errors import NetlistError
+from repro.pulse.engine import Component
+from repro.units import wire_delay_ps
+
+
+class JTL(Component):
+    """Josephson transmission line: an active delay element.
+
+    JTLs are the paper's delay knob - Figure 10's HC circuits size JTL
+    chains to realise the 10 ps pulse spacing HC-DRO cells need.
+    """
+
+    INPUTS = ("in",)
+    OUTPUTS = ("out",)
+
+    def __init__(self, name: str, delay_ps: float = params.DELAY_PS["jtl"]) -> None:
+        super().__init__(name)
+        if delay_ps < 0:
+            raise NetlistError(f"{name}: negative JTL delay")
+        self.delay_ps = delay_ps
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        self.emit("out", time_ps + self.delay_ps)
+
+
+class PTL(Component):
+    """Passive transmission line: a delay proportional to wire length."""
+
+    INPUTS = ("in",)
+    OUTPUTS = ("out",)
+
+    def __init__(self, name: str, length_um: float,
+                 ps_per_100um: float = params.PTL_PS_PER_100UM) -> None:
+        super().__init__(name)
+        self.length_um = length_um
+        self.delay_ps = wire_delay_ps(length_um, ps_per_100um)
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        self.emit("out", time_ps + self.delay_ps)
+
+
+class Splitter(Component):
+    """Pulse splitter: reproduces one input pulse on two outputs (Figure 3a)."""
+
+    INPUTS = ("in",)
+    OUTPUTS = ("out0", "out1")
+
+    def __init__(self, name: str,
+                 delay_ps: float = params.DELAY_PS["splitter"]) -> None:
+        super().__init__(name)
+        self.delay_ps = delay_ps
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        out_time = time_ps + self.delay_ps
+        self.emit("out0", out_time)
+        self.emit("out1", out_time)
+
+
+class Merger(Component):
+    """Pulse merger (confluence buffer): two inputs share one output (Figure 3b).
+
+    When two pulses arrive within the dead time, only the earlier one
+    propagates; the later pulse is dissipated through the escape junction.
+    """
+
+    INPUTS = ("in0", "in1")
+    OUTPUTS = ("out",)
+
+    def __init__(self, name: str, delay_ps: float = params.DELAY_PS["merger"],
+                 dead_time_ps: float = 5.0) -> None:
+        super().__init__(name)
+        self.delay_ps = delay_ps
+        self.dead_time_ps = dead_time_ps
+        self._last_pulse_ps = -float("inf")
+        self.dissipated = 0
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        if time_ps - self._last_pulse_ps < self.dead_time_ps:
+            self.dissipated += 1
+            return
+        self._last_pulse_ps = time_ps
+        self.emit("out", time_ps + self.delay_ps)
+
+    def reset_state(self) -> None:
+        self._last_pulse_ps = -float("inf")
+        self.dissipated = 0
+
+
+class DAND(Component):
+    """Clock-less dynamic AND gate (Figure 7).
+
+    Emits a pulse when its two inputs arrive within the hold window; a
+    lone pulse decays without producing an output.  The register file's
+    write ports use DANDs to gate W_DATA with WEN without distributing a
+    clock (Section III-C).
+    """
+
+    INPUTS = ("a", "b")
+    OUTPUTS = ("out",)
+
+    def __init__(self, name: str, hold_window_ps: float = params.DAND_HOLD_WINDOW_PS,
+                 delay_ps: float = params.DELAY_PS["dand"]) -> None:
+        super().__init__(name)
+        if hold_window_ps <= 0:
+            raise NetlistError(f"{name}: hold window must be positive")
+        self.hold_window_ps = hold_window_ps
+        self.delay_ps = delay_ps
+        self._pending: dict[str, float] = {}
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        other = "b" if port == "a" else "a"
+        other_time = self._pending.get(other)
+        if other_time is not None and time_ps - other_time <= self.hold_window_ps:
+            # Coincidence: both inputs within the hold window fire the gate.
+            del self._pending[other]
+            self._pending.pop(port, None)
+            self.emit("out", time_ps + self.delay_ps)
+            return
+        self._pending[port] = time_ps
+
+    def reset_state(self) -> None:
+        self._pending.clear()
+
+
+class Sink(Component):
+    """Matched termination that counts (and optionally records) pulses."""
+
+    INPUTS = ("in",)
+    OUTPUTS = ()
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.count = 0
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        self.count += 1
+
+    def reset_state(self) -> None:
+        self.count = 0

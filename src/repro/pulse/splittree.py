@@ -1,0 +1,111 @@
+"""Splitter and merger tree builders.
+
+Every SFQ fan-out point needs an explicit splitter and every shared pin
+explicit mergers (Section II-F); register-file ports are therefore full
+of binary splitter/merger trees.  These builders construct them from
+primitives and expose simple (component, port) endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import NetlistError
+from repro.pulse.engine import Component, Engine
+from repro.pulse.primitives import JTL, Merger, Splitter
+
+#: A connectable endpoint: a component plus one of its port names.
+Node = Tuple[Component, str]
+
+
+class SplitTree:
+    """A 1-to-``n`` pulse fan-out tree built from binary splitters.
+
+    ``inp`` is the tree's input endpoint; ``outputs`` is a list of ``n``
+    output endpoints.  For ``n == 1`` the tree degenerates to a zero-delay
+    JTL so that callers always get real endpoints.
+    """
+
+    def __init__(self, engine: Engine, name: str, n: int) -> None:
+        if n < 1:
+            raise NetlistError(f"{name}: fan-out must be >= 1")
+        self.name = name
+        self.num_outputs = n
+        self.splitter_count = 0
+        if n == 1:
+            passthrough = engine.add(JTL(f"{name}.pass", delay_ps=0.0))
+            self.inp: Node = (passthrough, "in")
+            self.outputs: List[Node] = [(passthrough, "out")]
+            return
+        root = engine.add(Splitter(f"{name}.s0"))
+        self.splitter_count = 1
+        self.inp = (root, "in")
+        frontier: List[Node] = [(root, "out0"), (root, "out1")]
+        index = 1
+        while len(frontier) < n:
+            comp, port = frontier.pop(0)
+            splitter = engine.add(Splitter(f"{name}.s{index}"))
+            index += 1
+            self.splitter_count += 1
+            comp.connect(port, splitter, "in")
+            frontier.append((splitter, "out0"))
+            frontier.append((splitter, "out1"))
+        self.outputs = frontier[:n]
+        # Any surplus frontier endpoints stay unconnected (dissipated).
+
+    def connect_output(self, i: int, sink: Component, sink_port: str,
+                       delay_ps: float = 0.0) -> None:
+        comp, port = self.outputs[i]
+        comp.connect(port, sink, sink_port, delay_ps)
+
+
+class MergeTree:
+    """An ``n``-to-1 merger tree.
+
+    ``inputs`` is a list of ``n`` input endpoints; ``out`` is the single
+    output endpoint.  For ``n == 1`` a zero-delay JTL stands in.
+    """
+
+    def __init__(self, engine: Engine, name: str, n: int,
+                 dead_time_ps: float = 5.0) -> None:
+        if n < 1:
+            raise NetlistError(f"{name}: merge width must be >= 1")
+        self.name = name
+        self.num_inputs = n
+        self.merger_count = 0
+        if n == 1:
+            passthrough = engine.add(JTL(f"{name}.pass", delay_ps=0.0))
+            self.inputs: List[Node] = [(passthrough, "in")]
+            self.out: Node = (passthrough, "out")
+            return
+        # Construct a balanced binary merger tree over n leaf slots; each
+        # leaf is a zero-delay JTL so callers get a real input endpoint.
+        index = 0
+        leaves: List[Node] = []
+
+        def build(count: int) -> Node:
+            nonlocal index
+            if count == 1:
+                passthrough = engine.add(JTL(f"{self.name}.leaf{len(leaves)}",
+                                             delay_ps=0.0))
+                leaves.append((passthrough, "in"))
+                return (passthrough, "out")
+            left = build((count + 1) // 2)
+            right = build(count // 2)
+            merger = engine.add(Merger(f"{self.name}.m{index}",
+                                       dead_time_ps=dead_time_ps))
+            index += 1
+            self.merger_count += 1
+            lcomp, lport = left
+            rcomp, rport = right
+            lcomp.connect(lport, merger, "in0")
+            rcomp.connect(rport, merger, "in1")
+            return (merger, "out")
+
+        self.out = build(n)
+        self.inputs = leaves
+
+    def connect_input(self, i: int, source: Component, source_port: str,
+                      delay_ps: float = 0.0) -> None:
+        comp, port = self.inputs[i]
+        source.connect(source_port, comp, port, delay_ps)

@@ -1,0 +1,200 @@
+"""Storage cells: DRO, HC-DRO, NDRO and NDROC behavioural models.
+
+Semantics follow paper Section II:
+
+* DRO (Figure 1a): stores at most one fluxon; reading (CLK) is destructive.
+* HC-DRO (Figure 1b): accumulates up to three fluxons (2 bits); each CLK
+  pulse pops one fluxon; consecutive input pulses must respect the 10 ps
+  setup/hold spacing.
+* NDRO (Figure 2): SET stores, RESET clears, CLK reads non-destructively.
+* NDROC: NDRO with complementary outputs - a CLK pulse exits OUT0 when the
+  cell is set and OUT1 when it is clear, which is what makes the 1-to-2
+  DEMUX of Figure 6(b) work.
+"""
+
+from __future__ import annotations
+
+from repro.cells import params
+from repro.errors import TimingViolationError
+from repro.pulse.engine import Component
+
+
+class DRO(Component):
+    """Destructive readout cell: 1-bit storage, read-once."""
+
+    INPUTS = ("d", "clk")
+    OUTPUTS = ("q",)
+
+    def __init__(self, name: str,
+                 clk_to_q_ps: float = params.DELAY_PS["ndro_clk_to_q"]) -> None:
+        super().__init__(name)
+        self.clk_to_q_ps = clk_to_q_ps
+        self.stored = False
+        self.dissipated = 0
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        if port == "d":
+            if self.stored:
+                # The J0 escape junction dissipates the surplus pulse.
+                self.dissipated += 1
+            else:
+                self.stored = True
+        else:  # clk: destructive read
+            if self.stored:
+                self.stored = False
+                self.emit("q", time_ps + self.clk_to_q_ps)
+
+    def reset_state(self) -> None:
+        self.stored = False
+        self.dissipated = 0
+
+
+class HCDRO(Component):
+    """High-capacity DRO: stores up to ``capacity`` fluxons (2 bits when 3).
+
+    Input pulses closer together than the setup/hold spacing violate the
+    storage loop's timing; in strict mode the simulation raises, otherwise
+    the pulse is dissipated (the loop cannot absorb it cleanly).
+    """
+
+    INPUTS = ("d", "clk")
+    OUTPUTS = ("q",)
+
+    def __init__(self, name: str, capacity: int = 3,
+                 min_pulse_spacing_ps: float = params.HC_PULSE_SPACING_PS,
+                 clk_to_q_ps: float = params.DELAY_PS["hcdro_clk_to_q"]) -> None:
+        super().__init__(name)
+        if capacity < 1:
+            raise ValueError(f"{name}: capacity must be >= 1")
+        self.capacity = capacity
+        self.min_pulse_spacing_ps = min_pulse_spacing_ps
+        self.clk_to_q_ps = clk_to_q_ps
+        self.fluxons = 0
+        self.dissipated = 0
+        self._last_d_ps = -float("inf")
+        self._last_clk_ps = -float("inf")
+
+    def _check_spacing(self, port: str, time_ps: float, last_ps: float) -> bool:
+        """True when the pulse respects the loop's minimum spacing."""
+        if time_ps - last_ps + 1e-9 >= self.min_pulse_spacing_ps:
+            return True
+        if self.engine is not None and self.engine.strict_timing:
+            raise TimingViolationError(
+                f"{self.name}: {port} pulses {time_ps - last_ps:.2f} ps apart "
+                f"(< {self.min_pulse_spacing_ps} ps)")
+        self.dissipated += 1
+        return False
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        if port == "d":
+            ok = self._check_spacing("d", time_ps, self._last_d_ps)
+            self._last_d_ps = time_ps
+            if not ok:
+                return
+            if self.fluxons >= self.capacity:
+                self.dissipated += 1
+            else:
+                self.fluxons += 1
+        else:  # clk pops one fluxon per pulse
+            ok = self._check_spacing("clk", time_ps, self._last_clk_ps)
+            self._last_clk_ps = time_ps
+            if not ok:
+                return
+            if self.fluxons > 0:
+                self.fluxons -= 1
+                self.emit("q", time_ps + self.clk_to_q_ps)
+
+    @property
+    def stored_value(self) -> int:
+        """Current 2-bit value encoded as the fluxon count."""
+        return self.fluxons
+
+    def reset_state(self) -> None:
+        self.fluxons = 0
+        self.dissipated = 0
+        self._last_d_ps = -float("inf")
+        self._last_clk_ps = -float("inf")
+
+
+class NDRO(Component):
+    """Non-destructive readout cell: SET / RESET / CLK-read (Figure 2)."""
+
+    INPUTS = ("set", "reset", "clk")
+    OUTPUTS = ("out",)
+
+    def __init__(self, name: str,
+                 clk_to_q_ps: float = params.DELAY_PS["ndro_clk_to_q"]) -> None:
+        super().__init__(name)
+        self.clk_to_q_ps = clk_to_q_ps
+        self.stored = False
+        self.dissipated = 0
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        if port == "set":
+            if self.stored:
+                self.dissipated += 1  # escape through J2
+            else:
+                self.stored = True
+        elif port == "reset":
+            if self.stored:
+                self.stored = False
+            else:
+                self.dissipated += 1  # escape through J5
+        else:  # clk: non-destructive read
+            if self.stored:
+                self.emit("out", time_ps + self.clk_to_q_ps)
+
+    def reset_state(self) -> None:
+        self.stored = False
+        self.dissipated = 0
+
+
+class NDROC(Component):
+    """NDRO with complementary outputs: the routing element of the DEMUX.
+
+    A CLK pulse exits ``out0`` if the cell holds a fluxon (SEL was 1) and
+    ``out1`` otherwise.  Successive CLK pulses must respect the 53 ps
+    enable-separation limit of Section III-E.
+    """
+
+    INPUTS = ("set", "reset", "clk")
+    OUTPUTS = ("out0", "out1")
+
+    def __init__(self, name: str,
+                 propagation_ps: float = params.NDROC_PROPAGATION_PS,
+                 min_clk_separation_ps: float = params.NDROC_MIN_ENABLE_SEPARATION_PS) -> None:
+        super().__init__(name)
+        self.propagation_ps = propagation_ps
+        self.min_clk_separation_ps = min_clk_separation_ps
+        self.stored = False
+        self.dissipated = 0
+        self._last_clk_ps = -float("inf")
+
+    def on_pulse(self, port: str, time_ps: float) -> None:
+        if port == "set":
+            if self.stored:
+                self.dissipated += 1
+            else:
+                self.stored = True
+        elif port == "reset":
+            if self.stored:
+                self.stored = False
+            else:
+                self.dissipated += 1
+        else:  # clk routes to the true or complement output
+            if time_ps - self._last_clk_ps + 1e-9 < self.min_clk_separation_ps:
+                if self.engine is not None and self.engine.strict_timing:
+                    raise TimingViolationError(
+                        f"{self.name}: CLK pulses "
+                        f"{time_ps - self._last_clk_ps:.2f} ps apart "
+                        f"(< {self.min_clk_separation_ps} ps)")
+                self.dissipated += 1
+                return
+            self._last_clk_ps = time_ps
+            out = "out0" if self.stored else "out1"
+            self.emit(out, time_ps + self.propagation_ps)
+
+    def reset_state(self) -> None:
+        self.stored = False
+        self.dissipated = 0
+        self._last_clk_ps = -float("inf")

@@ -1,0 +1,36 @@
+"""Register file designs from the HiPerRF paper.
+
+Three designs are modelled, each as a structural netlist census over the
+:mod:`repro.cells` library plus a critical-path timing model:
+
+* :class:`NdroRegisterFile` - the clock-less NDRO baseline (Section III).
+* :class:`HiPerRF` - HC-DRO storage with a LoopBuffer (Section IV).
+* :class:`DualBankHiPerRF` - the parity-banked variant (Section V).
+
+Each design answers the paper's evaluation questions directly:
+``jj_count()`` (Table I), ``static_power_uw()`` (Table II),
+``readout_delay_ps()`` (Table III) and, through :mod:`repro.rf.wiring`,
+the wire-aware delays of Table IV and the placement study of Figure 15.
+"""
+
+from repro.rf.geometry import RFGeometry
+from repro.rf.census import ComponentCensus
+from repro.rf.base import DesignComparison, RegisterFileDesign, compare_designs
+from repro.rf.ndro_rf import NdroRegisterFile
+from repro.rf.hiperrf import HiPerRF
+from repro.rf.dual_bank import DualBankHiPerRF
+from repro.rf.wiring import WireModel, placed_loopback_report, wire_aware_delays
+
+__all__ = [
+    "ComponentCensus",
+    "DesignComparison",
+    "DualBankHiPerRF",
+    "HiPerRF",
+    "NdroRegisterFile",
+    "RFGeometry",
+    "RegisterFileDesign",
+    "WireModel",
+    "compare_designs",
+    "placed_loopback_report",
+    "wire_aware_delays",
+]

@@ -1,0 +1,253 @@
+"""Alternative register file designs the paper argues against.
+
+Three strawmen quantified here, each backing one of the paper's design
+decisions:
+
+* :class:`TrueTwoPortHiPerRF` - a monolithic 2R/2W HiPerRF.  Section V:
+  "a 32x32 bits HiPerRF with two read ports and two write ports costs
+  nearly triples the JJ counts due to superlinear increase in the
+  merger, splitter, and other peripheral circuitry" - which is why the
+  paper banks instead (dual-banking costs only ~7% more).
+* :func:`combinational_demux_census` - the AND/NOT-based DEMUX of
+  Figure 6(a).  Section III-A: a combinational 1-to-2 DEMUX needs about
+  50 JJs; the NDROC design costs 33 (about 60%).
+* :class:`ShiftRegisterRF` - the Fujiwara-style DRO shift register file
+  (related work [11]): cheap in JJs but with *serial* readout - every
+  access rotates the whole word through the register, so the access
+  latency scales with the word width instead of log(depth).
+"""
+
+from __future__ import annotations
+
+from repro.cells import params
+from repro.rf.base import CriticalPath, PathElement, RegisterFileDesign
+from repro.rf.census import (
+    ComponentCensus,
+    demux_census,
+    demux_depth,
+    fanout_splitters,
+    merger_tree_mergers,
+)
+from repro.rf.geometry import RFGeometry, log2_int
+from repro.rf.hiperrf import HiPerRF
+
+
+class TrueTwoPortHiPerRF(RegisterFileDesign):
+    """A monolithic two-read/two-write-port HiPerRF (the banking strawman).
+
+    Structural additions over the single-port design:
+
+    * both access-port stacks are duplicated outright,
+    * every storage cell's CLK and D pins become shared pins - one merger
+      each per cell - and its Q output must be split toward two output
+      ports - one splitter per cell,
+    * both LoopBuffer columns and both HC-READ stacks exist, and each
+      loopback must be able to re-enter either write port, doubling the
+      write-side merger count per column.
+    """
+
+    name = "two_port_hiperrf"
+    paper_name = "HiPerRF 2R2W (monolithic)"
+
+    def __init__(self, geometry: RFGeometry) -> None:
+        super().__init__(geometry)
+        self._single = HiPerRF(geometry)
+
+    @property
+    def read_ports(self) -> int:
+        return 2
+
+    @property
+    def write_ports(self) -> int:
+        return 2
+
+    def build_census(self) -> ComponentCensus:
+        geo = self.geometry
+        cells = geo.num_registers * geo.hc_cells_per_register
+        census = ComponentCensus()
+        census.add("hcdro", cells)
+        # Two full read ports and two full write ports.
+        census.merge(self._single._read_port_census(), times=2)
+        census.merge(self._single._write_port_census(), times=2)
+        # Two output ports (merger trees, LoopBuffers, HC-READs).
+        census.merge(self._single._output_port_census(), times=2)
+        # Port sharing at every cell: CLK merger, D merger, Q splitter.
+        census.add("merger", 2 * cells)
+        census.add("splitter", cells)
+        # Cross-port loopback: each column's loopback data must reach
+        # both write ports' data trees (merger + splitter per column per
+        # port) and the write enables need cross-arbitration.
+        columns = geo.hc_cells_per_register
+        census.add("merger", 2 * columns)
+        census.add("splitter", 2 * columns)
+        census.add("jtl", 4 * columns)
+        return census
+
+    def readout_path(self) -> CriticalPath:
+        # Same depth as the single-port design plus the shared-pin merger
+        # and the output splitter at every cell.
+        base = self._single.readout_path().elements
+        d = params.DELAY_PS
+        extra = [
+            PathElement("shared CLK-pin merger", d["merger"], gate_count=1),
+            PathElement("shared Q-pin splitter", d["splitter"], gate_count=1),
+        ]
+        return CriticalPath(list(base) + extra)
+
+    def loopback_path(self) -> CriticalPath:
+        base = self._single.loopback_path().elements
+        d = params.DELAY_PS
+        extra = [PathElement("cross-port loopback merger", d["merger"],
+                             gate_count=1)]
+        return CriticalPath(list(base) + extra)
+
+
+def combinational_demux_census(num_outputs: int) -> ComponentCensus:
+    """Census of the Figure 6(a) combinational DEMUX alternative.
+
+    Each 1-to-2 stage needs two clocked AND gates, a NOT for the select
+    complement, and splitters for the input, select and clock fan-outs -
+    about 50 JJs per stage versus 33 for the NDROC stage.
+    """
+    census = ComponentCensus()
+    stages = num_outputs - 1
+    census.add("and", 2 * stages)
+    census.add("not", stages)
+    census.add("splitter", 4 * stages)
+    # Select-bit distribution mirrors the NDROC tree's splitter trees.
+    levels = log2_int(num_outputs)
+    census.add("splitter", sum(2 ** k - 1 for k in range(levels)))
+    return census
+
+
+class ShiftRegisterRF(RegisterFileDesign):
+    """Fujiwara-style DRO shift register file (related work [11]).
+
+    Each register is a ``width``-long DRO shift chain whose tail feeds
+    back to its head; a read rotates the word fully, emitting each bit
+    serially.  Dense (DRO cells plus JTL couplings) but the readout takes
+    ``width`` port cycles instead of one - no random bit-parallel access.
+    """
+
+    name = "shift_register_rf"
+    paper_name = "DRO shift register file [11]"
+
+    def __init__(self, geometry: RFGeometry) -> None:
+        super().__init__(geometry)
+
+    def build_census(self) -> ComponentCensus:
+        geo = self.geometry
+        census = ComponentCensus()
+        bits = geo.num_registers * geo.width_bits
+        census.add("dro", bits)
+        census.add("jtl", bits)  # inter-stage couplings
+        # Rotation path per register: tail-to-head splitter + merger.
+        census.add("splitter", geo.num_registers)
+        census.add("merger", geo.num_registers)
+        # One access port (shift-enable DEMUX) plus per-register shift
+        # clock fan-out across the chain.
+        census.merge(demux_census(geo.num_registers))
+        census.add("splitter",
+                   geo.num_registers * fanout_splitters(geo.width_bits))
+        # Serial output merging across registers.
+        census.add("merger", merger_tree_mergers(geo.num_registers))
+        return census
+
+    def readout_path(self) -> CriticalPath:
+        geo = self.geometry
+        d = params.DELAY_PS
+        demux_levels = demux_depth(geo.num_registers)
+        merge_levels = log2_int(geo.num_registers)
+        elements = [
+            PathElement(f"NDROC DEMUX tree ({demux_levels} levels)",
+                        demux_levels * d["ndroc"], gate_count=demux_levels),
+            PathElement(
+                f"serial rotation ({geo.width_bits} shifts at "
+                f"{params.RF_CYCLE_PS:.0f} ps)",
+                geo.width_bits * params.RF_CYCLE_PS, gate_count=0),
+            PathElement("DRO cell clk-to-q", d["ndro_clk_to_q"], gate_count=1),
+            PathElement(f"output merger tree ({merge_levels} levels)",
+                        merge_levels * d["merger"], gate_count=merge_levels),
+        ]
+        return CriticalPath(elements)
+
+
+class SingleBitLoopbackRF(RegisterFileDesign):
+    """Ablation: plain 1-bit DRO cells with a LoopBuffer (no HC circuits).
+
+    Separates HiPerRF's two ideas: (a) accepting destructive readout and
+    restoring values through a LoopBuffer, and (b) packing two bits per
+    cell.  This design keeps (a) but drops (b) - DRO cells are 4 JJ/bit
+    versus NDRO's 11, and no HC-CLK/HC-WRITE/HC-READ serdes is needed -
+    so the gap between this design and HiPerRF is the dual-bit payoff.
+    """
+
+    name = "single_bit_loopback_rf"
+    paper_name = "DRO + LoopBuffer (1-bit ablation)"
+
+    def __init__(self, geometry: RFGeometry) -> None:
+        super().__init__(geometry)
+
+    def build_census(self) -> ComponentCensus:
+        geo = self.geometry
+        census = ComponentCensus()
+        census.add("dro", geo.num_registers * geo.width_bits)
+        # Read port doubles as reset port (loopback erase), like HiPerRF.
+        census.merge(demux_census(geo.num_registers))
+        census.add("splitter",
+                   geo.num_registers * fanout_splitters(geo.width_bits))
+        # Write port.
+        census.merge(demux_census(geo.num_registers))
+        census.add("splitter",
+                   geo.num_registers * fanout_splitters(geo.width_bits))
+        census.add("splitter",
+                   geo.width_bits * fanout_splitters(geo.num_registers))
+        census.add("dand", geo.num_registers * geo.width_bits)
+        census.add("merger", geo.width_bits)  # loopback joins
+        # Output port: per-bit merger trees into a full-width LoopBuffer.
+        census.add("merger",
+                   geo.width_bits * merger_tree_mergers(geo.num_registers))
+        census.add("ndro", geo.width_bits)      # LoopBuffer
+        census.add("splitter", geo.width_bits)  # loopback/data split
+        census.add("jtl", 4 * geo.width_bits)   # loopback alignment
+        return census
+
+    def readout_path(self) -> CriticalPath:
+        geo = self.geometry
+        d = params.DELAY_PS
+        demux_levels = demux_depth(geo.num_registers)
+        split_levels = log2_int(geo.width_bits)
+        merge_levels = log2_int(geo.num_registers)
+        elements = [
+            PathElement(f"NDROC DEMUX tree ({demux_levels} levels)",
+                        demux_levels * d["ndroc"], gate_count=demux_levels),
+            PathElement(f"enable splitter tree ({split_levels} levels)",
+                        split_levels * d["splitter"], gate_count=split_levels),
+            PathElement("DRO cell clk-to-q", d["ndro_clk_to_q"], gate_count=1),
+            PathElement(f"output merger tree ({merge_levels} levels)",
+                        merge_levels * d["merger"], gate_count=merge_levels),
+            PathElement("LoopBuffer NDRO", d["ndro_clk_to_q"], gate_count=1),
+            PathElement("LoopBuffer output splitter", d["splitter"],
+                        gate_count=1),
+        ]
+        return CriticalPath(elements)
+
+    def loopback_path(self) -> CriticalPath:
+        geo = self.geometry
+        d = params.DELAY_PS
+        fanout_levels = log2_int(geo.num_registers)
+        elements = [
+            PathElement("LoopBuffer NDRO", d["ndro_clk_to_q"], gate_count=1),
+            PathElement("LoopBuffer output splitter", d["splitter"],
+                        gate_count=1),
+            PathElement("JTL alignment padding (4 stages)", 4 * d["jtl"],
+                        gate_count=4),
+            PathElement("write-port merger (loopback join)", d["merger"],
+                        gate_count=1),
+            PathElement(f"data fan-out tree ({fanout_levels} levels)",
+                        fanout_levels * d["splitter"],
+                        gate_count=fanout_levels),
+            PathElement("DAND write gate", d["dand"], gate_count=1),
+            PathElement("DRO setup", params.SETUP_PS, gate_count=0),
+        ]
+        return CriticalPath(elements)

@@ -1,0 +1,124 @@
+"""Component census: structural cell counts for register file netlists.
+
+The paper's Table I/II numbers are roll-ups of per-cell JJ and power
+constants over the full peripheral circuitry ("the data includes the JJ
+counts for splitters, mergers, and any necessary JTLs for the register
+file access").  This module provides the census container plus the
+recurring structural sub-blocks:
+
+* NDROC DEMUX trees (Figure 6c) with their select-bit splitter trees,
+* fan-out splitter trees (every SFQ fan-out point needs a splitter),
+* merger trees (every shared output pin needs mergers).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.cells import composite_cost, get_cell
+from repro.errors import NetlistError
+from repro.rf.geometry import log2_int
+
+
+class ComponentCensus:
+    """A multiset of library cells making up one design (or sub-block)."""
+
+    def __init__(self, counts: Mapping[str, int] | None = None) -> None:
+        self._counts: Counter = Counter()
+        if counts:
+            for name, count in counts.items():
+                self.add(name, count)
+
+    def add(self, cell_name: str, count: int = 1) -> None:
+        """Add ``count`` instances of ``cell_name`` (validated against the library)."""
+        if count < 0:
+            raise NetlistError(f"negative count for {cell_name!r}")
+        get_cell(cell_name)  # validate the name eagerly
+        if count:
+            self._counts[cell_name] += count
+
+    def merge(self, other: "ComponentCensus", times: int = 1) -> None:
+        """Add another census ``times`` times (e.g. one census per bank)."""
+        if times < 0:
+            raise NetlistError("cannot merge a census a negative number of times")
+        for name, count in other._counts.items():
+            self._counts[name] += count * times
+
+    def count(self, cell_name: str) -> int:
+        """Instance count for one cell type (0 if absent)."""
+        return self._counts.get(cell_name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain ``{cell: count}`` dictionary (sorted by cell name)."""
+        return {name: self._counts[name] for name in sorted(self._counts)}
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        return self.as_dict().items()
+
+    @property
+    def total_cells(self) -> int:
+        return sum(self._counts.values())
+
+    def jj_count(self) -> int:
+        """Total Josephson junctions in this census."""
+        jj, _power = composite_cost(self._counts)
+        return jj
+
+    def static_power_uw(self) -> float:
+        """Total static (bias) power in microwatts."""
+        _jj, power = composite_cost(self._counts)
+        return power
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComponentCensus):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={c}" for n, c in self.items())
+        return f"ComponentCensus({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Structural sub-blocks
+# ---------------------------------------------------------------------------
+
+
+def fanout_splitters(fanout: int) -> int:
+    """Splitters needed to drive ``fanout`` loads from one pulse source.
+
+    SFQ pulses cannot fan out; a binary splitter tree with ``fanout - 1``
+    splitters reproduces the pulse for every load (Section II-F).
+    """
+    if fanout < 1:
+        raise NetlistError(f"fanout must be >= 1, got {fanout}")
+    return fanout - 1
+
+
+def merger_tree_mergers(num_inputs: int) -> int:
+    """Mergers needed to funnel ``num_inputs`` pulse sources into one pin."""
+    if num_inputs < 1:
+        raise NetlistError(f"num_inputs must be >= 1, got {num_inputs}")
+    return num_inputs - 1
+
+
+def demux_census(num_outputs: int) -> ComponentCensus:
+    """Census of a 1-to-``num_outputs`` NDROC tree DEMUX (Figure 6c).
+
+    The tree has ``num_outputs - 1`` NDROC elements.  The select bit feeding
+    tree level ``k`` (root is level 0) must drive ``2**k`` NDROC SET pins,
+    which costs ``2**k - 1`` splitters; summed over all levels that is
+    ``(num_outputs - 1) - log2(num_outputs)`` splitters.
+    """
+    levels = log2_int(num_outputs)
+    census = ComponentCensus()
+    census.add("ndroc", num_outputs - 1)
+    select_splitters = sum(2 ** k - 1 for k in range(levels))
+    census.add("splitter", select_splitters)
+    return census
+
+
+def demux_depth(num_outputs: int) -> int:
+    """Pipeline depth (NDROC levels) of a 1-to-``num_outputs`` DEMUX."""
+    return log2_int(num_outputs)

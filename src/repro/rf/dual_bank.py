@@ -1,0 +1,130 @@
+"""Dual-banked HiPerRF (paper Section V).
+
+The register file is split by register-number parity into two half-size
+HiPerRF banks, each with its own read port, write port, LoopBuffer and
+output port (Figure 13).  Banking buys:
+
+* two read + two write ports without the super-linear peripheral growth a
+  true two-port design would need (the paper estimates ~3x JJs),
+* a DEMUX tree one level shallower, cutting 24 ps of NDROC latency off the
+  readout path,
+* one merger and one splitter (about 10 ps) off the loopback path.
+
+Top-level glue: the external write-data bus is split toward both banks,
+and enable/address distribution needs a handful of extra splitters.  The
+banks keep separate output ports, so no top-level output merger sits on
+the readout critical path.
+"""
+
+from __future__ import annotations
+
+from repro.cells import params
+from repro.rf.base import CriticalPath, PathElement, RegisterFileDesign
+from repro.rf.census import ComponentCensus
+from repro.rf.geometry import RFGeometry, log2_int
+from repro.rf.hiperrf import LOOPBACK_JTL_PADDING, HiPerRF
+
+
+class DualBankHiPerRF(RegisterFileDesign):
+    """Two parity-split HiPerRF banks with per-bank ports."""
+
+    name = "dual_bank_hiperrf"
+    paper_name = "Dual-banked HiPerRF"
+
+    def __init__(self, geometry: RFGeometry) -> None:
+        super().__init__(geometry)
+        self._bank = HiPerRF(geometry.halved())
+
+    @property
+    def bank(self) -> HiPerRF:
+        """The per-bank HiPerRF model (half the registers, full width)."""
+        return self._bank
+
+    @property
+    def read_ports(self) -> int:
+        return 2
+
+    @property
+    def write_ports(self) -> int:
+        return 2
+
+    # -- structure ---------------------------------------------------------
+
+    def _glue_census(self) -> ComponentCensus:
+        """Top-level distribution circuitry shared by the two banks."""
+        geo = self.geometry
+        cells = geo.hc_cells_per_register
+        census = ComponentCensus()
+        # External write data must be routable to either bank.
+        census.add("splitter", cells)
+        # Bank outputs are funnelled onto the shared result bus when the
+        # datapath consumes a single operand stream.
+        census.add("merger", cells)
+        # Read/write enable and the bank-select address bit distribution.
+        census.add("splitter", 2 + geo.select_bits)
+        return census
+
+    def build_census(self) -> ComponentCensus:
+        census = ComponentCensus()
+        census.merge(self._bank.census(), times=2)
+        census.merge(self._glue_census())
+        return census
+
+    # -- timing ------------------------------------------------------------
+
+    def readout_path(self) -> CriticalPath:
+        """Per-bank readout path: one DEMUX and one merger level shallower.
+
+        Each bank drives its own output port (Figure 13), so no top-level
+        merger appears on the critical path.
+        """
+        geo = self.geometry
+        bank_geo = self._bank.geometry
+        d = params.DELAY_PS
+        demux_levels = log2_int(bank_geo.num_registers)
+        split_levels = log2_int(geo.hc_cells_per_register) \
+            if geo.hc_cells_per_register > 1 else 0
+        merge_levels = log2_int(bank_geo.num_registers)
+        elements = [
+            PathElement(f"NDROC DEMUX tree ({demux_levels} levels)",
+                        demux_levels * d["ndroc"], gate_count=demux_levels),
+            PathElement("HC-CLK insertion", d["hc_clk_insertion"], gate_count=2),
+            PathElement("3-pulse train tail (2 x 10 ps spacing)",
+                        2 * params.HC_PULSE_SPACING_PS, gate_count=0),
+            PathElement(f"enable splitter tree ({split_levels} levels)",
+                        split_levels * d["splitter"], gate_count=split_levels),
+            PathElement("HC-DRO cell clk-to-q", d["hcdro_clk_to_q"], gate_count=1),
+            PathElement(f"output merger tree ({merge_levels} levels)",
+                        merge_levels * d["merger"], gate_count=merge_levels),
+            PathElement("LoopBuffer NDRO", d["ndro_clk_to_q"], gate_count=1),
+            PathElement("LoopBuffer output splitter", d["splitter"], gate_count=1),
+            PathElement("HC-READ counter settle", d["hc_read_settle"], gate_count=1),
+        ]
+        return CriticalPath(elements)
+
+    def loopback_path(self) -> CriticalPath:
+        """Bank-local loopback: one splitter and one merger fewer (Section V)."""
+        bank_geo = self._bank.geometry
+        d = params.DELAY_PS
+        fanout_levels = log2_int(bank_geo.num_registers)
+        elements = [
+            PathElement("LoopBuffer NDRO", d["ndro_clk_to_q"], gate_count=1),
+            PathElement("LoopBuffer output splitter", d["splitter"], gate_count=1),
+            PathElement(f"JTL alignment padding ({LOOPBACK_JTL_PADDING} stages)",
+                        LOOPBACK_JTL_PADDING * d["jtl"],
+                        gate_count=LOOPBACK_JTL_PADDING),
+            PathElement(f"data fan-out tree ({fanout_levels} levels)",
+                        fanout_levels * d["splitter"], gate_count=fanout_levels),
+            PathElement("DAND write gate", d["dand"], gate_count=1),
+            PathElement("HC-DRO setup", params.SETUP_PS, gate_count=0),
+            PathElement("3-pulse train tail (2 x 10 ps spacing)",
+                        2 * params.HC_PULSE_SPACING_PS, gate_count=0),
+        ]
+        return CriticalPath(elements)
+
+    @staticmethod
+    def bank_of(register: int) -> int:
+        """Bank index for an architectural register (parity split, Section V-B)."""
+        if register < 0:
+            raise ValueError(f"register number must be non-negative, got {register}")
+        return register & 1

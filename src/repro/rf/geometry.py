@@ -1,0 +1,71 @@
+"""Register file geometry: entry count and width."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises :class:`ConfigError` otherwise."""
+    if not _is_power_of_two(value):
+        raise ConfigError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class RFGeometry:
+    """Shape of a register file.
+
+    Attributes
+    ----------
+    num_registers:
+        Number of register entries; must be a power of two >= 2 so the
+        NDROC DEMUX tree is a complete binary tree, matching the paper.
+    width_bits:
+        Bits per register; must be a power of two >= 2 (HC-DRO packs two
+        bits per cell, so the width must be even; the paper evaluates
+        square geometries 4x4, 16x16 and 32x32).
+    """
+
+    num_registers: int
+    width_bits: int
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.num_registers) or self.num_registers < 2:
+            raise ConfigError(
+                f"num_registers must be a power of two >= 2, got {self.num_registers}")
+        if not _is_power_of_two(self.width_bits) or self.width_bits < 2:
+            raise ConfigError(
+                f"width_bits must be a power of two >= 2, got {self.width_bits}")
+
+    @property
+    def select_bits(self) -> int:
+        """Address bits needed to select one register (DEMUX tree depth)."""
+        return log2_int(self.num_registers)
+
+    @property
+    def hc_cells_per_register(self) -> int:
+        """Number of 2-bit HC-DRO cells per register entry."""
+        return self.width_bits // 2
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage capacity in bits."""
+        return self.num_registers * self.width_bits
+
+    def halved(self) -> "RFGeometry":
+        """Geometry of one bank when the file is split into two banks."""
+        if self.num_registers < 4:
+            raise ConfigError(
+                "cannot bank a register file with fewer than 4 entries")
+        return RFGeometry(self.num_registers // 2, self.width_bits)
+
+    def label(self) -> str:
+        """Human-readable ``NxW`` label used in the paper's tables."""
+        return f"{self.num_registers}x{self.width_bits}"

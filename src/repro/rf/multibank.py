@@ -1,0 +1,143 @@
+"""N-way banked HiPerRF: how far does the paper's banking idea scale?
+
+Section V banks HiPerRF two ways to get two port pairs for ~7% more JJs.
+This module generalises the construction to ``banks`` parity classes
+(register number modulo ``banks``), with the same structure per bank and
+the same top-level glue pattern, so the banking trade-off can be swept:
+
+* more banks = shallower DEMUX trees (faster readout), more port pairs,
+  fewer same-bank conflicts,
+* but the fixed per-bank overheads (LoopBuffer, HC circuits, glue)
+  amortise over fewer registers, so the JJ premium grows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cells import params
+from repro.errors import ConfigError
+from repro.rf.base import CriticalPath, PathElement, RegisterFileDesign
+from repro.rf.census import ComponentCensus
+from repro.rf.geometry import RFGeometry, log2_int
+from repro.rf.hiperrf import LOOPBACK_JTL_PADDING, HiPerRF
+
+
+class MultiBankHiPerRF(RegisterFileDesign):
+    """HiPerRF split into ``banks`` modulo-interleaved banks."""
+
+    paper_name = "Multi-banked HiPerRF"
+
+    def __init__(self, geometry: RFGeometry, banks: int = 2) -> None:
+        if banks < 1 or banks & (banks - 1):
+            raise ConfigError(f"banks must be a power of two >= 1, got {banks}")
+        if geometry.num_registers // banks < 2:
+            raise ConfigError(
+                f"{banks} banks over {geometry.num_registers} registers "
+                "leaves banks too small for a DEMUX")
+        super().__init__(geometry)
+        self.banks = banks
+        self.name = f"hiperrf_x{banks}"
+        bank_geometry = RFGeometry(geometry.num_registers // banks,
+                                   geometry.width_bits)
+        self._bank = HiPerRF(bank_geometry)
+
+    @property
+    def bank(self) -> HiPerRF:
+        return self._bank
+
+    @property
+    def read_ports(self) -> int:
+        return self.banks
+
+    @property
+    def write_ports(self) -> int:
+        return self.banks
+
+    def bank_of(self, register: int) -> int:
+        if register < 0:
+            raise ConfigError("register number must be non-negative")
+        return register % self.banks
+
+    # -- structure ---------------------------------------------------------
+
+    def _glue_census(self) -> ComponentCensus:
+        """Top-level distribution: scales with the bank count."""
+        geo = self.geometry
+        cells = geo.hc_cells_per_register
+        census = ComponentCensus()
+        if self.banks == 1:
+            return census
+        # Write data routable to every bank; bank outputs mergeable onto
+        # the shared result bus; enable/address distribution.
+        census.add("splitter", cells * (self.banks - 1))
+        census.add("merger", cells * (self.banks - 1))
+        census.add("splitter", (2 + geo.select_bits) * (self.banks - 1))
+        return census
+
+    def build_census(self) -> ComponentCensus:
+        census = ComponentCensus()
+        census.merge(self._bank.census(), times=self.banks)
+        census.merge(self._glue_census())
+        return census
+
+    # -- timing ------------------------------------------------------------
+
+    def readout_path(self) -> CriticalPath:
+        geo = self.geometry
+        bank_n = self._bank.geometry.num_registers
+        d = params.DELAY_PS
+        demux_levels = log2_int(bank_n)
+        split_levels = log2_int(geo.hc_cells_per_register) \
+            if geo.hc_cells_per_register > 1 else 0
+        merge_levels = log2_int(bank_n)
+        elements = [
+            PathElement(f"NDROC DEMUX tree ({demux_levels} levels)",
+                        demux_levels * d["ndroc"], gate_count=demux_levels),
+            PathElement("HC-CLK insertion", d["hc_clk_insertion"], gate_count=2),
+            PathElement("3-pulse train tail (2 x 10 ps spacing)",
+                        2 * params.HC_PULSE_SPACING_PS, gate_count=0),
+            PathElement(f"enable splitter tree ({split_levels} levels)",
+                        split_levels * d["splitter"], gate_count=split_levels),
+            PathElement("HC-DRO cell clk-to-q", d["hcdro_clk_to_q"], gate_count=1),
+            PathElement(f"output merger tree ({merge_levels} levels)",
+                        merge_levels * d["merger"], gate_count=merge_levels),
+            PathElement("LoopBuffer NDRO", d["ndro_clk_to_q"], gate_count=1),
+            PathElement("LoopBuffer output splitter", d["splitter"], gate_count=1),
+            PathElement("HC-READ counter settle", d["hc_read_settle"], gate_count=1),
+        ]
+        return CriticalPath(elements)
+
+    def loopback_path(self) -> CriticalPath:
+        bank_n = self._bank.geometry.num_registers
+        d = params.DELAY_PS
+        fanout_levels = log2_int(bank_n)
+        elements = [
+            PathElement("LoopBuffer NDRO", d["ndro_clk_to_q"], gate_count=1),
+            PathElement("LoopBuffer output splitter", d["splitter"], gate_count=1),
+            PathElement(f"JTL alignment padding ({LOOPBACK_JTL_PADDING} stages)",
+                        LOOPBACK_JTL_PADDING * d["jtl"],
+                        gate_count=LOOPBACK_JTL_PADDING),
+            PathElement(f"data fan-out tree ({fanout_levels} levels)",
+                        fanout_levels * d["splitter"], gate_count=fanout_levels),
+            PathElement("DAND write gate", d["dand"], gate_count=1),
+            PathElement("HC-DRO setup", params.SETUP_PS, gate_count=0),
+            PathElement("3-pulse train tail (2 x 10 ps spacing)",
+                        2 * params.HC_PULSE_SPACING_PS, gate_count=0),
+        ]
+        return CriticalPath(elements)
+
+    # -- scheduling --------------------------------------------------------
+
+    def same_bank_pair_probability(self) -> float:
+        """P(two random distinct sources collide) = ~1/banks."""
+        return 1.0 / self.banks
+
+    def issue_cycles(self, sources) -> int:
+        """Static issue cost: 2 cycles, plus 2 more per extra same-bank
+        serialisation (mirrors the dual-bank rule of Section V-B)."""
+        unique = list(dict.fromkeys(sources))
+        if len(unique) == 2 and self.bank_of(unique[0]) == \
+                self.bank_of(unique[1]):
+            return 4
+        return 2

@@ -1,0 +1,121 @@
+"""Pipelined pulse-level operation of the NDRO register file (Figure 8).
+
+The netlist drivers in :mod:`repro.rf.netlist` run one port operation per
+generous window; this driver runs the baseline NDRO register file at the
+paper's full rate - one port operation per 53 ps cycle - by re-arming
+each DEMUX tree level-by-level (the technique of
+:class:`repro.pulse.demux.PipelinedDemuxDriver`) and timing RESET / WEN /
+W_DATA / REN pulses exactly as Figure 8 draws them:
+
+* cycle k: RESET(dest) fires; WEN(dest) follows 10 ps later; REN(src1)
+  fires after the write so the same-cycle read sees the new value
+  (internal forwarding, Section III-E);
+* cycle k+1: REN(src2) overlaps the next instruction's RESET/WEN.
+
+This is the reproduction's "hybrid pipeline-gate level simulation": the
+static schedule of :mod:`repro.rf.timing` is executed against the real
+pulse netlist and the architectural results are checked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cells import params
+from repro.errors import ConfigError
+from repro.pulse import NdrocDemux
+from repro.rf.netlist import PulseNdroRF
+from repro.rf.timing import Instr
+
+_CYCLE = params.RF_CYCLE_PS
+_LEVEL = params.NDROC_PROPAGATION_PS
+
+
+def schedule_demux_op(demux: NdrocDemux, address: int, fire_time: float,
+                      cycle_ps: float = _CYCLE) -> None:
+    """Arm one pipelined DEMUX traversal (per-level reset + select + fire).
+
+    Level ``k`` sees the enable pulse at ``fire_time + k * 24 ps``; its
+    reset (clearing the previous operation's select bit) and this
+    operation's select bit land in the dead band one cycle earlier.
+    """
+    for level in range(demux.depth):
+        pulse_arrival = fire_time + level * _LEVEL
+        demux.reset_arrives_at(level, pulse_arrival - cycle_ps + 15.0)
+        bit = (address >> (demux.depth - 1 - level)) & 1
+        demux.select_arrives_at(level, bit, pulse_arrival - 20.0)
+    demux.fire(fire_time)
+
+
+class PipelinedNdroRFDriver:
+    """Drive a :class:`PulseNdroRF` at one port operation per 53 ps."""
+
+    def __init__(self, rf: PulseNdroRF, start_ps: float = 200.0) -> None:
+        self.rf = rf
+        self.start_ps = start_ps
+        self._reads: List[Tuple[int, float]] = []  # (register, window start)
+
+    # -- port primitives -------------------------------------------------
+
+    def _write(self, register: int, value: int, cycle: int) -> None:
+        """RESET at cycle start, WEN +10 ps, data in coincidence."""
+        rf = self.rf
+        t0 = self.start_ps + cycle * _CYCLE
+        schedule_demux_op(rf.reset_demux, register, t0)
+        wen_fire = t0 + params.RESET_TO_WEN_PS
+        schedule_demux_op(rf.write_demux, register, wen_fire)
+        wen_arrival = wen_fire + rf._demux_delay + rf._fanout_delay
+        data_inject = wen_arrival - rf._data_fan_delay
+        for bit in range(rf.geometry.width_bits):
+            if value & (1 << bit):
+                comp, port = rf.data_trees[bit].inp
+                rf.engine.schedule(comp, port, data_inject)
+
+    def _read(self, register: int, cycle: int) -> None:
+        """REN after the same-cycle write settles (internal forwarding)."""
+        rf = self.rf
+        t0 = self.start_ps + cycle * _CYCLE
+        ren_fire = t0 + params.RESET_TO_WEN_PS + 10.0
+        schedule_demux_op(rf.read_demux, register, ren_fire)
+        arrival = (ren_fire + rf._demux_delay + rf._fanout_delay
+                   + params.DELAY_PS["ndro_clk_to_q"])
+        self._reads.append((register, arrival - 5.0))
+
+    # -- instruction stream ------------------------------------------------
+
+    def run_stream(self, instrs: Sequence[Instr],
+                   values: Dict[int, int]) -> List[Tuple[int, int]]:
+        """Execute an instruction stream per the Figure 8 schedule.
+
+        ``values`` maps destination registers to the values their write
+        back carries.  Returns ``(register, value_read)`` per source read
+        in program order, decoded from the output-port probes.
+        """
+        rf = self.rf
+        if rf.geometry.num_registers < 2:
+            raise ConfigError("pipelined driver needs a demux (>= 2 regs)")
+        cycle = 0
+        for instr in instrs:
+            if instr.dest is not None:
+                if instr.dest not in values:
+                    raise ConfigError(
+                        f"no write-back value for r{instr.dest}")
+                self._write(instr.dest, values[instr.dest], cycle)
+            sources = list(dict.fromkeys(instr.srcs))
+            for offset, source in enumerate(sources):
+                self._read(source, cycle + offset)
+            cycle += max(len(sources), 1)
+
+        total = self.start_ps + (cycle + 4) * _CYCLE
+        rf.engine.run(until_ps=total)
+
+        results: List[Tuple[int, int]] = []
+        window = _CYCLE - 5.0
+        for register, window_start in self._reads:
+            value = 0
+            for bit, probe in enumerate(rf.out_probes):
+                if probe.pulses_in_window(window_start,
+                                          window_start + window):
+                    value |= 1 << bit
+            results.append((register, value))
+        return results

@@ -1,0 +1,151 @@
+"""Wire-delay modelling: PTL parasitics (Table IV) and placement (Figure 15).
+
+Two levels of fidelity, matching the paper's Section VI-C:
+
+* :func:`wire_aware_delays` charges each gate-to-gate hop on a critical
+  path the *average* PTL delay extracted from qPalace place-and-route
+  (262 um per hop at 1 ps / 100 um, i.e. 2.62 ps per hop).
+* :func:`placed_loopback_report` reconstructs the Figure 15 claim: after
+  placement, the loopback path is physically short - the longest single
+  wire on it is a few picoseconds, far below the 53 ps decoder cycle -
+  by actually placing the LoopBuffer column next to the write port and
+  measuring Manhattan wire lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cells import params
+from repro.rf.base import RegisterFileDesign
+from repro.units import wire_delay_ps
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Average-hop PTL wire model (Section VI-C)."""
+
+    ps_per_100um: float = params.PTL_PS_PER_100UM
+    avg_wire_length_um: float = params.AVG_WIRE_LENGTH_UM
+
+    @property
+    def avg_hop_delay_ps(self) -> float:
+        return wire_delay_ps(self.avg_wire_length_um, self.ps_per_100um)
+
+
+@dataclass(frozen=True)
+class WireAwareDelays:
+    """Readout/loopback delays with PTL wire parasitics included."""
+
+    design: str
+    geometry: str
+    readout_delay_ps: float
+    readout_wire_ps: float
+    loopback_delay_ps: Optional[float]
+    loopback_wire_ps: Optional[float]
+
+
+def wire_aware_delays(design: RegisterFileDesign,
+                      wire_model: WireModel | None = None) -> WireAwareDelays:
+    """Table IV model: critical-path delays plus average per-hop PTL delay."""
+    model = wire_model or WireModel()
+    hop = model.avg_hop_delay_ps
+    readout = design.readout_path()
+    loopback = design.loopback_path()
+    return WireAwareDelays(
+        design=design.name,
+        geometry=design.geometry.label(),
+        readout_delay_ps=readout.delay_with_wires_ps(hop),
+        readout_wire_ps=readout.wire_delay_ps(hop),
+        loopback_delay_ps=(loopback.delay_with_wires_ps(hop)
+                           if loopback is not None else None),
+        loopback_wire_ps=(loopback.wire_delay_ps(hop)
+                          if loopback is not None else None),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Placement study (Figure 15)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One placed wire on the loopback path."""
+
+    source: str
+    sink: str
+    length_um: float
+    delay_ps: float
+
+
+def _manhattan(ax: float, ay: float, bx: float, by: float) -> float:
+    return abs(ax - bx) + abs(ay - by)
+
+
+def place_loopback_segments(design: RegisterFileDesign,
+                            cell_pitch_um: float = 75.0,
+                            wire_model: WireModel | None = None) -> List[WireSegment]:
+    """Place the loopback-path cells of one column and measure its wires.
+
+    Layout mirrors Figure 15: the storage array is an ``n x c`` grid; the
+    LoopBuffer NDRO of each cell column sits directly below the column; the
+    write-port merger row sits one row further down, and the column's data
+    fan-out root is adjacent to the merger.  All loopback hops therefore
+    span at most a few cell pitches.
+    """
+    loopback = design.loopback_path()
+    if loopback is None:
+        raise ValueError(f"design {design.name!r} has no loopback path")
+    model = wire_model or WireModel()
+    pitch = cell_pitch_um
+    if pitch <= 0:
+        raise ValueError(f"cell pitch must be positive, got {cell_pitch_um}")
+
+    # Placed coordinates (um) for the loopback chain of column 0.
+    # y = 0 is the bottom edge of the storage array; the port block sits
+    # below it.  The longest hop is the data fan-out root re-entering the
+    # array to reach the column's first DAND gate.
+    positions = [
+        ("loopbuffer_ndro", 0.0, -1.0 * pitch),
+        ("loopbuffer_splitter", 1.0 * pitch, -1.0 * pitch),
+        ("jtl_chain_in", 2.0 * pitch, -1.0 * pitch),
+        ("jtl_chain_out", 3.0 * pitch, -2.0 * pitch),
+        ("writeport_merger", 4.0 * pitch, -3.0 * pitch),
+        ("fanout_tree_root", 4.0 * pitch, -2.0 * pitch),
+        ("dand_column_entry", 0.0, 0.0),
+    ]
+    segments: List[WireSegment] = []
+    for (src_name, sx, sy), (dst_name, dx, dy) in zip(positions, positions[1:]):
+        length = _manhattan(sx, sy, dx, dy)
+        segments.append(WireSegment(
+            source=src_name,
+            sink=dst_name,
+            length_um=length,
+            delay_ps=wire_delay_ps(length, model.ps_per_100um),
+        ))
+    return segments
+
+
+def placed_loopback_report(design: RegisterFileDesign,
+                           cell_pitch_um: float = 75.0,
+                           wire_model: WireModel | None = None) -> Dict[str, float]:
+    """Figure 15 summary: the placed loopback path is short.
+
+    Returns the longest single-wire delay on the loopback path, the total
+    loopback wire delay, and the margin versus the 53 ps decoder cycle that
+    dominates the access pipeline.
+    """
+    segments = place_loopback_segments(design, cell_pitch_um, wire_model)
+    longest = max(segments, key=lambda s: s.delay_ps)
+    total_wire = sum(s.delay_ps for s in segments)
+    decoder_latency = params.NDROC_MIN_ENABLE_SEPARATION_PS
+    return {
+        "longest_wire_delay_ps": longest.delay_ps,
+        "longest_wire_length_um": longest.length_um,
+        "total_loopback_wire_ps": total_wire,
+        "decoder_latency_ps": decoder_latency,
+        "margin_ps": decoder_latency - longest.delay_ps,
+        "num_segments": float(len(segments)),
+    }

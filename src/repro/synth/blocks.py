@@ -1,0 +1,312 @@
+"""Datapath block generators: the Sodor execute stage's building blocks.
+
+Each generator returns a :class:`GateNetwork`; :func:`repro.synth.pipeline.
+synthesize` then measures its SFQ pipeline depth and JJ budget.  The
+composition mirrors the RV32I execute stage: operand-select muxes, a
+Kogge-Stone adder/subtractor, a logic unit, a barrel shifter, a signed/
+unsigned comparator, and the result mux - whose balanced depth is the
+paper's "execution stage ... 28 stages deep".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.rf.geometry import log2_int
+from repro.synth.netlist import GateNetwork
+
+
+def _check_width(width: int) -> None:
+    if width < 2 or width & (width - 1):
+        raise ConfigError(f"width must be a power of two >= 2, got {width}")
+
+
+def build_kogge_stone_adder(width: int = 32,
+                            with_subtract: bool = False) -> GateNetwork:
+    """Sparse-tree (Kogge-Stone) adder, optionally with a subtract mode.
+
+    The paper cites sparse-tree RSFQ ALUs (Dorojevets et al.) as the
+    state of the art; parallel-prefix addition keeps the depth at
+    ``2*log2(w)`` prefix levels instead of a ripple carry's ``w``.
+    """
+    _check_width(width)
+    network = GateNetwork(f"ks_adder{width}{'_sub' if with_subtract else ''}")
+    a = network.add_inputs(width, "a")
+    b_raw = network.add_inputs(width, "b")
+    if with_subtract:
+        sub = network.add_input("sub")
+        # b xor sub implements conditional inversion; carry-in = sub.
+        b = [network.add_xor(bit, sub, f"binv{i}")
+             for i, bit in enumerate(b_raw)]
+        carry_in: Optional[int] = sub
+    else:
+        b = b_raw
+        carry_in = None
+
+    # Level 0: propagate/generate per bit.
+    propagate = [network.add_xor(a[i], b[i], f"p{i}") for i in range(width)]
+    generate = [network.add_and(a[i], b[i], f"g{i}") for i in range(width)]
+    if carry_in is not None:
+        # Fold the carry-in into bit 0's generate: g0' = g0 | (p0 & cin).
+        g0_extra = network.add_and(propagate[0], carry_in, "g0cin")
+        generate[0] = network.add_or(generate[0], g0_extra, "g0p")
+
+    # Prefix levels: span doubles each level.
+    span = 1
+    prop = list(propagate)
+    gen = list(generate)
+    while span < width:
+        new_prop = list(prop)
+        new_gen = list(gen)
+        for i in range(span, width):
+            g_and = network.add_and(prop[i], gen[i - span], f"s{span}ga{i}")
+            new_gen[i] = network.add_or(gen[i], g_and, f"s{span}go{i}")
+            new_prop[i] = network.add_and(prop[i], prop[i - span],
+                                          f"s{span}pp{i}")
+        prop, gen = new_prop, new_gen
+        span *= 2
+
+    # Sum bits: s_i = p_i xor carry_{i-1}; carry_{i-1} is gen[i-1].
+    sums = [propagate[0] if carry_in is None
+            else network.add_xor(propagate[0], carry_in, "s0")]
+    for i in range(1, width):
+        sums.append(network.add_xor(propagate[i], gen[i - 1], f"s{i}"))
+    for i, bit in enumerate(sums):
+        network.add_output(bit, f"sum{i}")
+    network.add_output(gen[width - 1], "carry_out")
+    return network
+
+
+def build_logic_unit(width: int = 32) -> GateNetwork:
+    """Per-bit AND/OR/XOR with a 2-bit operation select."""
+    _check_width(width)
+    network = GateNetwork(f"logic{width}")
+    a = network.add_inputs(width, "a")
+    b = network.add_inputs(width, "b")
+    sel0 = network.add_input("sel0")
+    sel1 = network.add_input("sel1")
+    for i in range(width):
+        and_bit = network.add_and(a[i], b[i], f"and{i}")
+        or_bit = network.add_or(a[i], b[i], f"or{i}")
+        xor_bit = network.add_xor(a[i], b[i], f"xor{i}")
+        low = network.add_mux2(sel0, and_bit, or_bit, f"m0_{i}")
+        out = network.add_mux2(sel1, low, xor_bit, f"m1_{i}")
+        network.add_output(out, f"r{i}")
+    return network
+
+
+def build_shifter(width: int = 32) -> GateNetwork:
+    """Logarithmic barrel shifter (right shift; mirrors cover left)."""
+    _check_width(width)
+    network = GateNetwork(f"shifter{width}")
+    data = network.add_inputs(width, "d")
+    stages = log2_int(width)
+    amount = network.add_inputs(stages, "sh")
+    zero = network.add_input("zero")  # fill bit (0 or sign)
+    current = list(data)
+    for stage in range(stages):
+        shift = 1 << stage
+        new = []
+        for i in range(width):
+            shifted = current[i + shift] if i + shift < width else zero
+            new.append(network.add_mux2(amount[stage], current[i], shifted,
+                                        f"st{stage}b{i}"))
+        current = new
+    for i, bit in enumerate(current):
+        network.add_output(bit, f"r{i}")
+    return network
+
+
+def build_comparator(width: int = 32) -> GateNetwork:
+    """Signed/unsigned less-than via a subtract and sign logic."""
+    _check_width(width)
+    network = GateNetwork(f"cmp{width}")
+    a = network.add_inputs(width, "a")
+    b = network.add_inputs(width, "b")
+    unsigned = network.add_input("unsigned")
+    # a - b: invert b, carry-in 1 folded into bit0 generate.
+    b_inv = [network.add_not(bit, f"binv{i}") for i, bit in enumerate(b)]
+    propagate = [network.add_xor(a[i], b_inv[i], f"p{i}")
+                 for i in range(width)]
+    generate = [network.add_and(a[i], b_inv[i], f"g{i}")
+                for i in range(width)]
+    generate[0] = network.add_or(generate[0], propagate[0], "g0cin")
+    span = 1
+    prop = list(propagate)
+    gen = list(generate)
+    while span < width:
+        new_prop = list(prop)
+        new_gen = list(gen)
+        for i in range(span, width):
+            g_and = network.add_and(prop[i], gen[i - span], f"s{span}ga{i}")
+            new_gen[i] = network.add_or(gen[i], g_and, f"s{span}go{i}")
+            new_prop[i] = network.add_and(prop[i], prop[i - span],
+                                          f"s{span}pp{i}")
+        prop, gen = new_prop, new_gen
+        span *= 2
+    carry_out = gen[width - 1]
+    sign_a = a[width - 1]
+    sign_b = b[width - 1]
+    # unsigned: lt = not carry_out; signed: lt = (sign_a ^ sign_b) ?
+    # sign_a : not carry_out.
+    no_borrow = network.add_not(carry_out, "nb")
+    signs_differ = network.add_xor(sign_a, sign_b, "sd")
+    signed_lt = network.add_mux2(signs_differ, no_borrow, sign_a, "slt")
+    result = network.add_mux2(unsigned, signed_lt, no_borrow, "sel")
+    network.add_output(result, "lt")
+    return network
+
+
+def _merge_networks(target: GateNetwork, source: GateNetwork,
+                    input_map: dict) -> List[int]:
+    """Inline ``source`` into ``target``, mapping its primary inputs.
+
+    ``input_map`` maps source input gate ids to target gate ids.  Returns
+    the target ids corresponding to the source's primary outputs.
+    """
+    from repro.synth.netlist import GateKind
+
+    mapping = dict(input_map)
+    outputs = []
+    for gate in source.gates:
+        if gate.kind is GateKind.INPUT:
+            if gate.gate_id not in mapping:
+                raise ConfigError(
+                    f"unmapped input {gate.name!r} while inlining "
+                    f"{source.name} into {target.name}")
+            continue
+        if gate.kind is GateKind.OUTPUT:
+            outputs.append(mapping[gate.inputs[0]])
+            continue
+        new_inputs = tuple(mapping[s] for s in gate.inputs)
+        mapping[gate.gate_id] = target._add(gate.kind, new_inputs, gate.name)
+    return outputs
+
+
+def build_alu(width: int = 32) -> GateNetwork:
+    """The composed execute-stage datapath.
+
+    Operand-select muxes (bypass/immediate), adder-subtractor, logic
+    unit, barrel shifter and comparator in parallel, followed by the
+    two-level result mux - the execute block whose gate-level depth the
+    paper reports as 28 stages.
+    """
+    _check_width(width)
+    network = GateNetwork(f"alu{width}")
+    rs1 = network.add_inputs(width, "rs1")
+    rs2 = network.add_inputs(width, "rs2")
+    imm = network.add_inputs(width, "imm")
+    use_imm = network.add_input("use_imm")
+    sub_mode = network.add_input("sub")
+    logic_sel0 = network.add_input("lsel0")
+    logic_sel1 = network.add_input("lsel1")
+    shift_fill = network.add_input("sfill")
+    cmp_unsigned = network.add_input("cmpu")
+    result_sel0 = network.add_input("rsel0")
+    result_sel1 = network.add_input("rsel1")
+
+    # Operand B select: rs2 or immediate.
+    op_b = [network.add_mux2(use_imm, rs2[i], imm[i], f"opb{i}")
+            for i in range(width)]
+
+    adder = build_kogge_stone_adder(width, with_subtract=True)
+    adder_inputs = {}
+    for i in range(width):
+        adder_inputs[adder.primary_inputs[i]] = rs1[i]
+        adder_inputs[adder.primary_inputs[width + i]] = op_b[i]
+    adder_inputs[adder.primary_inputs[2 * width]] = sub_mode
+    adder_out = _merge_networks(network, adder, adder_inputs)[:width]
+
+    logic = build_logic_unit(width)
+    logic_inputs = {}
+    for i in range(width):
+        logic_inputs[logic.primary_inputs[i]] = rs1[i]
+        logic_inputs[logic.primary_inputs[width + i]] = op_b[i]
+    logic_inputs[logic.primary_inputs[2 * width]] = logic_sel0
+    logic_inputs[logic.primary_inputs[2 * width + 1]] = logic_sel1
+    logic_out = _merge_networks(network, logic, logic_inputs)
+
+    shifter = build_shifter(width)
+    stages = log2_int(width)
+    shifter_inputs = {}
+    for i in range(width):
+        shifter_inputs[shifter.primary_inputs[i]] = rs1[i]
+    for k in range(stages):
+        shifter_inputs[shifter.primary_inputs[width + k]] = op_b[k]
+    shifter_inputs[shifter.primary_inputs[width + stages]] = shift_fill
+    shift_out = _merge_networks(network, shifter, shifter_inputs)
+
+    comparator = build_comparator(width)
+    cmp_inputs = {}
+    for i in range(width):
+        cmp_inputs[comparator.primary_inputs[i]] = rs1[i]
+        cmp_inputs[comparator.primary_inputs[width + i]] = op_b[i]
+    cmp_inputs[comparator.primary_inputs[2 * width]] = cmp_unsigned
+    cmp_out = _merge_networks(network, comparator, cmp_inputs)[0]
+
+    # Result mux: {add, logic, shift, slt} by (rsel1, rsel0).
+    zero = network.add_and(result_sel0,
+                           network.add_not(result_sel0, "z0n"), "zero")
+    for i in range(width):
+        slt_bit = cmp_out if i == 0 else zero
+        low = network.add_mux2(result_sel0, adder_out[i], logic_out[i],
+                               f"rm0_{i}")
+        high = network.add_mux2(result_sel0, shift_out[i], slt_bit,
+                                f"rm1_{i}")
+        out = network.add_mux2(result_sel1, low, high, f"rm2_{i}")
+        network.add_output(out, f"result{i}")
+    return network
+
+
+def build_execute_stage(width: int = 32) -> GateNetwork:
+    """The full execute stage: write-back bypass muxes feeding the ALU.
+
+    The Sodor execute stage is more than the bare ALU - each operand
+    passes a bypass mux (register file value vs in-flight write-back
+    value) before the datapath.  The synthesised, path-balanced depth of
+    this block is the paper's headline "execution stage of the RISC-V
+    core is 28 stages deep".
+    """
+    _check_width(width)
+    network = GateNetwork(f"execute{width}")
+    rf_rs1 = network.add_inputs(width, "rf_rs1")
+    rf_rs2 = network.add_inputs(width, "rf_rs2")
+    wb_bus = network.add_inputs(width, "wb")
+    bypass1 = network.add_input("byp1")
+    bypass2 = network.add_input("byp2")
+    imm = network.add_inputs(width, "imm")
+    use_imm = network.add_input("use_imm")
+    sub_mode = network.add_input("sub")
+    logic_sel0 = network.add_input("lsel0")
+    logic_sel1 = network.add_input("lsel1")
+    shift_fill = network.add_input("sfill")
+    cmp_unsigned = network.add_input("cmpu")
+    result_sel0 = network.add_input("rsel0")
+    result_sel1 = network.add_input("rsel1")
+
+    rs1 = [network.add_mux2(bypass1, rf_rs1[i], wb_bus[i], f"byp1_{i}")
+           for i in range(width)]
+    rs2 = [network.add_mux2(bypass2, rf_rs2[i], wb_bus[i], f"byp2_{i}")
+           for i in range(width)]
+
+    alu = build_alu(width)
+    alu_inputs = {}
+    cursor = 0
+    for i in range(width):
+        alu_inputs[alu.primary_inputs[cursor]] = rs1[i]
+        cursor += 1
+    for i in range(width):
+        alu_inputs[alu.primary_inputs[cursor]] = rs2[i]
+        cursor += 1
+    for i in range(width):
+        alu_inputs[alu.primary_inputs[cursor]] = imm[i]
+        cursor += 1
+    for control in (use_imm, sub_mode, logic_sel0, logic_sel1, shift_fill,
+                    cmp_unsigned, result_sel0, result_sel1):
+        alu_inputs[alu.primary_inputs[cursor]] = control
+        cursor += 1
+    alu_out = _merge_networks(network, alu, alu_inputs)
+    for i, bit in enumerate(alu_out):
+        network.add_output(bit, f"result{i}")
+    return network

@@ -1,0 +1,178 @@
+"""Combinational gate-network IR with SFQ gate costs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import NetlistError
+
+
+class GateKind(enum.Enum):
+    """SFQ logic gate types with their JJ costs.
+
+    JJ counts follow the paper (AND=12, NOT=10) and standard RSFQlib
+    values for the rest; every logic gate is clocked in RSFQ, which is
+    what forces full path balancing downstream.
+    """
+
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    BUF = "buf"        # DRO used as a synchronisation buffer
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+#: JJ cost per gate kind.
+GATE_JJ: Dict[GateKind, int] = {
+    GateKind.AND: 12,
+    GateKind.OR: 8,
+    GateKind.XOR: 10,
+    GateKind.NOT: 10,
+    GateKind.BUF: 4,      # DRO buffer cell
+    GateKind.INPUT: 0,
+    GateKind.OUTPUT: 0,
+}
+
+#: Which kinds are clocked logic stages (occupy one pipeline level).
+CLOCKED_KINDS = {GateKind.AND, GateKind.OR, GateKind.XOR, GateKind.NOT,
+                 GateKind.BUF}
+
+
+@dataclass
+class Gate:
+    """One gate instance: a kind plus its input gate ids."""
+
+    gate_id: int
+    kind: GateKind
+    inputs: Tuple[int, ...] = ()
+    name: str = ""
+
+    @property
+    def jj_count(self) -> int:
+        return GATE_JJ[self.kind]
+
+
+class GateNetwork:
+    """A DAG of gates built incrementally by the block generators."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.gates: List[Gate] = []
+        self.primary_inputs: List[int] = []
+        self.primary_outputs: List[int] = []
+
+    # -- construction ----------------------------------------------------
+
+    def _add(self, kind: GateKind, inputs: Sequence[int],
+             name: str = "") -> int:
+        for source in inputs:
+            if not 0 <= source < len(self.gates):
+                raise NetlistError(
+                    f"{self.name}: gate input {source} does not exist")
+        gate = Gate(len(self.gates), kind, tuple(inputs), name)
+        self.gates.append(gate)
+        return gate.gate_id
+
+    def add_input(self, name: str = "") -> int:
+        gate_id = self._add(GateKind.INPUT, (), name)
+        self.primary_inputs.append(gate_id)
+        return gate_id
+
+    def add_output(self, source: int, name: str = "") -> int:
+        gate_id = self._add(GateKind.OUTPUT, (source,), name)
+        self.primary_outputs.append(gate_id)
+        return gate_id
+
+    def add_and(self, a: int, b: int, name: str = "") -> int:
+        return self._add(GateKind.AND, (a, b), name)
+
+    def add_or(self, a: int, b: int, name: str = "") -> int:
+        return self._add(GateKind.OR, (a, b), name)
+
+    def add_xor(self, a: int, b: int, name: str = "") -> int:
+        return self._add(GateKind.XOR, (a, b), name)
+
+    def add_not(self, a: int, name: str = "") -> int:
+        return self._add(GateKind.NOT, (a,), name)
+
+    def add_buf(self, a: int, name: str = "") -> int:
+        return self._add(GateKind.BUF, (a,), name)
+
+    # -- wide helpers ----------------------------------------------------
+
+    def add_inputs(self, count: int, prefix: str) -> List[int]:
+        return [self.add_input(f"{prefix}{i}") for i in range(count)]
+
+    def add_wide_or(self, sources: Sequence[int], name: str = "") -> int:
+        """Balanced OR tree over arbitrarily many sources."""
+        if not sources:
+            raise NetlistError(f"{self.name}: empty OR tree")
+        level = list(sources)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.add_or(level[i], level[i + 1], name))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def add_mux2(self, select: int, when0: int, when1: int,
+                 name: str = "") -> int:
+        """2:1 mux from AND/OR/NOT gates."""
+        select_n = self.add_not(select, f"{name}.seln")
+        take0 = self.add_and(when0, select_n, f"{name}.t0")
+        take1 = self.add_and(when1, select, f"{name}.t1")
+        return self.add_or(take0, take1, f"{name}.or")
+
+    # -- analysis ----------------------------------------------------------
+
+    def logic_jj_count(self) -> int:
+        """JJs in the raw logic network (before synthesis passes)."""
+        return sum(gate.jj_count for gate in self.gates)
+
+    def fanouts(self) -> Dict[int, int]:
+        """Number of sinks driven by each gate."""
+        counts: Dict[int, int] = {gate.gate_id: 0 for gate in self.gates}
+        for gate in self.gates:
+            for source in gate.inputs:
+                counts[source] += 1
+        return counts
+
+    def levels(self) -> Dict[int, int]:
+        """Logic level of each gate (inputs are level 0).
+
+        Clocked gates advance the level by one; INPUT/OUTPUT markers are
+        transparent.  The network is built append-only, so gate ids are
+        already in topological order.
+        """
+        level: Dict[int, int] = {}
+        for gate in self.gates:
+            if gate.kind is GateKind.INPUT:
+                level[gate.gate_id] = 0
+            elif gate.kind is GateKind.OUTPUT:
+                level[gate.gate_id] = level[gate.inputs[0]]
+            else:
+                source_level = max((level[s] for s in gate.inputs), default=0)
+                level[gate.gate_id] = source_level + 1
+        return level
+
+    def depth(self) -> int:
+        """Longest clocked-gate path from any input to any output."""
+        level = self.levels()
+        if not self.primary_outputs:
+            return max(level.values(), default=0)
+        return max(level[out] for out in self.primary_outputs)
+
+    def gate_count(self, kind: GateKind | None = None) -> int:
+        if kind is None:
+            return sum(1 for g in self.gates if g.kind in CLOCKED_KINDS)
+        return sum(1 for g in self.gates if g.kind is kind)
+
+    def __repr__(self) -> str:
+        return (f"GateNetwork({self.name!r}, gates={len(self.gates)}, "
+                f"depth={self.depth()})")

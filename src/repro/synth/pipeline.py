@@ -1,0 +1,132 @@
+"""SFQ synthesis passes: splitters, path balancing and clock distribution.
+
+Three costs separate an SFQ netlist from its CMOS-style logic network:
+
+1. **Splitter insertion** - a pulse cannot drive two loads; every gate
+   with fan-out ``f`` needs ``f - 1`` splitters (3 JJs each).
+2. **Path balancing** - every logic gate is clocked, so both inputs of a
+   gate must arrive in the same clock wave; a shorter input path needs
+   one DRO buffer per missing level.  This is the dominant overhead of
+   gate-level pipelining and the reason deep pipelines are unavoidable
+   in RSFQ.
+3. **Clock distribution** - each clocked gate (including the inserted
+   buffers) consumes one clock pulse per wave, delivered through a
+   binary splitter tree.
+
+:func:`synthesize` runs all three over a :class:`GateNetwork` and
+reports the balanced pipeline depth and the full JJ budget - the same
+quantities the paper extracts from qPalace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cells import params
+from repro.synth.netlist import CLOCKED_KINDS, GATE_JJ, GateKind, GateNetwork
+
+SPLITTER_JJ = 3
+BUFFER_JJ = GATE_JJ[GateKind.BUF]
+CLOCK_SPLITTER_JJ = 3
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Outcome of synthesising one block."""
+
+    name: str
+    depth: int
+    logic_gates: int
+    logic_jj: int
+    splitters: int
+    splitter_jj: int
+    balancing_buffers: int
+    balancing_jj: int
+    clocked_cells: int
+    clock_tree_jj: int
+    gate_cycle_ps: float = params.GATE_CYCLE_PS
+
+    @property
+    def total_jj(self) -> int:
+        return (self.logic_jj + self.splitter_jj + self.balancing_jj
+                + self.clock_tree_jj)
+
+    @property
+    def balancing_overhead(self) -> float:
+        """Balancing JJs as a fraction of the logic JJs."""
+        if self.logic_jj == 0:
+            return 0.0
+        return self.balancing_jj / self.logic_jj
+
+    @property
+    def latency_ps(self) -> float:
+        """End-to-end latency of one wave through the block."""
+        return self.depth * self.gate_cycle_ps
+
+    def describe(self) -> str:
+        lines = [
+            f"block {self.name}: depth {self.depth} stages "
+            f"({self.latency_ps:.0f} ps at {self.gate_cycle_ps:.0f} ps/stage)",
+            f"  logic gates        {self.logic_gates:>7,d}  "
+            f"({self.logic_jj:,} JJ)",
+            f"  splitters          {self.splitters:>7,d}  "
+            f"({self.splitter_jj:,} JJ)",
+            f"  balancing buffers  {self.balancing_buffers:>7,d}  "
+            f"({self.balancing_jj:,} JJ, "
+            f"{self.balancing_overhead:.0%} of logic)",
+            f"  clock tree         {'':>7s}  ({self.clock_tree_jj:,} JJ)",
+            f"  total              {'':>7s}  ({self.total_jj:,} JJ)",
+        ]
+        return "\n".join(lines)
+
+
+def synthesize(network: GateNetwork) -> PipelineReport:
+    """Run the SFQ synthesis passes and report depth and JJ budget."""
+    levels: Dict[int, int] = network.levels()
+    depth = network.depth()
+
+    logic_gates = 0
+    logic_jj = 0
+    for gate in network.gates:
+        if gate.kind in CLOCKED_KINDS:
+            logic_gates += 1
+            logic_jj += gate.jj_count
+
+    # Pass 1: splitters at every fan-out point.
+    splitters = 0
+    for gate_id, fanout in network.fanouts().items():
+        if fanout > 1:
+            splitters += fanout - 1
+    splitter_jj = splitters * SPLITTER_JJ
+
+    # Pass 2: path balancing.  For each clocked gate at level L, every
+    # input arriving from level Li needs (L - 1 - Li) buffers so all its
+    # inputs arrive in wave L-1.  Primary outputs are balanced to the
+    # block's full depth so downstream stages see one coherent wave.
+    buffers = 0
+    for gate in network.gates:
+        if gate.kind in CLOCKED_KINDS:
+            target = levels[gate.gate_id] - 1
+            for source in gate.inputs:
+                buffers += max(target - levels[source], 0)
+        elif gate.kind is GateKind.OUTPUT:
+            buffers += max(depth - levels[gate.inputs[0]], 0)
+    balancing_jj = buffers * BUFFER_JJ
+
+    # Pass 3: clock distribution to every clocked cell (logic + buffers).
+    clocked_cells = logic_gates + buffers
+    clock_tree_jj = max(clocked_cells - 1, 0) * CLOCK_SPLITTER_JJ
+
+    return PipelineReport(
+        name=network.name,
+        depth=depth,
+        logic_gates=logic_gates,
+        logic_jj=logic_jj,
+        splitters=splitters,
+        splitter_jj=splitter_jj,
+        balancing_buffers=buffers,
+        balancing_jj=balancing_jj,
+        clocked_cells=clocked_cells,
+        clock_tree_jj=clock_tree_jj,
+    )

@@ -1,0 +1,69 @@
+"""Physical units and constants used throughout the HiPerRF reproduction.
+
+All internal bookkeeping uses a single unit per quantity so that modules
+never have to guess what scale a number is in:
+
+* time        -> picoseconds (ps)
+* power       -> microwatts (uW)
+* current     -> microamperes (uA)
+* inductance  -> picohenries (pH)
+* voltage     -> millivolts (mV) in the analog solver
+* distance    -> micrometres (um)
+
+The analog :mod:`repro.josim` solver additionally uses the magnetic flux
+quantum ``PHI0``; with the unit choices above (ps, uA, pH, mV) the solver's
+equations stay numerically well conditioned without any further scaling.
+"""
+
+from __future__ import annotations
+
+# Magnetic flux quantum, SI: 2.067833848e-15 Wb.
+PHI0_WB = 2.067833848e-15
+
+# In solver units (mV * ps): 1 Wb = 1 V*s = 1e3 mV * 1e12 ps = 1e15 mV*ps.
+PHI0 = PHI0_WB * 1e15  # ~2.0678 mV*ps
+
+# Conversion helpers ---------------------------------------------------------
+
+PS_PER_NS = 1000.0
+PS_PER_US = 1_000_000.0
+
+
+def ps_to_ns(ps: float) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return ps / PS_PER_NS
+
+
+def ns_to_ps(ns: float) -> float:
+    """Convert nanoseconds to picoseconds."""
+    return ns * PS_PER_NS
+
+
+def ghz_to_period_ps(freq_ghz: float) -> float:
+    """Clock period in picoseconds for a frequency in gigahertz."""
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return 1000.0 / freq_ghz
+
+
+def period_ps_to_ghz(period_ps: float) -> float:
+    """Clock frequency in gigahertz for a period in picoseconds."""
+    if period_ps <= 0:
+        raise ValueError(f"period must be positive, got {period_ps}")
+    return 1000.0 / period_ps
+
+
+def uw_to_mw(uw: float) -> float:
+    """Convert microwatts to milliwatts."""
+    return uw / 1000.0
+
+
+def wire_delay_ps(length_um: float, ps_per_100um: float = 1.0) -> float:
+    """Passive transmission line delay for a wire of ``length_um``.
+
+    The paper (Section VI-C) reports PTL delay of 1 ps per 100 um as
+    extracted from the qPalace library.
+    """
+    if length_um < 0:
+        raise ValueError(f"wire length must be non-negative, got {length_um}")
+    return length_um / 100.0 * ps_per_100um

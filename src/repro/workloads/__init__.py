@@ -1,0 +1,32 @@
+"""Benchmark workloads for the application-level evaluation (Figure 14).
+
+Two families, mirroring the paper's Section VI-B benchmark list:
+
+* riscv-tests kernels: ``vvadd``, ``median``, ``multiply``, ``qsort``,
+  ``rsort``, ``towers``, ``spmv``, ``dhrystone`` (a lite variant),
+* synthetic SPEC CPU 2006 stand-ins with matching register-reuse and
+  dependency-distance profiles: ``mcf`` (pointer-chasing relaxation),
+  ``sjeng`` (branchy game-tree search), ``libquantum`` (streaming gate
+  application over a bit register), ``specrand`` (LCG stream).
+
+Every workload is self-checking: it computes a checksum, compares it to
+the value the generator computed in Python, and exits 42 on success -
+so the Figure 14 runs double as functional verification of the ISA
+substrate.
+"""
+
+from repro.workloads.registry import (
+    PASS_EXIT_CODE,
+    Workload,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "PASS_EXIT_CODE",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,159 @@
+"""Trace profiling: the dependency structure that drives Figure 14.
+
+The CPI impact of HiPerRF is set by a workload's *register reuse
+profile*: how far apart read-after-write pairs sit (RAW distance through
+the 28-deep execute), how often the same register is re-read while its
+loopback is in flight, the branch density, and - for the dual-banked
+design - how often an instruction's two sources land in the same parity
+bank.  This module measures those properties from a retirement stream,
+both to characterise workloads and to validate that the synthetic SPEC
+stand-ins reproduce the profiles the paper's benchmarks are known for.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.isa import Executor, assemble
+from repro.isa.executor import ExecutedOp
+from repro.workloads.registry import Workload, get_workload
+
+
+@dataclass
+class TraceProfile:
+    """Aggregate dependency statistics of one retirement stream."""
+
+    instructions: int = 0
+    alu_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    two_source_ops: int = 0
+    same_bank_pairs: int = 0
+    raw_distances: Counter = field(default_factory=Counter)
+    reread_distances: Counter = field(default_factory=Counter)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def load_fraction(self) -> float:
+        return self.loads / self.instructions if self.instructions else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        return self.stores / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.instructions if self.instructions else 0.0
+
+    @property
+    def taken_branch_fraction(self) -> float:
+        return (self.taken_branches / self.instructions
+                if self.instructions else 0.0)
+
+    @property
+    def same_bank_pair_fraction(self) -> float:
+        """Fraction of two-source instructions whose sources share a bank.
+
+        This is what separates the measured dual-banked design from its
+        "ideal" variant in Figure 14.
+        """
+        if self.two_source_ops == 0:
+            return 0.0
+        return self.same_bank_pairs / self.two_source_ops
+
+    def mean_raw_distance(self) -> Optional[float]:
+        total = sum(self.raw_distances.values())
+        if total == 0:
+            return None
+        weighted = sum(d * c for d, c in self.raw_distances.items())
+        return weighted / total
+
+    def raw_distance_at_most(self, distance: int) -> float:
+        """Fraction of RAW dependencies with producer within ``distance``."""
+        total = sum(self.raw_distances.values())
+        if total == 0:
+            return 0.0
+        close = sum(c for d, c in self.raw_distances.items() if d <= distance)
+        return close / total
+
+    def reread_within(self, distance: int) -> float:
+        """Fraction of reads that re-read a register read <= ``distance``
+        instructions earlier - the loopback-hazard exposure."""
+        total = sum(self.reread_distances.values())
+        if total == 0:
+            return 0.0
+        close = sum(c for d, c in self.reread_distances.items()
+                    if d <= distance)
+        return close / total
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "instructions": float(self.instructions),
+            "load_fraction": self.load_fraction,
+            "store_fraction": self.store_fraction,
+            "branch_fraction": self.branch_fraction,
+            "taken_branch_fraction": self.taken_branch_fraction,
+            "mean_raw_distance": self.mean_raw_distance() or 0.0,
+            "raw_within_2": self.raw_distance_at_most(2),
+            "reread_within_2": self.reread_within(2),
+            "same_bank_pair_fraction": self.same_bank_pair_fraction,
+        }
+
+
+def profile_trace(ops: Iterable[ExecutedOp],
+                  max_distance: int = 64) -> TraceProfile:
+    """Measure the dependency profile of a retirement stream."""
+    profile = TraceProfile()
+    last_writer: Dict[int, int] = {}
+    last_reader: Dict[int, int] = {}
+    for index, op in enumerate(ops):
+        profile.instructions += 1
+        if op.is_load:
+            profile.loads += 1
+        elif op.is_store:
+            profile.stores += 1
+        elif op.instr.is_branch:
+            profile.branches += 1
+        else:
+            profile.alu_ops += 1
+        if op.instr.is_branch and op.branch_taken:
+            profile.taken_branches += 1
+
+        sources = tuple(dict.fromkeys(op.sources))
+        if len(sources) == 2:
+            profile.two_source_ops += 1
+            if (sources[0] & 1) == (sources[1] & 1):
+                profile.same_bank_pairs += 1
+        for src in sources:
+            if src in last_writer:
+                distance = index - last_writer[src]
+                if distance <= max_distance:
+                    profile.raw_distances[distance] += 1
+            if src in last_reader:
+                distance = index - last_reader[src]
+                if distance <= max_distance:
+                    profile.reread_distances[distance] += 1
+            last_reader[src] = index
+        if op.destination is not None:
+            last_writer[op.destination] = index
+    return profile
+
+
+def profile_workload(name: str, scale: float = 1.0,
+                     max_instructions: int = 400_000) -> TraceProfile:
+    """Assemble, run and profile one registered workload."""
+    workload: Workload = get_workload(name)
+    executor = Executor(assemble(workload.build(scale)))
+    return profile_trace(executor.trace(max_instructions=max_instructions))
+
+
+def profile_all(scale: float = 1.0) -> Dict[str, TraceProfile]:
+    """Profile the whole suite (used by the workload-characterisation bench)."""
+    from repro.workloads.registry import workload_names
+
+    return {name: profile_workload(name, scale) for name in workload_names()}

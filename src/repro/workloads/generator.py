@@ -1,0 +1,68 @@
+"""Deterministic data generation and shared assembly fragments."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Lcg:
+    """The classic Lehmer/Park-Miller-ish 32-bit LCG used by specrand.
+
+    Deterministic across platforms; also implemented in RV32I assembly by
+    the ``specrand`` workload, so Python and assembly streams must match.
+    """
+
+    MULTIPLIER = 1103515245
+    INCREMENT = 12345
+    MASK = 0x7FFFFFFF
+
+    def __init__(self, seed: int = 1) -> None:
+        self.state = seed & 0xFFFFFFFF
+
+    def next(self) -> int:
+        self.state = (self.state * self.MULTIPLIER + self.INCREMENT) & 0xFFFFFFFF
+        return (self.state >> 16) & 0x7FFF
+
+    def sequence(self, count: int) -> List[int]:
+        return [self.next() for _ in range(count)]
+
+
+def words_directive(values: List[int]) -> str:
+    """Render a list of ints as ``.word`` lines (8 per line)."""
+    lines = []
+    for start in range(0, len(values), 8):
+        chunk = values[start:start + 8]
+        rendered = ", ".join(str(v & 0xFFFFFFFF) for v in chunk)
+        lines.append(f"    .word {rendered}")
+    return "\n".join(lines)
+
+
+#: Software multiply: a0 = a0 * a1 (low 32 bits), clobbers t0-t2.
+#: RV32I has no M extension, so kernels that multiply call this.
+MUL_SUBROUTINE = """
+__mulsi3:
+    mv   t0, a0          # multiplicand
+    mv   t1, a1          # multiplier
+    li   a0, 0
+__mul_loop:
+    andi t2, t1, 1
+    beqz t2, __mul_skip
+    add  a0, a0, t0
+__mul_skip:
+    slli t0, t0, 1
+    srli t1, t1, 1
+    bnez t1, __mul_loop
+    ret
+"""
+
+#: Exit helpers: jump to __pass / __fail at the end of a kernel.
+EXIT_STUBS = """
+__pass:
+    li   a0, 42
+    li   a7, 93
+    ecall
+__fail:
+    li   a0, 1
+    li   a7, 93
+    ecall
+"""

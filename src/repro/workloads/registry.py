@@ -1,0 +1,94 @@
+"""Workload registry: names, categories and builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.workloads import riscv_kernels, spec_kernels
+
+#: Exit code every self-checking kernel returns on success.
+PASS_EXIT_CODE = 42
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark with a source builder.
+
+    ``build(scale)`` returns assembly source; ``scale`` multiplies the
+    default problem size (1.0 keeps tests fast; the Figure 14 harness
+    uses larger scales).
+    """
+
+    name: str
+    category: str  # "riscv-tests" | "spec2006"
+    description: str
+    builder: Callable[[float], str]
+
+    def build(self, scale: float = 1.0) -> str:
+        if scale <= 0:
+            raise ConfigError(f"scale must be positive, got {scale}")
+        return self.builder(scale)
+
+
+def _scaled(value: int, scale: float, minimum: int = 4) -> int:
+    return max(int(round(value * scale)), minimum)
+
+
+_WORKLOADS: Dict[str, Workload] = {}
+
+
+def _register(name: str, category: str, description: str,
+              builder: Callable[[float], str]) -> None:
+    _WORKLOADS[name] = Workload(name, category, description, builder)
+
+
+_register("vvadd", "riscv-tests", "vector-vector add",
+          lambda s: riscv_kernels.build_vvadd(_scaled(64, s)))
+_register("median", "riscv-tests", "3-point median filter",
+          lambda s: riscv_kernels.build_median(_scaled(64, s)))
+_register("multiply", "riscv-tests", "software pairwise multiply",
+          lambda s: riscv_kernels.build_multiply(_scaled(24, s)))
+_register("qsort", "riscv-tests", "recursive quicksort",
+          lambda s: riscv_kernels.build_qsort(_scaled(24, s)))
+_register("rsort", "riscv-tests", "counting/radix sort",
+          lambda s: riscv_kernels.build_rsort(_scaled(48, s)))
+_register("towers", "riscv-tests", "towers of hanoi",
+          lambda s: riscv_kernels.build_towers(
+              max(min(int(round(7 * s)), 16), 3)))
+_register("spmv", "riscv-tests", "CSR sparse matrix-vector product",
+          lambda s: riscv_kernels.build_spmv(_scaled(12, s)))
+_register("dhrystone", "riscv-tests", "dhrystone-flavoured mix",
+          lambda s: riscv_kernels.build_dhrystone(_scaled(12, s)))
+_register("memcpy", "riscv-tests", "byte-wise memory copy with verify",
+          lambda s: riscv_kernels.build_memcpy(_scaled(96, s)))
+_register("fibonacci", "riscv-tests", "naive recursive fibonacci",
+          lambda s: riscv_kernels.build_fibonacci(
+              max(min(int(round(12 * s)), 20), 4)))
+_register("matmul", "riscv-tests", "dense integer matrix multiply",
+          lambda s: riscv_kernels.build_matmul(_scaled(6, s)))
+_register("mcf", "spec2006", "429.mcf stand-in: pointer-chasing relaxation",
+          lambda s: spec_kernels.build_mcf(_scaled(32, s), _scaled(96, s)))
+_register("sjeng", "spec2006", "458.sjeng stand-in: branch-ladder evaluator",
+          lambda s: spec_kernels.build_sjeng(_scaled(64, s)))
+_register("libquantum", "spec2006",
+          "462.libquantum stand-in: streaming gate application",
+          lambda s: spec_kernels.build_libquantum(_scaled(32, s)))
+_register("specrand", "spec2006", "999.specrand stand-in: LCG stream",
+          lambda s: spec_kernels.build_specrand(_scaled(256, s)))
+
+
+def workload_names() -> Tuple[str, ...]:
+    return tuple(_WORKLOADS)
+
+
+def all_workloads() -> List[Workload]:
+    return list(_WORKLOADS.values())
+
+
+def get_workload(name: str) -> Workload:
+    if name not in _WORKLOADS:
+        known = ", ".join(_WORKLOADS)
+        raise ConfigError(f"unknown workload {name!r}; known: {known}")
+    return _WORKLOADS[name]

@@ -1,0 +1,679 @@
+"""riscv-tests style kernels in RV32I assembly (self-checking).
+
+Each builder returns assembly source whose execution ends with exit code
+42 (``PASS_EXIT_CODE``) if and only if the kernel computed the same
+result the Python-side generator predicted.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import (
+    EXIT_STUBS,
+    Lcg,
+    MUL_SUBROUTINE,
+    words_directive,
+)
+
+MASK32 = 0xFFFFFFFF
+
+
+def build_vvadd(n: int = 64) -> str:
+    """Vector-vector add with a checksum over the result."""
+    rng = Lcg(seed=11)
+    a = rng.sequence(n)
+    b = rng.sequence(n)
+    checksum = sum((x + y) & MASK32 for x, y in zip(a, b)) & MASK32
+    return f"""
+.text
+_start:
+    la   s0, vec_a
+    la   s1, vec_b
+    la   s2, vec_c
+    li   s3, {n}          # elements
+    li   s4, 0            # index
+add_loop:
+    slli t0, s4, 2
+    add  t1, s0, t0
+    lw   t2, 0(t1)
+    add  t1, s1, t0
+    lw   t3, 0(t1)
+    add  t4, t2, t3
+    add  t1, s2, t0
+    sw   t4, 0(t1)
+    addi s4, s4, 1
+    blt  s4, s3, add_loop
+    # checksum pass
+    li   s5, 0
+    li   s4, 0
+sum_loop:
+    slli t0, s4, 2
+    add  t1, s2, t0
+    lw   t2, 0(t1)
+    add  s5, s5, t2
+    addi s4, s4, 1
+    blt  s4, s3, sum_loop
+    li   t6, {checksum}
+    bne  s5, t6, __fail
+    j    __pass
+{EXIT_STUBS}
+.data
+vec_a:
+{words_directive(a)}
+vec_b:
+{words_directive(b)}
+vec_c:
+{words_directive([0] * n)}
+"""
+
+
+def _median3(x: int, y: int, z: int) -> int:
+    return sorted((x, y, z))[1]
+
+
+def build_median(n: int = 64) -> str:
+    """3-point median filter (branch heavy, like riscv-tests median)."""
+    rng = Lcg(seed=23)
+    a = rng.sequence(n)
+    out = [a[0]] + [_median3(a[i - 1], a[i], a[i + 1])
+                    for i in range(1, n - 1)] + [a[n - 1]]
+    checksum = sum(out) & MASK32
+    return f"""
+.text
+_start:
+    la   s0, src
+    la   s1, dst
+    li   s2, {n}
+    # endpoints copy straight through
+    lw   t0, 0(s0)
+    sw   t0, 0(s1)
+    slli t1, s2, 2
+    addi t1, t1, -4
+    add  t2, s0, t1
+    lw   t0, 0(t2)
+    add  t2, s1, t1
+    sw   t0, 0(t2)
+    li   s3, 1            # index
+    addi s4, s2, -1       # limit
+med_loop:
+    bge  s3, s4, med_done
+    slli t0, s3, 2
+    add  t1, s0, t0
+    lw   t2, -4(t1)       # x
+    lw   t3, 0(t1)        # y
+    lw   t4, 4(t1)        # z
+    # median = max(min(x,y), min(max(x,y), z))
+    mv   t5, t2
+    bge  t3, t2, have_min # min(x,y) in t5, max in t6
+    mv   t5, t3
+have_min:
+    mv   t6, t3
+    bge  t3, t2, have_max
+    mv   t6, t2
+have_max:
+    blt  t4, t6, use_z
+    mv   t4, t6           # min(max(x,y), z)
+use_z:
+    bge  t4, t5, med_store
+    mv   t4, t5
+med_store:
+    add  t1, s1, t0
+    sw   t4, 0(t1)
+    addi s3, s3, 1
+    j    med_loop
+med_done:
+    li   s5, 0
+    li   s3, 0
+msum_loop:
+    slli t0, s3, 2
+    add  t1, s1, t0
+    lw   t2, 0(t1)
+    add  s5, s5, t2
+    addi s3, s3, 1
+    blt  s3, s2, msum_loop
+    li   t6, {checksum}
+    bne  s5, t6, __fail
+    j    __pass
+{EXIT_STUBS}
+.data
+src:
+{words_directive(a)}
+dst:
+{words_directive([0] * n)}
+"""
+
+
+def build_multiply(n: int = 24) -> str:
+    """Pairwise products through the software shift-add multiplier."""
+    rng = Lcg(seed=37)
+    a = rng.sequence(n)
+    b = rng.sequence(n)
+    checksum = sum((x * y) & MASK32 for x, y in zip(a, b)) & MASK32
+    return f"""
+.text
+_start:
+    la   s0, mul_a
+    la   s1, mul_b
+    li   s2, {n}
+    li   s3, 0           # index
+    li   s4, 0           # checksum
+mul_kernel_loop:
+    slli t3, s3, 2
+    add  t4, s0, t3
+    lw   a0, 0(t4)
+    add  t4, s1, t3
+    lw   a1, 0(t4)
+    call __mulsi3
+    add  s4, s4, a0
+    addi s3, s3, 1
+    blt  s3, s2, mul_kernel_loop
+    li   t6, {checksum}
+    bne  s4, t6, __fail
+    j    __pass
+{MUL_SUBROUTINE}
+{EXIT_STUBS}
+.data
+mul_a:
+{words_directive(a)}
+mul_b:
+{words_directive(b)}
+"""
+
+
+def build_qsort(n: int = 24) -> str:
+    """Recursive quicksort (Lomuto) with sortedness + sum verification."""
+    rng = Lcg(seed=41)
+    data = rng.sequence(n)
+    total = sum(data) & MASK32
+    return f"""
+.text
+_start:
+    la   s11, qdata
+    li   a0, 0
+    li   a1, {n - 1}
+    call qsort
+    # verify: sorted and sum preserved
+    li   s5, 0           # sum
+    li   s3, 0
+    li   t5, -1          # previous value
+vfy_loop:
+    slli t0, s3, 2
+    add  t1, s11, t0
+    lw   t2, 0(t1)
+    blt  t2, t5, __fail
+    mv   t5, t2
+    add  s5, s5, t2
+    addi s3, s3, 1
+    li   t0, {n}
+    blt  s3, t0, vfy_loop
+    li   t6, {total}
+    bne  s5, t6, __fail
+    j    __pass
+
+# qsort(a0=lo, a1=hi) over word array at s11
+qsort:
+    bge  a0, a1, qsort_ret
+    addi sp, sp, -16
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    sw   s2, 12(sp)
+    mv   s0, a0          # lo
+    mv   s1, a1          # hi
+    slli t0, s1, 2
+    add  t0, t0, s11
+    lw   t3, 0(t0)       # pivot = a[hi]
+    addi s2, s0, -1      # i
+    mv   t4, s0          # j
+part_loop:
+    bge  t4, s1, part_done
+    slli t0, t4, 2
+    add  t0, t0, s11
+    lw   t1, 0(t0)
+    bgt  t1, t3, part_next
+    addi s2, s2, 1
+    slli t2, s2, 2
+    add  t2, t2, s11
+    lw   t5, 0(t2)
+    sw   t1, 0(t2)
+    sw   t5, 0(t0)
+part_next:
+    addi t4, t4, 1
+    j    part_loop
+part_done:
+    addi s2, s2, 1
+    slli t2, s2, 2
+    add  t2, t2, s11
+    lw   t5, 0(t2)
+    slli t0, s1, 2
+    add  t0, t0, s11
+    lw   t1, 0(t0)
+    sw   t1, 0(t2)
+    sw   t5, 0(t0)
+    mv   a0, s0          # left recursion
+    addi a1, s2, -1
+    call qsort
+    addi a0, s2, 1       # right recursion
+    mv   a1, s1
+    call qsort
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    lw   s2, 12(sp)
+    addi sp, sp, 16
+qsort_ret:
+    ret
+{EXIT_STUBS}
+.data
+qdata:
+{words_directive(data)}
+"""
+
+
+def build_rsort(n: int = 48) -> str:
+    """Counting (radix-1) sort over byte-valued keys."""
+    rng = Lcg(seed=53)
+    data = [v & 0xFF for v in rng.sequence(n)]
+    total = sum(data) & MASK32
+    return f"""
+.text
+_start:
+    la   s0, rdata
+    la   s1, rbuckets
+    li   s2, {n}
+    # count occurrences
+    li   s3, 0
+count_loop:
+    slli t0, s3, 2
+    add  t1, s0, t0
+    lw   t2, 0(t1)
+    slli t3, t2, 2
+    add  t3, t3, s1
+    lw   t4, 0(t3)
+    addi t4, t4, 1
+    sw   t4, 0(t3)
+    addi s3, s3, 1
+    blt  s3, s2, count_loop
+    # write back in key order
+    li   s3, 0           # bucket index
+    li   s4, 0           # output cursor
+emit_loop:
+    li   t0, 256
+    bge  s3, t0, emit_done
+    slli t1, s3, 2
+    add  t1, t1, s1
+    lw   t2, 0(t1)       # count for key s3
+emit_key:
+    beqz t2, emit_next
+    slli t3, s4, 2
+    add  t3, t3, s0
+    sw   s3, 0(t3)
+    addi s4, s4, 1
+    addi t2, t2, -1
+    j    emit_key
+emit_next:
+    addi s3, s3, 1
+    j    emit_loop
+emit_done:
+    bne  s4, s2, __fail
+    # verify sorted and sum preserved
+    li   s5, 0
+    li   s3, 0
+    li   t5, -1
+rvfy_loop:
+    slli t0, s3, 2
+    add  t1, s0, t0
+    lw   t2, 0(t1)
+    blt  t2, t5, __fail
+    mv   t5, t2
+    add  s5, s5, t2
+    addi s3, s3, 1
+    blt  s3, s2, rvfy_loop
+    li   t6, {total}
+    bne  s5, t6, __fail
+    j    __pass
+{EXIT_STUBS}
+.data
+rdata:
+{words_directive(data)}
+rbuckets:
+{words_directive([0] * 256)}
+"""
+
+
+def build_towers(disks: int = 7) -> str:
+    """Towers of Hanoi; verifies the move count is 2^n - 1."""
+    expected_moves = (1 << disks) - 1
+    return f"""
+.text
+_start:
+    li   s0, 0           # move counter
+    li   a0, {disks}
+    li   a1, 1           # from peg
+    li   a2, 3           # to peg
+    li   a3, 2           # via peg
+    call hanoi
+    li   t6, {expected_moves}
+    bne  s0, t6, __fail
+    j    __pass
+
+# hanoi(a0=n, a1=from, a2=to, a3=via); increments s0 per move
+hanoi:
+    beqz a0, hanoi_ret
+    addi sp, sp, -20
+    sw   ra, 0(sp)
+    sw   a0, 4(sp)
+    sw   a1, 8(sp)
+    sw   a2, 12(sp)
+    sw   a3, 16(sp)
+    addi a0, a0, -1      # hanoi(n-1, from, via, to)
+    mv   t0, a2
+    mv   a2, a3
+    mv   a3, t0
+    call hanoi
+    addi s0, s0, 1       # move disk n
+    lw   a0, 4(sp)
+    lw   a1, 8(sp)
+    lw   a2, 12(sp)
+    lw   a3, 16(sp)
+    addi a0, a0, -1      # hanoi(n-1, via, to, from)
+    mv   t0, a1
+    mv   a1, a3
+    mv   a3, t0
+    call hanoi
+    lw   ra, 0(sp)
+    addi sp, sp, 20
+hanoi_ret:
+    ret
+{EXIT_STUBS}
+"""
+
+
+def build_spmv(rows: int = 12, nnz_per_row: int = 4) -> str:
+    """CSR sparse matrix-vector product with software multiplies."""
+    rng = Lcg(seed=67)
+    cols_count = rows  # square matrix
+    x = [v & 0x3F for v in rng.sequence(cols_count)]
+    row_ptr = [0]
+    col_idx = []
+    values = []
+    for _r in range(rows):
+        for _k in range(nnz_per_row):
+            col_idx.append(rng.next() % cols_count)
+            values.append(rng.next() & 0x3F)
+        row_ptr.append(len(col_idx))
+    y = []
+    for r in range(rows):
+        acc = 0
+        for k in range(row_ptr[r], row_ptr[r + 1]):
+            acc = (acc + values[k] * x[col_idx[k]]) & MASK32
+        y.append(acc)
+    checksum = sum(y) & MASK32
+    return f"""
+.text
+_start:
+    la   s0, row_ptr
+    la   s1, col_idx
+    la   s2, mat_val
+    la   s3, vec_x
+    li   s4, {rows}
+    li   s5, 0           # row
+    li   s6, 0           # checksum
+row_loop:
+    slli t0, s5, 2
+    add  t1, s0, t0
+    lw   s7, 0(t1)       # k = row_ptr[r]
+    lw   s8, 4(t1)       # end = row_ptr[r+1]
+    li   s9, 0           # acc
+nnz_loop:
+    bge  s7, s8, row_done
+    slli t0, s7, 2
+    add  t1, s1, t0
+    lw   t2, 0(t1)       # col
+    add  t1, s2, t0
+    lw   a0, 0(t1)       # value
+    slli t2, t2, 2
+    add  t2, t2, s3
+    lw   a1, 0(t2)       # x[col]
+    call __mulsi3
+    add  s9, s9, a0
+    addi s7, s7, 1
+    j    nnz_loop
+row_done:
+    add  s6, s6, s9
+    addi s5, s5, 1
+    blt  s5, s4, row_loop
+    li   t6, {checksum}
+    bne  s6, t6, __fail
+    j    __pass
+{MUL_SUBROUTINE}
+{EXIT_STUBS}
+.data
+row_ptr:
+{words_directive(row_ptr)}
+col_idx:
+{words_directive(col_idx)}
+mat_val:
+{words_directive(values)}
+vec_x:
+{words_directive(x)}
+"""
+
+
+def build_dhrystone(iterations: int = 12) -> str:
+    """A Dhrystone-flavoured mix: string copy/compare + integer churn."""
+    message = "DHRYSTONE PROGRAM, SOME STRING"
+    length = len(message)
+    # Python model of the integer churn below.
+    int_glob = 0
+    for i in range(iterations):
+        int_glob = (int_glob + i * 3 + 7) & MASK32
+        int_glob ^= (i << 2)
+    checksum = (int_glob + length * iterations) & MASK32
+    return f"""
+.text
+_start:
+    li   s0, 0           # iteration
+    li   s1, {iterations}
+    li   s2, 0           # int_glob
+    li   s3, 0           # copied-bytes accumulator
+outer:
+    # strcpy(dst, src) counting bytes
+    la   t0, str_src
+    la   t1, str_dst
+copy_loop:
+    lbu  t2, 0(t0)
+    sb   t2, 0(t1)
+    beqz t2, copy_done
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi s3, s3, 1
+    j    copy_loop
+copy_done:
+    # strcmp(dst, src) must be equal
+    la   t0, str_src
+    la   t1, str_dst
+cmp_loop:
+    lbu  t2, 0(t0)
+    lbu  t3, 0(t1)
+    bne  t2, t3, __fail
+    beqz t2, cmp_done
+    addi t0, t0, 1
+    addi t1, t1, 1
+    j    cmp_loop
+cmp_done:
+    # integer churn: int_glob += 3*i + 7; int_glob ^= i << 2
+    slli t0, s0, 1
+    add  t0, t0, s0      # 3*i
+    addi t0, t0, 7
+    add  s2, s2, t0
+    slli t0, s0, 2
+    xor  s2, s2, t0
+    addi s0, s0, 1
+    blt  s0, s1, outer
+    add  s2, s2, s3
+    li   t6, {checksum}
+    bne  s2, t6, __fail
+    j    __pass
+{EXIT_STUBS}
+.data
+str_src:
+    .asciz "{message}"
+.align 2
+str_dst:
+{words_directive([0] * ((length + 4) // 4 + 1))}
+"""
+
+
+def build_memcpy(n_bytes: int = 96) -> str:
+    """Byte-wise memory copy with verification (riscv-tests memcpy style)."""
+    rng = Lcg(seed=59)
+    data = [rng.next() & 0xFF for _ in range(n_bytes)]
+    checksum = sum(data) & MASK32
+    packed = []
+    for start in range(0, n_bytes, 4):
+        word = 0
+        for k, byte in enumerate(data[start:start + 4]):
+            word |= byte << (8 * k)
+        packed.append(word)
+    return f"""
+.text
+_start:
+    la   s0, cpy_src
+    la   s1, cpy_dst
+    li   s2, {n_bytes}
+    li   s3, 0
+copy_loop:
+    add  t0, s0, s3
+    lbu  t1, 0(t0)
+    add  t0, s1, s3
+    sb   t1, 0(t0)
+    addi s3, s3, 1
+    blt  s3, s2, copy_loop
+    # verify the copy byte by byte while summing
+    li   s4, 0           # checksum
+    li   s3, 0
+cvfy_loop:
+    add  t0, s0, s3
+    lbu  t1, 0(t0)
+    add  t0, s1, s3
+    lbu  t2, 0(t0)
+    bne  t1, t2, __fail
+    add  s4, s4, t2
+    addi s3, s3, 1
+    blt  s3, s2, cvfy_loop
+    li   t6, {checksum}
+    bne  s4, t6, __fail
+    j    __pass
+{EXIT_STUBS}
+.data
+cpy_src:
+{words_directive(packed)}
+cpy_dst:
+{words_directive([0] * len(packed))}
+"""
+
+
+def build_fibonacci(n: int = 12) -> str:
+    """Naive recursive Fibonacci: deep call trees and stack traffic."""
+    def fib(k: int) -> int:
+        return k if k < 2 else fib(k - 1) + fib(k - 2)
+
+    expected = fib(n)
+    return f"""
+.text
+_start:
+    li   a0, {n}
+    call fib
+    li   t6, {expected}
+    bne  a0, t6, __fail
+    j    __pass
+
+# fib(a0) -> a0, recursive
+fib:
+    li   t0, 2
+    blt  a0, t0, fib_base
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   a0, 8(sp)
+    addi a0, a0, -1
+    call fib
+    mv   s0, a0          # fib(n-1)
+    lw   a0, 8(sp)
+    addi a0, a0, -2
+    call fib
+    add  a0, a0, s0
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    addi sp, sp, 12
+fib_base:
+    ret
+{EXIT_STUBS}
+"""
+
+
+def build_matmul(n: int = 6) -> str:
+    """Dense n x n integer matrix multiply via the software multiplier."""
+    rng = Lcg(seed=73)
+    a = [[rng.next() & 0x1F for _ in range(n)] for _ in range(n)]
+    b = [[rng.next() & 0x1F for _ in range(n)] for _ in range(n)]
+    checksum = 0
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = (acc + a[i][k] * b[k][j]) & MASK32
+            checksum = (checksum + acc) & MASK32
+    flat_a = [value for row in a for value in row]
+    flat_b = [value for row in b for value in row]
+    return f"""
+.text
+_start:
+    la   s0, mat_a
+    la   s1, mat_b
+    li   s2, {n}
+    li   s3, 0           # i
+    li   s10, 0          # checksum
+mm_i:
+    li   s4, 0           # j
+mm_j:
+    li   s5, 0           # k
+    li   s9, 0           # acc
+mm_k:
+    # a[i][k]
+    mv   a0, s3
+    mv   a1, s2
+    call __mulsi3
+    add  a0, a0, s5
+    slli a0, a0, 2
+    add  a0, a0, s0
+    lw   s6, 0(a0)
+    # b[k][j]
+    mv   a0, s5
+    mv   a1, s2
+    call __mulsi3
+    add  a0, a0, s4
+    slli a0, a0, 2
+    add  a0, a0, s1
+    lw   a1, 0(a0)
+    mv   a0, s6
+    call __mulsi3
+    add  s9, s9, a0
+    addi s5, s5, 1
+    blt  s5, s2, mm_k
+    add  s10, s10, s9
+    addi s4, s4, 1
+    blt  s4, s2, mm_j
+    addi s3, s3, 1
+    blt  s3, s2, mm_i
+    li   t6, {checksum}
+    bne  s10, t6, __fail
+    j    __pass
+{MUL_SUBROUTINE}
+{EXIT_STUBS}
+.data
+mat_a:
+{words_directive(flat_a)}
+mat_b:
+{words_directive(flat_b)}
+"""

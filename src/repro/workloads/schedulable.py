@@ -1,0 +1,95 @@
+"""A kernel generated from the scheduler IR, in naive and scheduled order.
+
+An unrolled accumulation kernel with independent chains: each unrolled
+iteration computes ``acc_k += (a_k ^ m) + (a_k >> 2)`` over its own
+registers, so the naive (iteration-by-iteration) order has distance-1
+RAW chains while the list-scheduled order interleaves the chains and
+spreads every producer-consumer pair - exactly the transformation the
+paper says SFQ compilers should do.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cpu.scheduler import IrOp, list_schedule, render_asm
+from repro.errors import ConfigError
+from repro.workloads.generator import EXIT_STUBS, Lcg, words_directive
+
+MASK32 = 0xFFFFFFFF
+
+#: Register pools for the unrolled chains (s-regs stay for bookkeeping).
+_CHAIN_REGS = (("t0", "t1", "t2"), ("t3", "t4", "t5"),
+               ("a1", "a2", "a3"), ("a4", "a5", "a6"))
+
+
+def _kernel_ir(unroll: int) -> List[IrOp]:
+    """The loop body as IR: ``unroll`` independent dependence chains."""
+    if not 1 <= unroll <= len(_CHAIN_REGS):
+        raise ConfigError(f"unroll must be 1..{len(_CHAIN_REGS)}")
+    ops: List[IrOp] = []
+    for k in range(unroll):
+        load, tmp_a, tmp_b = _CHAIN_REGS[k]
+        offset = 4 * k
+        # Each chain: load -> xor -> shift -> add -> accumulate.
+        ops.append(IrOp(f"lw   {load}, {offset}(s0)", dest=load,
+                        srcs=("s0",)))
+        ops.append(IrOp(f"xor  {tmp_a}, {load}, s4", dest=tmp_a,
+                        srcs=(load, "s4")))
+        ops.append(IrOp(f"srli {tmp_b}, {load}, 2", dest=tmp_b,
+                        srcs=(load,)))
+        ops.append(IrOp(f"add  {tmp_a}, {tmp_a}, {tmp_b}", dest=tmp_a,
+                        srcs=(tmp_a, tmp_b)))
+        ops.append(IrOp(f"add  s{5 + k}, s{5 + k}, {tmp_a}",
+                        dest=f"s{5 + k}", srcs=(f"s{5 + k}", tmp_a)))
+    return ops
+
+
+def _expected_checksum(data: List[int], unroll: int, iterations: int,
+                       mask: int) -> int:
+    accumulators = [0] * unroll
+    cursor = 0
+    for _ in range(iterations):
+        for k in range(unroll):
+            value = data[cursor + k]
+            term = ((value ^ mask) + (value >> 2)) & MASK32
+            accumulators[k] = (accumulators[k] + term) & MASK32
+        cursor += unroll
+    return sum(accumulators) & MASK32
+
+
+def build_schedulable_kernel(unroll: int = 4, iterations: int = 24,
+                             scheduled: bool = False) -> str:
+    """Emit the kernel with the loop body in naive or scheduled order."""
+    rng = Lcg(seed=101)
+    mask = 0x5A5A
+    data = rng.sequence(unroll * iterations)
+    checksum = _expected_checksum(data, unroll, iterations, mask)
+    body = _kernel_ir(unroll)
+    if scheduled:
+        body = list_schedule(body)
+    acc_clear = "\n".join(f"    li   s{5 + k}, 0" for k in range(unroll))
+    acc_sum = "\n".join(f"    add  s3, s3, s{5 + k}" for k in range(unroll))
+    return f"""
+.text
+_start:
+    la   s0, sched_data
+    li   s1, {iterations}
+    li   s2, 0           # iteration counter
+    li   s4, {mask}
+{acc_clear}
+kernel_loop:
+{render_asm(body)}
+    addi s0, s0, {4 * unroll}
+    addi s2, s2, 1
+    blt  s2, s1, kernel_loop
+    li   s3, 0
+{acc_sum}
+    li   t6, {checksum}
+    bne  s3, t6, __fail
+    j    __pass
+{EXIT_STUBS}
+.data
+sched_data:
+{words_directive(data)}
+"""

@@ -1,0 +1,312 @@
+"""Synthetic SPEC CPU 2006 stand-ins (Section VI-B ran 429.mcf, 458.sjeng,
+462.libquantum and 999.specrand).
+
+Real SPEC binaries cannot be shipped or cross-compiled here; these
+kernels reproduce the *register-reuse and dependency profile* that drives
+Figure 14 instead:
+
+* ``mcf`` - pointer chasing over an arc/node graph with cost relaxation:
+  serial load-to-address chains (long RAW distance through memory).
+* ``sjeng`` - a branch-ladder move evaluator over pseudo-random
+  positions: data-dependent branches dominate.
+* ``libquantum`` - streaming gate application over a bit-register array:
+  independent iterations, high issue-rate sensitivity.
+* ``specrand`` - the LCG stream itself: a tight 1-cycle RAW recurrence.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import EXIT_STUBS, Lcg, words_directive
+
+MASK32 = 0xFFFFFFFF
+
+
+def _permutation_cycle(n: int, rng: Lcg) -> list:
+    """A single-cycle permutation (so the pointer chase visits every node)."""
+    order = list(range(n))
+    # Fisher-Yates with the deterministic LCG.
+    for i in range(n - 1, 0, -1):
+        j = rng.next() % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    nxt = [0] * n
+    for i in range(n):
+        nxt[order[i]] = order[(i + 1) % n]
+    return nxt
+
+
+def build_mcf(nodes: int = 32, steps: int = 96) -> str:
+    """Pointer-chasing cost relaxation (429.mcf profile).
+
+    Node record layout (12 bytes): next index, cost, potential.
+    The walk accumulates ``cost`` and relaxes it against the running
+    accumulator, producing a serial chain: load next -> compute address
+    -> load again.
+    """
+    rng = Lcg(seed=71)
+    nxt = _permutation_cycle(nodes, rng)
+    costs = [v & 0xFF for v in rng.sequence(nodes)]
+    potentials = [v & 0x3F for v in rng.sequence(nodes)]
+    # Python model of the walk below.
+    acc = 0
+    node = 0
+    cost_arr = list(costs)
+    for _ in range(steps):
+        cost = cost_arr[node]
+        pot = potentials[node]
+        reduced = (acc + pot) & MASK32
+        if reduced < cost:
+            cost_arr[node] = reduced
+        acc = (acc + cost_arr[node]) & MASK32
+        node = nxt[node]
+    checksum = acc
+    records = []
+    for i in range(nodes):
+        records.extend([nxt[i], costs[i], potentials[i]])
+    return f"""
+.text
+_start:
+    la   s0, graph       # 12-byte records
+    li   s1, {steps}
+    li   s2, 0           # acc
+    li   s3, 0           # node index
+walk:
+    beqz s1, walk_done
+    # record address = base + node*12
+    slli t0, s3, 3
+    slli t1, s3, 2
+    add  t0, t0, t1
+    add  t0, t0, s0
+    lw   t1, 0(t0)       # next
+    lw   t2, 4(t0)       # cost
+    lw   t3, 8(t0)       # potential
+    add  t4, s2, t3      # reduced = acc + potential
+    bge  t4, t2, no_relax
+    sw   t4, 4(t0)       # relax cost
+    mv   t2, t4
+no_relax:
+    add  s2, s2, t2      # acc += cost
+    mv   s3, t1          # chase the pointer
+    addi s1, s1, -1
+    j    walk
+walk_done:
+    li   t6, {checksum}
+    bne  s2, t6, __fail
+    j    __pass
+{EXIT_STUBS}
+.data
+graph:
+{words_directive(records)}
+"""
+
+
+def build_sjeng(positions: int = 64) -> str:
+    """Branch-ladder move evaluation (458.sjeng profile)."""
+    rng = Lcg(seed=83)
+    values = rng.sequence(positions)
+    # Python model of the evaluation ladder.
+    score = 0
+    for v in values:
+        piece = v & 7
+        if piece == 0:
+            score += 1
+        elif piece == 1:
+            score += 3
+        elif piece == 2:
+            score += 3
+        elif piece == 3:
+            score += 5
+        elif piece == 4:
+            score += 9
+        elif piece == 5:
+            score -= 2
+        elif piece == 6:
+            score ^= v >> 3
+        else:
+            score = (score << 1) & MASK32
+        if v & 0x100:
+            score = (score + (v >> 9)) & MASK32
+        score &= MASK32
+    checksum = score
+    return f"""
+.text
+_start:
+    la   s0, positions
+    li   s1, {positions}
+    li   s2, 0           # score
+    li   s3, 0           # index
+eval_loop:
+    slli t0, s3, 2
+    add  t1, s0, t0
+    lw   t2, 0(t1)       # position value
+    andi t3, t2, 7       # piece kind: the branch ladder
+    bnez t3, not_pawn
+    addi s2, s2, 1
+    j    ladder_done
+not_pawn:
+    li   t4, 1
+    bne  t3, t4, not_knight
+    addi s2, s2, 3
+    j    ladder_done
+not_knight:
+    li   t4, 2
+    bne  t3, t4, not_bishop
+    addi s2, s2, 3
+    j    ladder_done
+not_bishop:
+    li   t4, 3
+    bne  t3, t4, not_rook
+    addi s2, s2, 5
+    j    ladder_done
+not_rook:
+    li   t4, 4
+    bne  t3, t4, not_queen
+    addi s2, s2, 9
+    j    ladder_done
+not_queen:
+    li   t4, 5
+    bne  t3, t4, not_capture
+    addi s2, s2, -2
+    j    ladder_done
+not_capture:
+    li   t4, 6
+    bne  t3, t4, is_shift
+    srli t4, t2, 3
+    xor  s2, s2, t4
+    j    ladder_done
+is_shift:
+    slli s2, s2, 1
+ladder_done:
+    andi t4, t2, 0x100   # check-extension branch
+    beqz t4, no_ext
+    srli t4, t2, 9
+    add  s2, s2, t4
+no_ext:
+    addi s3, s3, 1
+    blt  s3, s1, eval_loop
+    li   t6, {checksum}
+    bne  s2, t6, __fail
+    j    __pass
+{EXIT_STUBS}
+.data
+positions:
+{words_directive(values)}
+"""
+
+
+def build_libquantum(qubits_words: int = 32, gates: int = 6) -> str:
+    """Streaming gate application over a bit register (462.libquantum profile)."""
+    rng = Lcg(seed=97)
+    state = rng.sequence(qubits_words)
+    controls = [rng.next() & MASK32 for _ in range(gates)]
+    targets = [rng.next() & MASK32 for _ in range(gates)]
+    # Python model: toggle target bits where the control bit pattern hits.
+    st = list(state)
+    for g in range(gates):
+        for i in range(qubits_words):
+            if st[i] & controls[g] & 0xFFFF:
+                st[i] ^= targets[g]
+            st[i] = ((st[i] << 1) | (st[i] >> 31)) & MASK32
+    checksum = sum(st) & MASK32
+    return f"""
+.text
+_start:
+    la   s0, qstate
+    la   s1, qcontrols
+    la   s2, qtargets
+    li   s3, {gates}
+    li   s4, 0           # gate index
+gate_loop:
+    slli t0, s4, 2
+    add  t1, s1, t0
+    lw   s5, 0(t1)       # control mask
+    add  t1, s2, t0
+    lw   s6, 0(t1)       # target mask
+    li   s7, 0           # word index
+word_loop:
+    slli t0, s7, 2
+    add  t1, s0, t0
+    lw   t2, 0(t1)
+    and  t3, t2, s5
+    li   t4, 0xFFFF
+    and  t3, t3, t4
+    beqz t3, no_toggle
+    xor  t2, t2, s6
+no_toggle:
+    slli t3, t2, 1       # rotate left 1
+    srli t4, t2, 31
+    or   t2, t3, t4
+    sw   t2, 0(t1)
+    addi s7, s7, 1
+    li   t0, {qubits_words}
+    blt  s7, t0, word_loop
+    addi s4, s4, 1
+    blt  s4, s3, gate_loop
+    # checksum
+    li   s8, 0
+    li   s7, 0
+qsum_loop:
+    slli t0, s7, 2
+    add  t1, s0, t0
+    lw   t2, 0(t1)
+    add  s8, s8, t2
+    addi s7, s7, 1
+    li   t0, {qubits_words}
+    blt  s7, t0, qsum_loop
+    li   t6, {checksum}
+    bne  s8, t6, __fail
+    j    __pass
+{EXIT_STUBS}
+.data
+qstate:
+{words_directive(state)}
+qcontrols:
+{words_directive(controls)}
+qtargets:
+{words_directive(targets)}
+"""
+
+
+def build_specrand(draws: int = 256) -> str:
+    """The 999.specrand LCG stream: a tight serial RAW recurrence."""
+    rng = Lcg(seed=1)
+    checksum = sum(rng.sequence(draws)) & MASK32
+    return f"""
+.text
+_start:
+    li   s0, 1           # LCG state (seed)
+    li   s1, {draws}
+    li   s2, 0           # checksum
+    li   s3, {Lcg.MULTIPLIER}
+    li   s4, {Lcg.INCREMENT}
+rand_loop:
+    # state = state * 1103515245 + 12345 (software multiply, unrolled
+    # shift-add over the constant's set bits would be long; use the
+    # generic routine)
+    mv   a0, s0
+    mv   a1, s3
+    call __mulsi3
+    add  s0, a0, s4
+    srli t0, s0, 16
+    li   t1, 0x7FFF
+    and  t0, t0, t1
+    add  s2, s2, t0
+    addi s1, s1, -1
+    bnez s1, rand_loop
+    li   t6, {checksum}
+    bne  s2, t6, __fail
+    j    __pass
+__mulsi3:
+    mv   t0, a0
+    mv   t1, a1
+    li   a0, 0
+__mul_loop:
+    andi t2, t1, 1
+    beqz t2, __mul_skip
+    add  a0, a0, t0
+__mul_skip:
+    slli t0, t0, 1
+    srli t1, t1, 1
+    bnez t1, __mul_loop
+    ret
+{EXIT_STUBS}
+"""

@@ -1,0 +1,144 @@
+"""Tests for the SFQ cell library."""
+
+import pytest
+
+from repro.cells import (
+    CELL_LIBRARY,
+    CellKind,
+    CellSpec,
+    cell_names,
+    composite_cost,
+    get_cell,
+    params,
+)
+from repro.errors import CellLibraryError
+
+
+class TestPaperStatedCosts:
+    """JJ counts the paper states explicitly."""
+
+    def test_ndro_is_11_jj(self):
+        assert get_cell("ndro").jj_count == 11
+
+    def test_hcdro_is_3_jj(self):
+        assert get_cell("hcdro").jj_count == 3
+
+    def test_hcdro_density_advantage(self):
+        # Section II-E: 2-bit NDRO needs 22 JJs vs 3 for HC-DRO -> 7.3x.
+        ndro_2bit = 2 * get_cell("ndro").jj_count
+        ratio = ndro_2bit / get_cell("hcdro").jj_count
+        assert ratio == pytest.approx(7.33, abs=0.01)
+
+    def test_ndroc_demux_is_33_jj(self):
+        assert get_cell("ndroc").jj_count == 33
+
+    def test_and_gate_is_12_jj(self):
+        assert get_cell("and").jj_count == 12
+
+    def test_not_gate_is_10_jj(self):
+        assert get_cell("not").jj_count == 10
+
+    def test_combinational_demux_estimate(self):
+        # Section III-A: a combinational 1-to-2 DEMUX needs ~50 JJs (two
+        # ANDs, a NOT, plus signal and clock splitters) and the 33-JJ NDROC
+        # design is about 60% of that.
+        combinational = (2 * get_cell("and").jj_count
+                         + get_cell("not").jj_count
+                         + get_cell("splitter").jj_count * 4)
+        assert 40 <= combinational <= 55
+        assert get_cell("ndroc").jj_count <= 0.75 * combinational
+
+
+class TestCellSpec:
+    def test_jj_per_bit(self):
+        assert get_cell("hcdro").jj_per_bit == pytest.approx(1.5)
+        assert get_cell("ndro").jj_per_bit == pytest.approx(11.0)
+
+    def test_jj_per_bit_rejected_for_logic(self):
+        with pytest.raises(CellLibraryError):
+            _ = get_cell("splitter").jj_per_bit
+
+    def test_negative_jj_rejected(self):
+        with pytest.raises(CellLibraryError):
+            CellSpec("bad", CellKind.LOGIC, -1, 0.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(CellLibraryError):
+            CellSpec("bad", CellKind.LOGIC, 1, -0.5)
+
+    def test_unknown_cell(self):
+        with pytest.raises(CellLibraryError, match="unknown cell"):
+            get_cell("flux_capacitor")
+
+    def test_cell_names_sorted_and_complete(self):
+        names = cell_names()
+        assert names == tuple(sorted(names))
+        for required in ("dro", "hcdro", "ndro", "ndroc", "splitter",
+                         "merger", "jtl", "dand", "hc_clk", "hc_write",
+                         "hc_read", "tff"):
+            assert required in names
+
+
+class TestComposites:
+    def test_hc_clk_composition(self):
+        spec = get_cell("hc_clk")
+        assert spec.kind is CellKind.COMPOSITE
+        assert spec.composition == {"splitter": 2, "merger": 2, "jtl": 6}
+        expected = (2 * get_cell("splitter").jj_count
+                    + 2 * get_cell("merger").jj_count
+                    + 6 * get_cell("jtl").jj_count)
+        assert spec.jj_count == expected == 28
+
+    def test_hc_write_jj(self):
+        assert get_cell("hc_write").jj_count == 23
+
+    def test_hc_read_jj(self):
+        assert get_cell("hc_read").jj_count == 24
+
+    def test_composite_power_rolls_up(self):
+        spec = get_cell("hc_clk")
+        expected = (2 * get_cell("splitter").static_power_uw
+                    + 2 * get_cell("merger").static_power_uw
+                    + 6 * get_cell("jtl").static_power_uw)
+        assert spec.static_power_uw == pytest.approx(expected)
+
+
+class TestCompositeCost:
+    def test_empty_census(self):
+        assert composite_cost({}) == (0, 0.0)
+
+    def test_simple_rollup(self):
+        jj, power = composite_cost({"ndro": 2, "splitter": 3})
+        assert jj == 2 * 11 + 3 * 3
+        assert power == pytest.approx(2 * get_cell("ndro").static_power_uw
+                                      + 3 * get_cell("splitter").static_power_uw)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CellLibraryError):
+            composite_cost({"ndro": -1})
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(CellLibraryError):
+            composite_cost({"nonsense": 1})
+
+
+class TestParams:
+    def test_cycle_time_is_ndroc_limit(self):
+        # Section III-E: the 53 ps NDROC enable separation sets the cycle.
+        assert params.RF_CYCLE_PS == params.NDROC_MIN_ENABLE_SEPARATION_PS == 53.0
+
+    def test_propagation_below_cycle(self):
+        # 24 ps propagation < 53 ps cycle: the tree is fully pipelinable.
+        assert params.NDROC_PROPAGATION_PS < params.NDROC_MIN_ENABLE_SEPARATION_PS
+
+    def test_reset_to_wen_fits_in_cycle(self):
+        assert params.RESET_TO_WEN_PS < params.RF_CYCLE_PS
+
+    def test_gate_cycle_relation(self):
+        # Section VI-B: 28 ps gate cycle, RF access takes two gate cycles.
+        assert params.GATE_CYCLE_PS == 28.0
+        assert params.RF_ACCESS_GATE_CYCLES * params.GATE_CYCLE_PS >= params.RF_CYCLE_PS
+
+    def test_every_power_entry_has_a_cell(self):
+        for name in params.POWER_UW:
+            assert name in CELL_LIBRARY

@@ -1,0 +1,27 @@
+"""Shared fixtures for the HiPerRF reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pulse import Engine
+from repro.rf.geometry import RFGeometry
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh strict-timing pulse engine."""
+    return Engine(strict_timing=True)
+
+
+@pytest.fixture
+def geo8() -> RFGeometry:
+    """A small register file geometry used by pulse-level tests."""
+    return RFGeometry(8, 8)
+
+
+@pytest.fixture(params=[RFGeometry(4, 4), RFGeometry(16, 16), RFGeometry(32, 32)],
+                ids=["4x4", "16x16", "32x32"])
+def paper_geometry(request) -> RFGeometry:
+    """The three geometries the paper's tables evaluate."""
+    return request.param

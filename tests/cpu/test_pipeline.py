@@ -1,0 +1,207 @@
+"""Tests for the gate-level pipeline timing engine."""
+
+import pytest
+
+from repro.cpu import CoreConfig, GateLevelPipeline, RFTimingModel
+from repro.errors import ConfigError
+from repro.isa import Instruction
+from repro.isa.executor import ExecutedOp
+
+
+def op(mnemonic="add", rd=None, srcs=(), branch=False, load=False,
+       store=False):
+    instr = Instruction(mnemonic, rd=rd,
+                        rs1=srcs[0] if srcs else None,
+                        rs2=srcs[1] if len(srcs) > 1 else None)
+    return ExecutedOp(pc=0, instr=instr, sources=tuple(srcs),
+                      destination=rd, branch_taken=branch, is_load=load,
+                      is_store=store)
+
+
+def pipeline(design="ndro_rf", **config_kwargs):
+    config = CoreConfig(**config_kwargs)
+    return GateLevelPipeline(RFTimingModel.for_design(design, config), config)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = CoreConfig()
+        assert config.execute_depth == 28
+        assert config.gate_cycle_ps == 28.0
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(fetch_depth=-1)
+
+    def test_ps_to_gate_cycles(self):
+        config = CoreConfig()
+        assert config.ps_to_gate_cycles(28.0) == 1
+        assert config.ps_to_gate_cycles(29.0) == 2
+        assert config.ps_to_gate_cycles(177.5) == 7
+
+
+class TestIndependentStream:
+    def test_issue_rate_bound_by_port_gap(self):
+        pipe = pipeline("hiperrf")
+        issues = [pipe.feed(op(rd=i + 1, srcs=())) for i in range(10)]
+        gaps = [b - a for a, b in zip(issues, issues[1:])]
+        assert all(gap == 6 for gap in gaps)  # 3 RF cycles x 2 gates
+
+    def test_baseline_issues_faster(self):
+        base = pipeline("ndro_rf")
+        issues = [base.feed(op(rd=i + 1, srcs=())) for i in range(10)]
+        gaps = [b - a for a, b in zip(issues, issues[1:])]
+        assert all(gap == 2 for gap in gaps)
+
+
+class TestRawDependencies:
+    def test_dependent_waits_for_writeback(self):
+        pipe = pipeline("ndro_rf")
+        pipe.feed(op(rd=5, srcs=()))
+        t = pipe.feed(op(rd=6, srcs=(5,)))
+        config = CoreConfig()
+        rf = RFTimingModel.for_design("ndro_rf", config)
+        expected = (0 + rf.rf_cycle_gates + config.execute_depth
+                    + config.writeback_depth)
+        assert t == expected
+
+    def test_independent_not_stalled(self):
+        pipe = pipeline("ndro_rf")
+        pipe.feed(op(rd=5, srcs=()))
+        t = pipe.feed(op(rd=6, srcs=(7,)))
+        assert t == 2  # just the port gap
+
+    def test_raw_stall_attributed(self):
+        pipe = pipeline("ndro_rf")
+        pipe.feed(op(rd=5, srcs=()))
+        pipe.feed(op(rd=6, srcs=(5,)))
+        assert pipe.result().stalls.raw > 0
+
+    def test_x0_never_tracked(self):
+        # source_registers() excludes x0; a stream via x0 never stalls.
+        pipe = pipeline("ndro_rf")
+        pipe.feed(op(rd=5, srcs=()))
+        t = pipe.feed(op(rd=6, srcs=()))
+        assert t == 2
+
+
+class TestLoopbackHazards:
+    def test_reread_stalls_on_hiperrf(self):
+        pipe = pipeline("hiperrf")
+        pipe.feed(op(rd=None, srcs=(3,), store=True))
+        t = pipe.feed(op(rd=None, srcs=(3,), store=True))
+        rf = RFTimingModel.for_design("hiperrf")
+        assert t == rf.loopback_busy_gates()
+        assert pipe.result().stalls.loopback > 0
+
+    def test_no_loopback_stall_on_baseline(self):
+        pipe = pipeline("ndro_rf")
+        pipe.feed(op(rd=None, srcs=(3,), store=True))
+        pipe.feed(op(rd=None, srcs=(3,), store=True))
+        assert pipe.result().stalls.loopback == 0
+
+    def test_different_registers_no_loopback_stall(self):
+        pipe = pipeline("hiperrf")
+        pipe.feed(op(rd=None, srcs=(3,), store=True))
+        t = pipe.feed(op(rd=None, srcs=(4,), store=True))
+        assert t == 6  # just the port gap
+
+
+class TestBranches:
+    def test_taken_branch_redirects_front_end(self):
+        pipe = pipeline("ndro_rf")
+        pipe.feed(op("jal", rd=1, srcs=(), branch=True))
+        t = pipe.feed(op(rd=5, srcs=()))
+        config = CoreConfig()
+        rf = RFTimingModel.for_design("ndro_rf", config)
+        redirect = (rf.rf_cycle_gates + config.execute_depth
+                    + config.branch_redirect_penalty)
+        assert t == redirect
+        assert pipe.result().stalls.branch > 0
+
+    def test_not_taken_branch_flows_through(self):
+        pipe = pipeline("ndro_rf")
+        pipe.feed(op("beq", rd=None, srcs=(1, 2), branch=False))
+        t = pipe.feed(op(rd=5, srcs=()))
+        assert t == 4  # port gap of the 2-source branch
+
+    def test_stall_on_branch_without_speculation(self):
+        pipe = pipeline("ndro_rf", fall_through_speculation=False)
+        pipe.feed(op("beq", rd=None, srcs=(1, 2), branch=False))
+        t = pipe.feed(op(rd=5, srcs=()))
+        assert t > 4
+
+
+class TestLoads:
+    def test_load_adds_memory_latency(self):
+        fast = pipeline("ndro_rf", memory_latency=0)
+        slow = pipeline("ndro_rf", memory_latency=20)
+        for pipe in (fast, slow):
+            pipe.feed(op("lw", rd=5, srcs=(2,), load=True))
+            pipe.feed(op(rd=6, srcs=(5,)))
+        assert slow.result().total_cycles == fast.result().total_cycles + 20
+        assert slow.result().loads == 1
+
+
+class TestResultAccounting:
+    def test_cpi_computation(self):
+        pipe = pipeline("ndro_rf")
+        for i in range(4):
+            pipe.feed(op(rd=i + 1, srcs=()))
+        result = pipe.result()
+        assert result.instructions == 4
+        assert result.cpi == result.total_cycles / 4
+
+    def test_empty_result(self):
+        assert pipeline("ndro_rf").result().cpi == 0.0
+
+    def test_stall_breakdown_dict(self):
+        breakdown = pipeline("ndro_rf").result().stalls.as_dict()
+        assert set(breakdown) == {"port", "raw", "loopback", "branch"}
+
+
+class TestStallAttribution:
+    def test_loopback_reason_tracked(self):
+        pipe = pipeline("hiperrf")
+        pipe.feed(op(rd=None, srcs=(3,), store=True))
+        pipe.feed(op(rd=None, srcs=(3,), store=True))
+        result = pipe.result()
+        assert result.stalls.loopback > 0
+        assert result.stalls.raw == 0
+
+    def test_raw_beats_loopback_when_producer_later(self):
+        """A register both loopback-busy and freshly written: the later
+        constraint (the write-back) owns the stall attribution."""
+        pipe = pipeline("hiperrf")
+        pipe.feed(op(rd=None, srcs=(3,), store=True))  # loopback on r3
+        pipe.feed(op(rd=3, srcs=()))                   # writes r3 later
+        pipe.feed(op(rd=None, srcs=(3,), store=True))  # stalls on the write
+        assert pipe.result().stalls.raw > 0
+
+    def test_branch_attribution(self):
+        pipe = pipeline("ndro_rf")
+        pipe.feed(op("jal", rd=1, srcs=(), branch=True))
+        pipe.feed(op(rd=5, srcs=()))
+        breakdown = pipe.result().stalls
+        assert breakdown.branch > 0
+        assert breakdown.total() == sum(breakdown.as_dict().values())
+
+
+class TestMemoryModelHook:
+    def test_custom_memory_model_consulted(self):
+        class CountingModel:
+            def __init__(self):
+                self.calls = []
+
+            def access(self, address, is_store=False):
+                self.calls.append((address, is_store))
+                return 5
+
+        model = CountingModel()
+        from repro.cpu import GateLevelPipeline, RFTimingModel
+
+        pipe = GateLevelPipeline(RFTimingModel.for_design("ndro_rf"),
+                                 CoreConfig(), memory_model=model)
+        pipe.feed(op("lw", rd=5, srcs=(2,), load=True))
+        pipe.feed(op("sw", rd=None, srcs=(2, 5), store=True))
+        assert model.calls == [(None, False), (None, True)]

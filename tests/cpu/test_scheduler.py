@@ -1,0 +1,104 @@
+"""Tests for the dependency-spreading list scheduler."""
+
+import pytest
+
+from repro.cpu.scheduler import (
+    IrOp,
+    list_schedule,
+    mean_raw_distance,
+    raw_distance_profile,
+    render_asm,
+)
+from repro.errors import ConfigError
+from repro.isa import Executor, assemble
+from repro.workloads import PASS_EXIT_CODE
+from repro.workloads.schedulable import build_schedulable_kernel
+
+
+def chain(prefix: str, length: int = 3):
+    """A serial dependence chain r0 -> r1 -> ... within one prefix."""
+    ops = [IrOp(f"li {prefix}0", dest=f"{prefix}0")]
+    for i in range(1, length):
+        ops.append(IrOp(f"op {prefix}{i}", dest=f"{prefix}{i}",
+                        srcs=(f"{prefix}{i - 1}",)))
+    return ops
+
+
+class TestDependences:
+    def test_raw_preserved(self):
+        ops = chain("a")
+        scheduled = list_schedule(ops)
+        position = {op.text: i for i, op in enumerate(scheduled)}
+        assert position["li a0"] < position["op a1"] < position["op a2"]
+
+    def test_war_preserved(self):
+        ops = [
+            IrOp("use x", srcs=("x",)),
+            IrOp("write x", dest="x"),
+        ]
+        scheduled = list_schedule(ops)
+        assert scheduled[0].text == "use x"
+
+    def test_waw_preserved(self):
+        ops = [
+            IrOp("write1 x", dest="x"),
+            IrOp("write2 x", dest="x"),
+            IrOp("read x", srcs=("x",)),
+        ]
+        scheduled = list_schedule(ops)
+        texts = [op.text for op in scheduled]
+        assert texts.index("write1 x") < texts.index("write2 x")
+        assert texts.index("write2 x") < texts.index("read x")
+
+    def test_is_a_permutation(self):
+        ops = chain("a") + chain("b") + chain("c")
+        scheduled = list_schedule(ops)
+        assert sorted(op.text for op in scheduled) == \
+            sorted(op.text for op in ops)
+
+
+class TestDistanceImprovement:
+    def test_interleaving_spreads_chains(self):
+        ops = chain("a") + chain("b") + chain("c")
+        assert mean_raw_distance(list_schedule(ops)) > \
+            mean_raw_distance(ops)
+
+    def test_single_chain_cannot_improve(self):
+        ops = chain("a", length=5)
+        assert mean_raw_distance(list_schedule(ops)) == \
+            pytest.approx(mean_raw_distance(ops))
+
+    def test_profile(self):
+        ops = [IrOp("a", dest="x"), IrOp("b", dest="y"),
+               IrOp("c", srcs=("x",))]
+        assert raw_distance_profile(ops) == [2]
+
+    def test_empty_profile(self):
+        assert raw_distance_profile([IrOp("a", dest="x")]) == []
+        assert mean_raw_distance([IrOp("a", dest="x")]) == float("inf")
+
+    def test_render(self):
+        assert render_asm([IrOp("nop")]) == "    nop"
+
+
+class TestScheduledKernel:
+    @pytest.mark.parametrize("scheduled", [False, True])
+    def test_kernel_self_checks(self, scheduled):
+        source = build_schedulable_kernel(scheduled=scheduled)
+        executor = Executor(assemble(source))
+        executor.run(max_instructions=200_000)
+        assert executor.exit_code == PASS_EXIT_CODE
+
+    def test_scheduling_preserves_semantics(self):
+        """Both orders must retire identical architectural results."""
+        exits = set()
+        for scheduled in (False, True):
+            source = build_schedulable_kernel(scheduled=scheduled)
+            executor = Executor(assemble(source))
+            executor.run(max_instructions=200_000)
+            exits.add(executor.exit_code)
+        assert exits == {PASS_EXIT_CODE}
+
+    def test_invalid_unroll(self):
+        with pytest.raises(ConfigError):
+            build_schedulable_kernel(unroll=9)

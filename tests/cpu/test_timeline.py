@@ -1,0 +1,93 @@
+"""Tests for the pipeline timeline recorder and CPU CLI."""
+
+import pytest
+
+from repro.cpu.__main__ import main as cpu_main
+from repro.cpu.timeline import (
+    RecordingPipeline,
+    record_timeline,
+    render_waterfall,
+)
+from repro.cpu import CoreConfig, RFTimingModel
+from repro.isa import Executor, assemble
+from repro.workloads import get_workload
+
+
+def ops_for(name="vvadd", scale=0.5):
+    executor = Executor(assemble(get_workload(name).build(scale)))
+    return list(executor.trace())
+
+
+class TestRecordingPipeline:
+    def test_records_every_instruction(self):
+        ops = ops_for()
+        pipeline = RecordingPipeline(RFTimingModel.for_design("ndro_rf"))
+        for op in ops[:50]:
+            pipeline.feed(op)
+        assert len(pipeline.records) == 50
+
+    def test_anchor_ordering(self):
+        records = record_timeline(iter(ops_for()), design="hiperrf", limit=40)
+        for record in records:
+            assert record.issue <= record.operands_ready
+            assert record.operands_ready < record.execute_done
+            assert record.execute_done < record.writeback
+            assert record.span > 0
+
+    def test_issue_times_monotone(self):
+        records = record_timeline(iter(ops_for()), design="ndro_rf", limit=40)
+        issues = [r.issue for r in records]
+        assert issues == sorted(issues)
+
+    def test_timing_matches_parent_engine(self):
+        """Recording must not change the timing outcomes."""
+        from repro.cpu import GateLevelPipeline
+
+        ops = ops_for()
+        plain = GateLevelPipeline(RFTimingModel.for_design("hiperrf"))
+        recording = RecordingPipeline(RFTimingModel.for_design("hiperrf"))
+        for op in ops:
+            plain.feed(op)
+            recording.feed(op)
+        assert plain.result().total_cycles == recording.result().total_cycles
+
+
+class TestWaterfall:
+    def test_render(self):
+        records = record_timeline(iter(ops_for()), limit=10)
+        text = render_waterfall(records)
+        assert "gate cycles" in text
+        assert "W" in text and "E" in text
+
+    def test_empty(self):
+        assert "empty" in render_waterfall([])
+
+
+class TestCpuCli:
+    def test_workload_run(self, capsys):
+        assert cpu_main(["--workload", "vvadd", "--design", "ndro_rf",
+                         "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "exit code 42" in out
+        assert "ndro_rf" in out
+
+    def test_waterfall_flag(self, capsys):
+        assert cpu_main(["--workload", "towers", "--design", "hiperrf",
+                         "--scale", "0.5", "--waterfall"]) == 0
+        assert "gate cycles" in capsys.readouterr().out
+
+    def test_source_file(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("_start:\n  li a0, 0\n  li a7, 93\n  ecall\n")
+        assert cpu_main([str(source), "--design", "ndro_rf"]) == 0
+        assert "exit code 0" in capsys.readouterr().out
+
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(SystemExit):
+            cpu_main([])
+        with pytest.raises(SystemExit):
+            cpu_main(["x.s", "--workload", "vvadd"])
+
+    def test_waterfall_needs_design(self):
+        with pytest.raises(SystemExit):
+            cpu_main(["--workload", "vvadd", "--waterfall"])

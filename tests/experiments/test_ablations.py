@@ -1,0 +1,73 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.rf import HiPerRF, NdroRegisterFile, RFGeometry
+from repro.rf.alternatives import SingleBitLoopbackRF
+
+
+class TestDualBitAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.dual_bit_ablation()
+
+    def test_single_bit_sits_between(self, result):
+        assert result["hiperrf_jj"] < result["single_bit_loopback_jj"] \
+            < result["baseline_jj"]
+
+    def test_savings_decompose(self, result):
+        total = (result["loopback_idea_saving_percent"]
+                 + result["dual_bit_extra_saving_percent"])
+        assert total == pytest.approx(result["total_saving_percent"],
+                                      abs=0.01)
+
+    def test_both_ideas_contribute(self, result):
+        assert result["loopback_idea_saving_percent"] > 15.0
+        assert result["dual_bit_extra_saving_percent"] > 15.0
+
+
+class TestSingleBitLoopbackDesign:
+    def test_readout_faster_than_hiperrf(self):
+        # No HC-CLK train or HC-READ counter on the path.
+        geometry = RFGeometry(32, 32)
+        assert SingleBitLoopbackRF(geometry).readout_delay_ps() < \
+            HiPerRF(geometry).readout_delay_ps()
+
+    def test_still_slower_than_baseline(self):
+        geometry = RFGeometry(32, 32)
+        assert SingleBitLoopbackRF(geometry).readout_delay_ps() > \
+            NdroRegisterFile(geometry).readout_delay_ps()
+
+    def test_has_loopback_path(self):
+        assert SingleBitLoopbackRF(RFGeometry(32, 32)).loopback_path() \
+            is not None
+
+    def test_storage_is_dro(self):
+        census = SingleBitLoopbackRF(RFGeometry(16, 16)).census()
+        assert census.count("dro") == 256
+        assert census.count("hcdro") == 0
+        assert census.count("hc_clk") == 0
+
+
+class TestBankPolicyAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.bank_policy_ablation(scale=0.4,
+                                              max_instructions=150_000)
+
+    def test_policy_spectrum_ordered(self, result):
+        ideal = result["dual_bank_hiperrf_ideal_overhead_percent"]
+        parity = result["dual_bank_hiperrf_overhead_percent"]
+        worst = result["dual_bank_hiperrf_worst_overhead_percent"]
+        assert ideal <= parity <= worst
+
+    def test_any_banking_beats_no_banking(self, result):
+        assert result["dual_bank_hiperrf_worst_overhead_percent"] <= \
+            result["hiperrf_overhead_percent"] + 0.5
+
+    def test_render(self, result):
+        text = ablations.render({"dual_bit": ablations.dual_bit_ablation(),
+                                 "bank_policy": result})
+        assert "Ablation studies" in text
+        assert "always same-bank" in text

@@ -1,0 +1,43 @@
+"""Tests for the banking scaling study."""
+
+import pytest
+
+from repro.experiments import banking
+
+
+class TestBankingStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return banking.run(scale=0.4, max_instructions=150_000)
+
+    def test_sweep_covers_expected_banks(self, rows):
+        assert [row["banks"] for row in rows] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_jj_premium_monotone(self, rows):
+        premiums = [row["jj_premium"] for row in rows]
+        assert premiums == sorted(premiums)
+        assert premiums[0] == pytest.approx(0.0)
+
+    def test_readout_monotone_decreasing(self, rows):
+        delays = [row["readout_ps"] for row in rows]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_cpi_overhead_improves_with_banks(self, rows):
+        overheads = [row["cpi_overhead_percent"] for row in rows]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_two_banks_is_the_knee(self, rows):
+        """Going 1 -> 2 banks buys more CPI per JJ than 2 -> 4."""
+        by_banks = {row["banks"]: row for row in rows}
+        gain_12 = (by_banks[1.0]["cpi_overhead_percent"]
+                   - by_banks[2.0]["cpi_overhead_percent"])
+        cost_12 = by_banks[2.0]["jj_premium"] - by_banks[1.0]["jj_premium"]
+        gain_24 = (by_banks[2.0]["cpi_overhead_percent"]
+                   - by_banks[4.0]["cpi_overhead_percent"])
+        cost_24 = by_banks[4.0]["jj_premium"] - by_banks[2.0]["jj_premium"]
+        assert gain_12 / cost_12 > gain_24 / cost_24
+
+    def test_render(self, rows):
+        text = banking.render(rows)
+        assert "Banking scaling study" in text
+        assert "knee" in text

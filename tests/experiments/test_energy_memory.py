@@ -1,0 +1,62 @@
+"""Tests for the energy and memory-sensitivity extension experiments."""
+
+import pytest
+
+from repro.experiments import energy, memory_sensitivity
+
+
+class TestEnergyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return energy.run("vvadd")
+
+    def test_traffic_counted(self, result):
+        traffic = result["_traffic"]
+        assert traffic["reads"] > 100
+        assert traffic["writes"] > 50
+
+    def test_all_designs_present(self, result):
+        for design in ("ndro_rf", "hiperrf", "dual_bank_hiperrf"):
+            assert result[design]["workload_total_fj"] > 0
+
+    def test_hiperrf_workload_energy_higher(self, result):
+        # Loopback writes make the HC-DRO designs dynamically costlier.
+        assert result["hiperrf"]["workload_total_fj"] > \
+            result["ndro_rf"]["workload_total_fj"]
+
+    def test_static_power_column_matches_table2(self, result):
+        assert result["hiperrf"]["static_power_uw"] == \
+            pytest.approx(3944, abs=60)
+
+    def test_render(self, result):
+        text = energy.render(result, workload="vvadd")
+        assert "Dynamic RF energy" in text
+
+
+class TestMemorySensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return memory_sensitivity.run(scale=0.4, max_instructions=120_000)
+
+    def test_all_memory_configs_present(self, result):
+        assert set(result) == {"flat_12_cycles", "flat_48_cycles",
+                               "cryo_buffer_1kb"}
+
+    def test_overhead_band_is_stable(self, result):
+        overheads = [row["hiperrf_overhead_percent"]
+                     for row in result.values()]
+        assert max(overheads) - min(overheads) < 3.0
+        assert all(4.0 < o < 15.0 for o in overheads)
+
+    def test_slower_memory_raises_absolute_cpi(self, result):
+        assert result["flat_48_cycles"]["baseline_cpi"] > \
+            result["flat_12_cycles"]["baseline_cpi"]
+
+    def test_cache_helps_vs_equally_slow_flat(self, result):
+        # The cryo buffer fronts a 48-cycle memory; locality must win
+        # back most of the gap to the 12-cycle flat model.
+        assert result["cryo_buffer_1kb"]["baseline_cpi"] < \
+            result["flat_48_cycles"]["baseline_cpi"]
+
+    def test_render(self, result):
+        assert "robust" in memory_sensitivity.render(result)

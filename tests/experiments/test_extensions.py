@@ -1,0 +1,78 @@
+"""Tests for the extension experiments: scaling, wire-CPI, alternatives."""
+
+import pytest
+
+from repro.experiments import alternatives, scaling, wire_cpi
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return scaling.run()
+
+    def test_jj_ratio_monotone_decreasing(self, rows):
+        ratios = [row["jj_ratio"] for row in rows]
+        assert all(a > b for a, b in zip(ratios, ratios[1:]))
+
+    def test_power_ratio_monotone_decreasing(self, rows):
+        ratios = [row["power_ratio"] for row in rows]
+        assert all(a > b for a, b in zip(ratios, ratios[1:]))
+
+    def test_delay_overhead_approaches_baseline(self, rows):
+        # Section VI-A: "even the readout delay overhead will eventually
+        # match the baseline with a larger size".
+        ratios = [row["delay_ratio"] for row in rows]
+        assert all(a > b for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] < 1.20
+        assert all(ratio > 1.0 for ratio in ratios)  # but never beats it
+
+    def test_dual_bank_delay_closer_to_baseline(self, rows):
+        for row in rows:
+            assert row["dual_delay_ratio"] < row["delay_ratio"]
+
+    def test_render(self, rows):
+        text = scaling.render(rows)
+        assert "Scaling study" in text and "256x64" in text
+
+
+class TestWireCpi:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return wire_cpi.run(scale=0.4, max_instructions=150_000)
+
+    def test_wires_slow_everything_slightly(self, result):
+        for design, row in result.items():
+            assert 0.0 <= row["cpi_shift_percent"] <= 8.0, design
+
+    def test_relative_overhead_shift_within_paper_bound(self, result):
+        # Section VI-C: "the CPI performance impact is at most 1%".
+        shifts = wire_cpi.overhead_shift(result)
+        for design, shift in shifts.items():
+            assert abs(shift) <= 1.2, design
+
+    def test_render(self, result):
+        text = wire_cpi.render(result)
+        assert "at most 1%" in text
+
+
+class TestAlternativesExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return alternatives.run()
+
+    def test_two_port_superlinear(self, result):
+        assert result["two_port_ratio"] > 2.0
+        assert result["dual_bank_ratio"] < 1.15
+
+    def test_demux_claim(self, result):
+        assert result["ndroc_demux_stage_jj"] == 33
+        assert 0.55 <= result["demux_stage_ratio"] <= 0.80
+
+    def test_shift_register_tradeoff(self, result):
+        assert result["shift_register_jj"] < result["single_port_jj"]
+        assert result["shift_register_readout_ps"] > \
+            5 * result["hiperrf_readout_ps"]
+
+    def test_render(self, result):
+        text = alternatives.render(result)
+        assert "nearly triples" in text

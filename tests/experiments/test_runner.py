@@ -1,0 +1,37 @@
+"""Tests for the hiperrf-experiments CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRunnerCli:
+    def test_registry_covers_paper_and_extensions(self):
+        paper = {"table1", "table2", "table3", "table4", "fullchip",
+                 "figure14", "figure15", "timing", "josim"}
+        extensions = {"scaling", "wire_cpi", "alternatives", "ablations",
+                      "margins", "synthesis", "memory", "energy",
+                      "banking", "skew", "faults", "scheduling", "profiles"}
+        assert paper <= set(EXPERIMENTS)
+        assert extensions <= set(EXPERIMENTS)
+
+    def test_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table3", "fullchip"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "Full-chip" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_every_fast_experiment_renders(self, capsys):
+        # The cheap analytic experiments must all render cleanly.
+        assert main(["table1", "table2", "table3", "table4", "fullchip",
+                     "figure15", "timing", "scaling", "alternatives"]) == 0
+        out = capsys.readouterr().out
+        assert len(out) > 2000

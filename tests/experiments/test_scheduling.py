@@ -1,0 +1,36 @@
+"""Tests for the compiler-scheduling study."""
+
+import pytest
+
+from repro.experiments import scheduling
+
+
+class TestSchedulingStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return scheduling.run()
+
+    def test_raw_distance_improves(self, result):
+        ir = result["_ir"]
+        assert ir["scheduled_mean_raw_distance"] > \
+            2 * ir["naive_mean_raw_distance"]
+
+    def test_scheduling_speeds_up_every_design(self, result):
+        for design in result["naive"]:
+            assert result["scheduled"][design] < \
+                0.6 * result["naive"][design], design
+
+    def test_big_speedup_on_deep_pipeline(self, result):
+        # The 28-deep execute stage makes spreading worth >2x here.
+        speedup = result["naive"]["ndro_rf"] / result["scheduled"]["ndro_rf"]
+        assert speedup > 2.0
+
+    def test_ordering_preserved_in_both(self, result):
+        for variant in ("naive", "scheduled"):
+            assert result[variant]["hiperrf"] >= \
+                result[variant]["dual_bank_hiperrf"] - 0.01
+
+    def test_render(self, result):
+        text = scheduling.render(result)
+        assert "spreading RAW dependencies" in text
+        assert "speedup" in text

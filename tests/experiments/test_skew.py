@@ -1,0 +1,43 @@
+"""Tests for the loopback skew-tolerance study."""
+
+import pytest
+
+from repro.experiments import skew
+
+
+class TestSkewStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return skew.run([-12.0, -4.0, 0.0, 8.0, 20.0])
+
+    def test_nominal_alignment_restores(self, rows):
+        by_skew = {row["skew_ps"]: row["restored"] for row in rows}
+        assert by_skew[0.0] == 1.0
+
+    def test_small_skew_tolerated(self, rows):
+        by_skew = {row["skew_ps"]: row["restored"] for row in rows}
+        assert by_skew[-4.0] == 1.0
+        assert by_skew[8.0] == 1.0
+
+    def test_large_skew_corrupts(self, rows):
+        by_skew = {row["skew_ps"]: row["restored"] for row in rows}
+        assert by_skew[-12.0] == 0.0
+        assert by_skew[20.0] == 0.0
+
+    def test_window_accounting(self, rows):
+        window = skew.working_window_ps(rows)
+        assert window["low_ps"] <= -4.0
+        assert window["high_ps"] >= 8.0
+        assert window["width_ps"] == \
+            window["high_ps"] - window["low_ps"]
+
+    def test_window_scale_is_the_hold_time(self, rows):
+        # The working window must be on the order of the 10 ps DAND hold
+        # window - not arbitrarily wide, not vanishing.
+        window = skew.working_window_ps(rows)
+        assert 5.0 <= window["width_ps"] <= 40.0
+
+    def test_render(self, rows):
+        text = skew.render(rows)
+        assert "working window" in text
+        assert "CORRUPT" in text

@@ -1,0 +1,128 @@
+"""Shape tests for Tables I-IV against the paper's published values.
+
+The acceptance criterion (DESIGN.md Section 5): orderings and
+percent-of-baseline ratios must match; absolute values within a few
+percent of the proprietary-library numbers.
+"""
+
+import pytest
+
+from repro.experiments import paper_data, table1, table2, table3, table4
+from repro.experiments.report import ComparisonRow, format_table, \
+    max_abs_delta_percent
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run()
+
+    def test_absolute_values_close(self, result):
+        for design, cells in result.items():
+            for label, cell in cells.items():
+                assert cell["jj"] == pytest.approx(cell["paper_jj"], rel=0.09), \
+                    f"{design} {label}"
+
+    def test_percent_of_baseline_32x32(self, result):
+        # Paper: HiPerRF 43.93%, dual-banked 46.55%.
+        assert result["hiperrf"]["32x32"]["percent_of_baseline"] == \
+            pytest.approx(43.93, abs=1.5)
+        assert result["dual_bank_hiperrf"]["32x32"]["percent_of_baseline"] == \
+            pytest.approx(46.55, abs=1.5)
+
+    def test_ratio_ordering_across_sizes(self, result):
+        ratios = [result["hiperrf"][g]["percent_of_baseline"]
+                  for g in paper_data.GEOMETRY_LABELS]
+        assert ratios[0] > ratios[1] > ratios[2]
+
+    def test_render(self, result):
+        text = table1.render(result)
+        assert "Table I" in text
+        assert "HiPerRF" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run()
+
+    def test_absolute_values_close(self, result):
+        for design, cells in result.items():
+            for label, cell in cells.items():
+                assert cell["power_uw"] == pytest.approx(
+                    cell["paper_power_uw"], rel=0.05), f"{design} {label}"
+
+    def test_percent_of_baseline_32x32(self, result):
+        # Paper: HiPerRF 53.85%, dual-banked 56.15%.
+        assert result["hiperrf"]["32x32"]["percent_of_baseline"] == \
+            pytest.approx(53.85, abs=2.0)
+        assert result["dual_bank_hiperrf"]["32x32"]["percent_of_baseline"] == \
+            pytest.approx(56.15, abs=2.0)
+
+    def test_render(self, result):
+        assert "Table II" in table2.render(result)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run()
+
+    def test_absolute_values_close(self, result):
+        for design, cells in result.items():
+            for label, cell in cells.items():
+                assert cell["delay_ps"] == pytest.approx(
+                    cell["paper_delay_ps"], rel=0.08), f"{design} {label}"
+
+    def test_hiperrf_overhead_shrinks_with_size(self, result):
+        overheads = [result["hiperrf"][g]["percent_of_baseline"]
+                     for g in paper_data.GEOMETRY_LABELS]
+        assert overheads[0] > overheads[1] > overheads[2]
+
+    def test_dual_bank_8_percent_at_32x32(self, result):
+        # Paper: 108.33% of baseline.
+        assert result["dual_bank_hiperrf"]["32x32"]["percent_of_baseline"] == \
+            pytest.approx(108.33, abs=3.0)
+
+    def test_render(self, result):
+        assert "Table III" in table3.render(result)
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4.run()
+
+    def test_readout_matches(self, result):
+        for design, cell in result.items():
+            assert cell["readout_ps"] == pytest.approx(
+                cell["paper_readout_ps"], rel=0.03), design
+
+    def test_loopback_matches(self, result):
+        for design in ("hiperrf", "dual_bank_hiperrf"):
+            cell = result[design]
+            assert cell["loopback_ps"] == pytest.approx(
+                cell["paper_loopback_ps"], rel=0.05), design
+
+    def test_baseline_no_loopback(self, result):
+        assert result["ndro_rf"]["loopback_ps"] is None
+
+    def test_render(self, result):
+        assert "Table IV" in table4.render(result)
+
+
+class TestReportHelpers:
+    def test_comparison_row_delta(self):
+        row = ComparisonRow("x", measured=110.0, paper=100.0)
+        assert row.delta_percent == pytest.approx(10.0)
+        assert ComparisonRow("x", 1.0).delta_percent is None
+
+    def test_format_table(self):
+        text = format_table("T", [ComparisonRow("a", 1.0, 2.0, unit="ps")])
+        assert "T" in text and "a [ps]" in text and "-50.0%" in text
+
+    def test_max_abs_delta(self):
+        rows = [ComparisonRow("a", 105.0, 100.0),
+                ComparisonRow("b", 90.0, 100.0)]
+        assert max_abs_delta_percent(rows) == pytest.approx(10.0)
+        assert max_abs_delta_percent([ComparisonRow("c", 1.0)]) == 0.0

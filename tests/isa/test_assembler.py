@@ -1,0 +1,189 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import assemble, assemble_to_words, decode
+from repro.isa.assembler import DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE
+
+
+def one(line: str) -> int:
+    return assemble_to_words(f"_start:\n    {line}\n")[0]
+
+
+class TestBasics:
+    def test_entry_defaults_to_start_label(self):
+        program = assemble("nop\n_start:\n    nop\n")
+        assert program.entry == DEFAULT_TEXT_BASE + 4
+
+    def test_entry_without_start_label(self):
+        program = assemble("nop\n")
+        assert program.entry == DEFAULT_TEXT_BASE
+
+    def test_comments_ignored(self):
+        words = assemble_to_words("# comment\nnop  # trailing\n// c++ style\n")
+        assert len(words) == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\n  nop\na:\n  nop\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("mul x1, x2, x3\n")  # no M extension
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("add x1, x2\n")
+
+    def test_unresolved_symbol(self):
+        with pytest.raises(AssemblerError, match="unresolved"):
+            assemble("j nowhere\n")
+
+    def test_instruction_in_data_section_rejected(self):
+        with pytest.raises(AssemblerError, match="outside"):
+            assemble(".data\nnop\n")
+
+
+class TestBranchesAndLabels:
+    def test_backward_branch(self):
+        words = assemble_to_words("loop:\n  nop\n  j loop\n")
+        jal = decode(words[1])
+        assert jal.imm == -4
+
+    def test_forward_branch(self):
+        words = assemble_to_words("  beq x1, x2, done\n  nop\ndone:\n  nop\n")
+        assert decode(words[0]).imm == 8
+
+    def test_multiple_labels_same_address(self):
+        program = assemble("a:\nb:\n  nop\n")
+        assert program.symbols["a"] == program.symbols["b"]
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        assert one("nop") == 0x00000013
+
+    def test_li_small(self):
+        instr = decode(one("li a0, -5"))
+        assert (instr.mnemonic, instr.rd, instr.imm) == ("addi", 10, -5)
+
+    def test_li_large_expands_to_two(self):
+        words = assemble_to_words("_start:\n  li a0, 0x12345678\n")
+        assert len(words) == 2
+        lui, addi = (decode(w) for w in words)
+        assert lui.mnemonic == "lui"
+        assert addi.mnemonic == "addi"
+        # lui+addi must reconstruct the constant
+        value = (lui.imm + addi.imm) & 0xFFFFFFFF
+        assert value == 0x12345678
+
+    @pytest.mark.parametrize("constant", [
+        0, 1, -1, 2047, -2048, 2048, -2049, 0x7FFFFFFF, -2147483648,
+        0x80000000 - (1 << 32), 0xABCD1234 - (1 << 32)])
+    def test_li_reconstructs_any_constant(self, constant):
+        from repro.isa import Executor
+
+        program = assemble(f"_start:\n  li a0, {constant}\n"
+                           "  li a7, 93\n  ecall\n")
+        executor = Executor(program)
+        executor.run()
+        assert executor.state.read(10) == constant & 0xFFFFFFFF
+
+    def test_mv_not_neg(self):
+        assert decode(one("mv a0, a1")).mnemonic == "addi"
+        assert decode(one("not a0, a1")).mnemonic == "xori"
+        assert decode(one("neg a0, a1")).mnemonic == "sub"
+
+    def test_branch_zero_forms(self):
+        assert decode(one("beqz a0, 8")).mnemonic == "beq"
+        assert decode(one("bnez a0, 8")).mnemonic == "bne"
+        assert decode(one("bltz a0, 8")).mnemonic == "blt"
+
+    def test_swapped_comparison_forms(self):
+        bgt = decode(one("bgt a0, a1, 8"))
+        assert bgt.mnemonic == "blt"
+        assert (bgt.rs1, bgt.rs2) == (11, 10)  # operands swapped
+
+    def test_call_ret(self):
+        call = decode(one("call 2048"))
+        assert (call.mnemonic, call.rd) == ("jal", 1)
+        ret = decode(one("ret"))
+        assert (ret.mnemonic, ret.rs1, ret.rd) == ("jalr", 1, 0)
+
+    def test_jr(self):
+        jr = decode(one("jr a0"))
+        assert (jr.mnemonic, jr.rs1, jr.rd) == ("jalr", 10, 0)
+
+
+class TestDirectives:
+    def test_word_data(self):
+        program = assemble(".data\nvals: .word 1, 2, 0xFFFFFFFF\n")
+        words = program.words()
+        base = program.symbols["vals"]
+        assert words[base] == 1
+        assert words[base + 4] == 2
+        assert words[base + 8] == 0xFFFFFFFF
+
+    def test_data_base(self):
+        program = assemble(".data\nx: .word 7\n")
+        assert program.symbols["x"] == DEFAULT_DATA_BASE
+
+    def test_byte_and_half(self):
+        program = assemble(".data\nb: .byte 0x12, 0x34\nh: .half 0x5678\n")
+        assert program.image[program.symbols["b"]] == 0x12
+        assert program.image[program.symbols["h"]] == 0x78
+
+    def test_space_zero_filled(self):
+        program = assemble(".data\nbuf: .space 8\nafter: .word 1\n")
+        assert program.symbols["after"] == program.symbols["buf"] + 8
+
+    def test_align(self):
+        program = assemble(".data\na: .byte 1\n.align 2\nb: .word 2\n")
+        assert program.symbols["b"] % 4 == 0
+
+    def test_asciz(self):
+        program = assemble('.data\ns: .asciz "hi"\n')
+        base = program.symbols["s"]
+        assert [program.image[base + i] for i in range(3)] == [104, 105, 0]
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".bogus 1\n")
+
+
+class TestHiLoRelocations:
+    def test_hi_lo_reconstruct_address(self):
+        source = """
+_start:
+    lui  a0, %hi(target)
+    addi a0, a0, %lo(target)
+    li   a7, 93
+    ecall
+.data
+target: .word 99
+"""
+        from repro.isa import Executor
+
+        program = assemble(source)
+        executor = Executor(program)
+        executor.run()
+        assert executor.state.read(10) == program.symbols["target"]
+
+
+class TestLaPseudo:
+    def test_la_loads_symbol_address(self):
+        from repro.isa import Executor
+
+        program = assemble("""
+_start:
+    la   a0, thing
+    li   a7, 93
+    ecall
+.data
+.align 2
+thing: .word 5
+""")
+        executor = Executor(program)
+        executor.run()
+        assert executor.state.read(10) == program.symbols["thing"]

@@ -1,0 +1,40 @@
+"""Tests for the disassembler."""
+
+from repro.isa import assemble_to_words, disassemble
+
+
+def one(line: str) -> str:
+    return disassemble(assemble_to_words(f"_start:\n    {line}\n")[0])
+
+
+class TestDisassemble:
+    def test_r_type(self):
+        assert one("add t0, t1, t2") == "add t0, t1, t2"
+
+    def test_i_type(self):
+        assert one("addi a0, a1, -3") == "addi a0, a1, -3"
+
+    def test_load_store(self):
+        assert one("lw a0, 8(sp)") == "lw a0, 8(sp)"
+        assert one("sw a0, -4(sp)") == "sw a0, -4(sp)"
+
+    def test_branch(self):
+        assert one("beq a0, a1, 16") == "beq a0, a1, 16"
+
+    def test_lui(self):
+        assert one("lui a0, 0x12") == "lui a0, 0x12"
+
+    def test_system(self):
+        assert one("ecall") == "ecall"
+        assert one("fence") == "fence"
+
+    def test_invalid_word_renders_as_data(self):
+        assert disassemble(0xFFFFFFFF) == ".word 0xffffffff"
+
+    def test_roundtrip_through_assembler(self):
+        # Disassembled text must re-assemble to the same word.
+        for line in ("add t0, t1, t2", "addi a0, a1, 42", "lw s0, 0(sp)",
+                     "sltu a0, a1, a2", "srai t0, t1, 7"):
+            word = assemble_to_words(f"_start:\n  {line}\n")[0]
+            again = assemble_to_words(f"_start:\n  {disassemble(word)}\n")[0]
+            assert word == again

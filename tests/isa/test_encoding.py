@@ -1,0 +1,91 @@
+"""Tests for RV32I field packing and register naming."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa import encoding as enc
+from repro.isa.encoding import register_number, sign_extend
+
+
+class TestRegisterNames:
+    def test_numeric_names(self):
+        assert register_number("x0") == 0
+        assert register_number("x31") == 31
+
+    def test_abi_names(self):
+        assert register_number("zero") == 0
+        assert register_number("ra") == 1
+        assert register_number("sp") == 2
+        assert register_number("a0") == 10
+        assert register_number("t6") == 31
+
+    def test_fp_alias(self):
+        assert register_number("fp") == register_number("s0") == 8
+
+    def test_case_and_whitespace(self):
+        assert register_number(" A0 ") == 10
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            register_number("x32")
+        with pytest.raises(AssemblerError):
+            register_number("rax")
+
+
+class TestSignExtend:
+    @pytest.mark.parametrize("value,bits,expected", [
+        (0x7FF, 12, 2047),
+        (0x800, 12, -2048),
+        (0xFFF, 12, -1),
+        (0, 12, 0),
+        (0xFFFFFFFF, 32, -1),
+        (0x7FFFFFFF, 32, 2147483647),
+    ])
+    def test_known_values(self, value, bits, expected):
+        assert sign_extend(value, bits) == expected
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_roundtrip_12bit(self, value):
+        assert sign_extend(value & 0xFFF, 12) == value
+
+
+class TestImmediateCodecs:
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_i_type_roundtrip(self, imm):
+        word = enc.encode_i(enc.OP_IMM, 5, 0, 6, imm)
+        assert enc.imm_i(word) == imm
+        assert enc.field_rd(word) == 5
+        assert enc.field_rs1(word) == 6
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_s_type_roundtrip(self, imm):
+        word = enc.encode_s(enc.OP_STORE, 2, 3, 4, imm)
+        assert enc.imm_s(word) == imm
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_b_type_roundtrip(self, imm):
+        offset = imm * 2  # B immediates are even
+        word = enc.encode_b(enc.OP_BRANCH, 0, 3, 4, offset)
+        assert enc.imm_b(word) == offset
+
+    @given(st.integers(min_value=0, max_value=0xFFFFF))
+    def test_u_type_roundtrip(self, imm):
+        word = enc.encode_u(enc.OP_LUI, 7, imm)
+        assert enc.imm_u(word) == imm << 12
+
+    @given(st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+    def test_j_type_roundtrip(self, imm):
+        offset = imm * 2
+        word = enc.encode_j(enc.OP_JAL, 1, offset)
+        assert enc.imm_j(word) == offset
+
+    def test_odd_branch_offset_rejected(self):
+        with pytest.raises(AssemblerError):
+            enc.encode_b(enc.OP_BRANCH, 0, 1, 2, 3)
+
+    def test_out_of_range_immediates(self):
+        with pytest.raises(AssemblerError):
+            enc.encode_i(enc.OP_IMM, 1, 0, 2, 5000)
+        with pytest.raises(AssemblerError):
+            enc.encode_u(enc.OP_LUI, 1, 1 << 20)

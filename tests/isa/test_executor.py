@@ -1,0 +1,235 @@
+"""Tests for the functional RV32I executor."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa import Executor, HaltReason, assemble
+from repro.isa.encoding import to_s32
+
+
+def run_asm(body: str, max_instructions: int = 100_000) -> Executor:
+    executor = Executor(assemble(body))
+    executor.run(max_instructions=max_instructions)
+    return executor
+
+
+def exit_value(body: str) -> int:
+    return run_asm(body).exit_code
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        code = """
+_start:
+    li t0, 40
+    li t1, 2
+    add a0, t0, t1
+    li a7, 93
+    ecall
+"""
+        assert exit_value(code) == 42
+
+    def test_overflow_wraps(self):
+        code = """
+_start:
+    li t0, 0x7FFFFFFF
+    addi a0, t0, 1
+    li a7, 93
+    ecall
+"""
+        executor = run_asm(code)
+        assert executor.state.read(10) == 0x80000000
+
+    def test_slt_signed_vs_unsigned(self):
+        code = """
+_start:
+    li t0, -1
+    li t1, 1
+    slt  t2, t0, t1    # -1 < 1 -> 1
+    sltu t3, t0, t1    # 0xFFFFFFFF < 1 -> 0
+    slli t2, t2, 1
+    or   a0, t2, t3
+    li a7, 93
+    ecall
+"""
+        assert exit_value(code) == 2
+
+    def test_sra_vs_srl(self):
+        code = """
+_start:
+    li t0, -16
+    srai t1, t0, 2
+    srli t2, t0, 28
+    add a0, t1, t2     # -4 + 15 = 11
+    li a7, 93
+    ecall
+"""
+        assert exit_value(code) == 11
+
+    def test_x0_stays_zero(self):
+        code = """
+_start:
+    li t0, 99
+    add x0, t0, t0
+    mv a0, x0
+    li a7, 93
+    ecall
+"""
+        assert exit_value(code) == 0
+
+
+class TestMemoryOps:
+    def test_byte_halfword_sign_extension(self):
+        code = """
+_start:
+    la  t0, data
+    lb  t1, 0(t0)      # 0xFF -> -1
+    lbu t2, 0(t0)      # 0xFF -> 255
+    add a0, t1, t2     # 254
+    li a7, 93
+    ecall
+.data
+data: .byte 0xFF
+"""
+        assert exit_value(code) == 254
+
+    def test_store_load_roundtrip(self):
+        code = """
+_start:
+    la t0, buf
+    li t1, 0x1234
+    sh t1, 0(t0)
+    lh a0, 0(t0)
+    li a7, 93
+    ecall
+.data
+buf: .space 4
+"""
+        assert exit_value(code) == 0x1234
+
+    def test_stack_usage(self):
+        code = """
+_start:
+    addi sp, sp, -8
+    li t0, 7
+    sw t0, 4(sp)
+    lw a0, 4(sp)
+    addi sp, sp, 8
+    li a7, 93
+    ecall
+"""
+        assert exit_value(code) == 7
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        code = """
+_start:
+    li a0, 0
+    li t0, 10
+loop:
+    addi a0, a0, 1
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    ecall
+"""
+        assert exit_value(code) == 10
+
+    def test_call_ret(self):
+        code = """
+_start:
+    li a0, 20
+    call double
+    li a7, 93
+    ecall
+double:
+    add a0, a0, a0
+    ret
+"""
+        assert exit_value(code) == 40
+
+    def test_branch_taken_flag(self):
+        executor = Executor(assemble("""
+_start:
+    li t0, 1
+    beqz t0, skip      # not taken
+    bnez t0, skip      # taken
+    nop
+skip:
+    li a7, 93
+    ecall
+"""))
+        taken = [op.branch_taken for op in executor.trace()]
+        assert taken.count(True) == 1
+
+
+class TestHaltAndErrors:
+    def test_ebreak_halts(self):
+        executor = run_asm("_start:\n  ebreak\n")
+        assert executor.halt_reason is HaltReason.EBREAK
+
+    def test_instruction_limit(self):
+        executor = Executor(assemble("_start:\n  j _start\n"))
+        assert executor.run(max_instructions=10) is \
+            HaltReason.INSTRUCTION_LIMIT
+
+    def test_step_after_halt_rejected(self):
+        executor = run_asm("_start:\n  ebreak\n")
+        with pytest.raises(ExecutionError):
+            executor.step()
+
+    def test_unsupported_syscall(self):
+        with pytest.raises(ExecutionError, match="syscall"):
+            run_asm("_start:\n  li a7, 999\n  ecall\n")
+
+    def test_falling_off_program(self):
+        with pytest.raises(ExecutionError, match="all-zero"):
+            run_asm("_start:\n  nop\n")
+
+    def test_write_char_syscall(self):
+        executor = run_asm("""
+_start:
+    li a0, 72
+    li a7, 64
+    ecall
+    li a0, 105
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+""")
+        assert executor.output == "Hi"
+
+
+class TestRetirementRecords:
+    def test_sources_and_destination(self):
+        executor = Executor(assemble("""
+_start:
+    li t0, 1
+    li t1, 2
+    add t2, t0, t1
+    li a7, 93
+    li a0, 0
+    ecall
+"""))
+        ops = list(executor.trace())
+        add_op = next(op for op in ops if op.instr.mnemonic == "add")
+        assert add_op.sources == (5, 6)
+        assert add_op.destination == 7
+
+    def test_load_store_flags(self):
+        executor = Executor(assemble("""
+_start:
+    la t0, w
+    lw t1, 0(t0)
+    sw t1, 0(t0)
+    li a7, 93
+    li a0, 0
+    ecall
+.data
+w: .word 3
+"""))
+        ops = list(executor.trace())
+        assert any(op.is_load for op in ops)
+        assert any(op.is_store for op in ops)

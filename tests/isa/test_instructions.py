@@ -1,0 +1,121 @@
+"""Tests for the RV32I decoder and instruction classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError
+from repro.isa import decode
+from repro.isa import encoding as enc
+from repro.isa.assembler import assemble_to_words
+
+
+def _decode_asm(line: str):
+    return decode(assemble_to_words(f"_start:\n    {line}\n")[0])
+
+
+class TestDecodeBasics:
+    def test_addi(self):
+        instr = _decode_asm("addi x5, x6, -7")
+        assert (instr.mnemonic, instr.rd, instr.rs1, instr.imm) == \
+            ("addi", 5, 6, -7)
+
+    def test_add(self):
+        instr = _decode_asm("add x1, x2, x3")
+        assert (instr.mnemonic, instr.rd, instr.rs1, instr.rs2) == \
+            ("add", 1, 2, 3)
+
+    def test_sub_vs_add_funct7(self):
+        assert _decode_asm("sub x1, x2, x3").mnemonic == "sub"
+
+    def test_shifts(self):
+        assert _decode_asm("slli x1, x2, 5").imm == 5
+        assert _decode_asm("srai x1, x2, 31").mnemonic == "srai"
+
+    def test_loads_stores(self):
+        load = _decode_asm("lw x7, -8(x3)")
+        assert (load.mnemonic, load.rd, load.rs1, load.imm) == ("lw", 7, 3, -8)
+        store = _decode_asm("sw x7, 12(x3)")
+        assert (store.mnemonic, store.rs2, store.rs1, store.imm) == \
+            ("sw", 7, 3, 12)
+
+    def test_branch(self):
+        instr = _decode_asm("beq x1, x2, 16")
+        assert (instr.mnemonic, instr.imm) == ("beq", 16)
+
+    def test_lui_auipc(self):
+        assert _decode_asm("lui x5, 0xFFFFF").imm == 0xFFFFF000
+        assert _decode_asm("auipc x5, 1").imm == 0x1000
+
+    def test_jal_jalr(self):
+        assert _decode_asm("jal x1, 2048").imm == 2048
+        jalr = _decode_asm("jalr x1, x2, -4")
+        assert (jalr.mnemonic, jalr.rs1, jalr.imm) == ("jalr", 2, -4)
+
+    def test_system(self):
+        assert decode(0x00000073).mnemonic == "ecall"
+        assert decode(0x00100073).mnemonic == "ebreak"
+        assert decode(0x0000000F).mnemonic == "fence"
+
+
+class TestDecodeErrors:
+    @pytest.mark.parametrize("word", [
+        0x00000000,             # all zeros: invalid opcode
+        0xFFFFFFFF,             # invalid
+        0x00002063,             # branch funct3=2 (undefined)
+        0x00005003 | (0b011 << 12),  # load funct3=3 (undefined)
+    ])
+    def test_invalid_words(self, word):
+        with pytest.raises(DecodeError):
+            decode(word)
+
+    def test_bad_shift_funct7(self):
+        word = enc.encode_r(enc.OP_IMM, 1, 0b101, 2, 3, 0x11)
+        with pytest.raises(DecodeError):
+            decode(word)
+
+
+class TestClassification:
+    def test_branch_flags(self):
+        instr = _decode_asm("bne x1, x2, 8")
+        assert instr.is_branch and instr.is_control_flow
+        assert not instr.writes_register
+
+    def test_jump_flags(self):
+        instr = _decode_asm("jal x1, 8")
+        assert instr.is_jump and instr.is_control_flow
+        assert instr.writes_register
+
+    def test_store_has_no_destination(self):
+        instr = _decode_asm("sw x7, 0(x3)")
+        assert instr.is_store
+        assert not instr.writes_register
+        assert instr.source_registers() == (3, 7)
+
+    def test_x0_not_a_source(self):
+        instr = _decode_asm("add x5, x0, x6")
+        assert instr.source_registers() == (6,)
+
+    def test_write_to_x0_does_not_count(self):
+        instr = _decode_asm("add x0, x1, x2")
+        assert not instr.writes_register
+
+    def test_str(self):
+        assert "addi" in str(_decode_asm("addi x1, x2, 3"))
+
+
+class TestRoundtripProperty:
+    @given(rd=st.integers(0, 31), rs1=st.integers(0, 31),
+           imm=st.integers(-2048, 2047))
+    def test_addi_roundtrip(self, rd, rs1, imm):
+        word = enc.encode_i(enc.OP_IMM, rd, 0, rs1, imm)
+        instr = decode(word)
+        assert (instr.mnemonic, instr.rd, instr.rs1, instr.imm) == \
+            ("addi", rd, rs1, imm)
+
+    @given(rd=st.integers(0, 31), rs1=st.integers(0, 31),
+           rs2=st.integers(0, 31))
+    def test_r_type_roundtrip(self, rd, rs1, rs2):
+        word = enc.encode_r(enc.OP_REG, rd, 0b100, rs1, rs2, 0)
+        instr = decode(word)
+        assert (instr.mnemonic, instr.rd, instr.rs1, instr.rs2) == \
+            ("xor", rd, rs1, rs2)

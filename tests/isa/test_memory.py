@@ -1,0 +1,76 @@
+"""Tests for the sparse memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError
+from repro.isa import Memory
+
+
+class TestMemory:
+    def test_unwritten_reads_zero(self):
+        assert Memory().read_word(0x1234_5678 & ~3) == 0
+
+    def test_word_roundtrip(self):
+        memory = Memory()
+        memory.write_word(0x100, 0xDEADBEEF)
+        assert memory.read_word(0x100) == 0xDEADBEEF
+
+    def test_little_endian_layout(self):
+        memory = Memory()
+        memory.write_word(0x100, 0x11223344)
+        assert memory.read_byte(0x100) == 0x44
+        assert memory.read_byte(0x103) == 0x11
+
+    def test_signed_byte_read(self):
+        memory = Memory()
+        memory.write_byte(0x10, 0xFF)
+        assert memory.read(0x10, 1, signed=True) == -1
+        assert memory.read(0x10, 1, signed=False) == 0xFF
+
+    def test_signed_half_read(self):
+        memory = Memory()
+        memory.write(0x10, 0x8000, 2)
+        assert memory.read(0x10, 2, signed=True) == -32768
+
+    def test_misaligned_rejected(self):
+        memory = Memory()
+        with pytest.raises(ExecutionError, match="misaligned"):
+            memory.read(0x101, 4)
+        with pytest.raises(ExecutionError, match="misaligned"):
+            memory.write(0x102, 0, 4)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ExecutionError):
+            Memory().read(0x100, 3)
+
+    def test_load_store_counters(self):
+        memory = Memory()
+        memory.write_word(0x100, 1)
+        memory.read_word(0x100)
+        memory.read_word(0x100)
+        assert memory.stores == 1
+        assert memory.loads == 2
+
+    def test_load_image_does_not_count(self):
+        memory = Memory()
+        memory.load_image({0x100: 0xAB})
+        assert memory.stores == 0
+        assert memory.read_byte(0x100) == 0xAB
+
+    def test_read_block(self):
+        memory = Memory()
+        memory.load_image({0x10: 1, 0x11: 2, 0x12: 3})
+        assert memory.read_block(0x10, 4) == b"\x01\x02\x03\x00"
+
+    def test_cross_page_access(self):
+        memory = Memory()
+        memory.write_word(0xFFC, 0xCAFEBABE)  # spans page boundary at 0x1000
+        assert memory.read_word(0xFFC) == 0xCAFEBABE
+
+    @given(addr=st.integers(0, 2**30).map(lambda a: a & ~3),
+           value=st.integers(0, 0xFFFFFFFF))
+    def test_word_roundtrip_property(self, addr, value):
+        memory = Memory()
+        memory.write_word(addr, value)
+        assert memory.read_word(addr) == value

@@ -1,0 +1,102 @@
+"""Property-based tests on the ISA substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Executor, assemble, assemble_to_words, decode, \
+    disassemble
+from repro.isa.encoding import to_s32
+
+REG_NAMES = [f"x{i}" for i in range(32)]
+RTYPE = ["add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and"]
+ITYPE = ["addi", "slti", "sltiu", "xori", "ori", "andi"]
+
+
+class TestAssemblerRoundtrips:
+    @settings(max_examples=60, deadline=None)
+    @given(mnemonic=st.sampled_from(RTYPE),
+           rd=st.sampled_from(REG_NAMES), rs1=st.sampled_from(REG_NAMES),
+           rs2=st.sampled_from(REG_NAMES))
+    def test_rtype_disassemble_reassemble(self, mnemonic, rd, rs1, rs2):
+        line = f"{mnemonic} {rd}, {rs1}, {rs2}"
+        word = assemble_to_words(f"_start:\n  {line}\n")[0]
+        again = assemble_to_words(f"_start:\n  {disassemble(word)}\n")[0]
+        assert word == again
+
+    @settings(max_examples=60, deadline=None)
+    @given(mnemonic=st.sampled_from(ITYPE),
+           rd=st.sampled_from(REG_NAMES), rs1=st.sampled_from(REG_NAMES),
+           imm=st.integers(min_value=-2048, max_value=2047))
+    def test_itype_fields_survive(self, mnemonic, rd, rs1, imm):
+        word = assemble_to_words(f"_start:\n  {mnemonic} {rd}, {rs1}, {imm}\n")[0]
+        instr = decode(word)
+        assert instr.mnemonic == mnemonic
+        assert instr.rd == int(rd[1:])
+        assert instr.rs1 == int(rs1[1:])
+        assert instr.imm == imm
+
+
+class TestExecutorSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+           b=st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_add_matches_python_mod_arithmetic(self, a, b):
+        executor = Executor(assemble(f"""
+_start:
+    li t0, {a}
+    li t1, {b}
+    add a0, t0, t1
+    li a7, 93
+    ecall
+"""))
+        executor.run()
+        assert executor.state.read(10) == (a + b) & 0xFFFFFFFF
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+           shift=st.integers(min_value=0, max_value=31))
+    def test_srai_matches_python(self, a, shift):
+        executor = Executor(assemble(f"""
+_start:
+    li t0, {a}
+    srai a0, t0, {shift}
+    li a7, 93
+    ecall
+"""))
+        executor.run()
+        assert to_s32(executor.state.read(10)) == a >> shift
+
+    @settings(max_examples=30, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=0xFFFFFFFF),
+           offset=st.sampled_from([0, 4, 8, 60]))
+    def test_store_load_roundtrip(self, value, offset):
+        executor = Executor(assemble(f"""
+_start:
+    la t0, buf
+    li t1, {value}
+    sw t1, {offset}(t0)
+    lw a0, {offset}(t0)
+    li a7, 93
+    ecall
+.data
+buf: .space 64
+"""))
+        executor.run()
+        assert executor.state.read(10) == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(min_value=-1000, max_value=1000),
+           b=st.integers(min_value=-1000, max_value=1000))
+    def test_blt_agrees_with_python(self, a, b):
+        executor = Executor(assemble(f"""
+_start:
+    li t0, {a}
+    li t1, {b}
+    li a0, 0
+    bge t0, t1, done
+    li a0, 1
+done:
+    li a7, 93
+    ecall
+"""))
+        executor.run()
+        assert executor.state.read(10) == (1 if a < b else 0)

@@ -1,0 +1,53 @@
+"""Tests for the HC-DRO operating-margin analysis."""
+
+import pytest
+
+from repro.josim.margins import (
+    MarginPoint,
+    point_is_correct,
+    sweep_read_amplitude,
+    working_margin_percent,
+)
+from repro.josim.cells import RECOMMENDED_J2_BIAS_UA, \
+    RECOMMENDED_READ_PULSE_UA
+
+
+class TestOperatingPoint:
+    def test_nominal_point_works(self):
+        assert point_is_correct(RECOMMENDED_READ_PULSE_UA,
+                                RECOMMENDED_J2_BIAS_UA,
+                                write_counts=(0, 3))
+
+    def test_gross_overdrive_fails(self):
+        # A hugely overdriven read pops fluxons that were never stored.
+        assert not point_is_correct(RECOMMENDED_READ_PULSE_UA * 1.5,
+                                    RECOMMENDED_J2_BIAS_UA,
+                                    write_counts=(0,))
+
+
+class TestMarginAccounting:
+    def _points(self, verdicts):
+        return [MarginPoint(RECOMMENDED_READ_PULSE_UA * scale,
+                            RECOMMENDED_J2_BIAS_UA, ok)
+                for scale, ok in verdicts]
+
+    def test_symmetric_window(self):
+        points = self._points([(0.9, False), (0.95, True), (1.0, True),
+                               (1.05, True), (1.1, False)])
+        assert working_margin_percent(points) == pytest.approx(5.0)
+
+    def test_failed_nominal_gives_zero(self):
+        points = self._points([(0.95, True), (1.0, False), (1.05, True)])
+        assert working_margin_percent(points) == 0.0
+
+    def test_asymmetric_window_takes_minimum(self):
+        points = self._points([(0.9, True), (0.95, True), (1.0, True),
+                               (1.05, True), (1.1, False)])
+        assert working_margin_percent(points) == pytest.approx(5.0)
+
+
+class TestSweep:
+    def test_small_sweep_has_working_nominal(self):
+        points = sweep_read_amplitude(scales=(1.0,))
+        assert len(points) == 1
+        assert points[0].correct

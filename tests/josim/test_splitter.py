@@ -1,0 +1,39 @@
+"""Analog verification of the splitter cell (Figure 3a)."""
+
+import pytest
+
+from repro.josim import TransientSolver, junction_fluxons
+from repro.josim.cells import build_splitter_cell
+
+
+def run_with_pulses(times, amplitude=600.0, duration=None):
+    handles = build_splitter_cell()
+    for index, start in enumerate(times):
+        handles.circuit.pulse(f"P{index}", "in", start_ps=start,
+                              amplitude_ua=amplitude, width_ps=3.0)
+    end = duration or (max(times, default=0.0) + 50.0)
+    result = TransientSolver(handles.circuit, timestep_ps=0.05).run(end)
+    return result
+
+
+class TestAnalogSplitter:
+    def test_one_pulse_reaches_both_outputs(self):
+        result = run_with_pulses([20.0])
+        assert junction_fluxons(result, "J1") == 1
+        assert junction_fluxons(result, "JA") == 1
+        assert junction_fluxons(result, "JB") == 1
+
+    def test_no_input_no_output(self):
+        result = run_with_pulses([], duration=60.0)
+        for junction in ("J1", "JA", "JB"):
+            assert junction_fluxons(result, junction) == 0
+
+    def test_pulse_train_reproduced_on_both_branches(self):
+        result = run_with_pulses([20.0, 60.0, 100.0])
+        assert junction_fluxons(result, "JA") == 3
+        assert junction_fluxons(result, "JB") == 3
+
+    def test_branch_symmetry(self):
+        result = run_with_pulses([20.0, 60.0])
+        assert junction_fluxons(result, "JA") == \
+            junction_fluxons(result, "JB")

@@ -1,0 +1,96 @@
+"""Tests for the cryogenic memory-interface models."""
+
+import pytest
+
+from repro.cpu import CoreConfig, GateLevelPipeline, RFTimingModel
+from repro.errors import ConfigError
+from repro.isa import Executor, assemble
+from repro.mem import CacheStats, DirectMappedCache, FlatMemory
+from repro.workloads import get_workload
+
+
+class TestFlatMemory:
+    def test_constant_latency(self):
+        memory = FlatMemory(latency_cycles=12)
+        assert memory.access(0x100) == 12
+        assert memory.access(None) == 12
+        assert memory.stats.accesses == 2
+
+    def test_invalid_latency(self):
+        with pytest.raises(ConfigError):
+            FlatMemory(latency_cycles=-1)
+
+
+class TestDirectMappedCache:
+    def test_miss_then_hit(self):
+        cache = DirectMappedCache(lines=4, line_size=16, hit_cycles=2,
+                                  miss_cycles=20)
+        assert cache.access(0x100) == 20
+        assert cache.access(0x104) == 2  # same line
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_conflict_eviction(self):
+        cache = DirectMappedCache(lines=2, line_size=16)
+        cache.access(0x00)          # line 0
+        cache.access(0x20)          # also maps to line 0 (2 lines x 16B)
+        assert cache.access(0x00) == cache.miss_cycles  # evicted
+
+    def test_stores_fill_lines(self):
+        cache = DirectMappedCache(lines=4, line_size=16)
+        cache.access(0x40, is_store=True)
+        assert cache.access(0x44) == cache.hit_cycles
+
+    def test_unknown_address_is_miss(self):
+        cache = DirectMappedCache()
+        assert cache.access(None) == cache.miss_cycles
+
+    def test_flush(self):
+        cache = DirectMappedCache(lines=4, line_size=16)
+        cache.access(0x100)
+        cache.flush()
+        assert cache.access(0x100) == cache.miss_cycles
+
+    def test_capacity(self):
+        assert DirectMappedCache(lines=64, line_size=16).capacity_bytes == 1024
+
+    @pytest.mark.parametrize("lines,line_size", [(0, 16), (3, 16), (4, 0),
+                                                 (4, 3)])
+    def test_invalid_geometry(self, lines, line_size):
+        with pytest.raises(ConfigError):
+            DirectMappedCache(lines=lines, line_size=line_size)
+
+    def test_invalid_latencies(self):
+        with pytest.raises(ConfigError):
+            DirectMappedCache(hit_cycles=10, miss_cycles=5)
+
+
+class TestPipelineIntegration:
+    def _run(self, memory_model):
+        executor = Executor(assemble(get_workload("vvadd").build()))
+        ops = list(executor.trace())
+        config = CoreConfig()
+        pipeline = GateLevelPipeline(RFTimingModel.for_design("ndro_rf"),
+                                     config, memory_model=memory_model)
+        for op in ops:
+            pipeline.feed(op)
+        return pipeline.result()
+
+    def test_cache_speeds_up_local_workload(self):
+        # vvadd streams through arrays: strong spatial locality.
+        flat = self._run(FlatMemory(latency_cycles=24))
+        cache = DirectMappedCache(lines=64, line_size=16, hit_cycles=2,
+                                  miss_cycles=24)
+        cached = self._run(cache)
+        assert cached.total_cycles < flat.total_cycles
+        assert cache.stats.hit_rate > 0.5
+
+    def test_none_model_uses_flat_config_latency(self):
+        flat_model = self._run(FlatMemory(latency_cycles=12))
+        default = self._run(None)  # CoreConfig default is also 12
+        assert flat_model.total_cycles == default.total_cycles
+
+    def test_stats_accumulate(self):
+        cache = DirectMappedCache()
+        self._run(cache)
+        assert cache.stats.accesses > 0
+        assert 0.0 <= cache.stats.hit_rate <= 1.0

@@ -1,0 +1,68 @@
+"""Structural consistency: composite pulse circuits vs census decomposition.
+
+The cell library charges HC-CLK / HC-WRITE / HC-READ as fixed primitive
+bundles (``repro.cells.params``); the pulse-level builders assemble the
+same circuits from real components.  These tests count the instantiated
+primitives and assert they match the census decomposition, so Table I's
+roll-up and the functional netlists can never drift apart.
+"""
+
+from repro.cells import get_cell, params
+from repro.pulse import Engine, HCClk, HCRead, HCWrite
+from repro.pulse.counters import PulseCounter
+from repro.pulse.primitives import JTL, Merger, Splitter
+
+
+def census_of(engine: Engine) -> dict:
+    counts: dict = {}
+    for name in engine._components:
+        kind = type(engine.component(name)).__name__
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts
+
+
+class TestHCClkStructure:
+    def test_matches_census_decomposition(self):
+        engine = Engine()
+        HCClk(engine, "hc")
+        counts = census_of(engine)
+        assert counts["Splitter"] == params.HC_CLK_SPLITTERS
+        assert counts["Merger"] == params.HC_CLK_MERGERS
+        assert counts["JTL"] == params.HC_CLK_JTLS
+
+    def test_jj_count_agrees(self):
+        engine = Engine()
+        HCClk(engine, "hc")
+        counts = census_of(engine)
+        jj = (counts["Splitter"] * get_cell("splitter").jj_count
+              + counts["Merger"] * get_cell("merger").jj_count
+              + counts["JTL"] * get_cell("jtl").jj_count)
+        assert jj == get_cell("hc_clk").jj_count
+
+
+class TestHCWriteStructure:
+    def test_matches_census_decomposition(self):
+        engine = Engine()
+        HCWrite(engine, "hw")
+        counts = census_of(engine)
+        assert counts["Splitter"] == params.HC_WRITE_SPLITTERS
+        assert counts["Merger"] == params.HC_WRITE_MERGERS
+        # The two zero-delay entry JTLs are wiring conveniences, not
+        # delay elements; the census charges only the sized chains.
+        sized_jtls = sum(
+            1 for name in engine._components
+            if isinstance(engine.component(name), JTL)
+            and engine.component(name).delay_ps > 0.0)
+        assert sized_jtls == params.HC_WRITE_JTLS
+
+
+class TestHCReadStructure:
+    def test_behavioural_counter_capacity(self):
+        engine = Engine()
+        hcr = HCRead(engine, "hr")
+        assert isinstance(hcr.counter, PulseCounter)
+        assert hcr.counter.bits == 2  # two cascaded TFF stages
+
+    def test_census_charges_tffs(self):
+        spec = get_cell("hc_read")
+        assert spec.composition["tff"] == params.HC_READ_TFFS

@@ -1,0 +1,77 @@
+"""Tests for T-flip-flop and pulse counter components."""
+
+import pytest
+
+from repro.pulse import Engine, Probe, PulseCounter, TFF
+
+
+class TestTFF:
+    def test_carry_every_second_pulse(self, engine):
+        tff = engine.add(TFF("t"))
+        carry = engine.add(Probe("c"))
+        tff.connect("carry", carry, "in")
+        for k in range(6):
+            engine.schedule(tff, "t", k * 10.0)
+        engine.run()
+        assert carry.count == 3
+
+    def test_q_readout_non_destructive(self, engine):
+        tff = engine.add(TFF("t"))
+        q = engine.add(Probe("q"))
+        tff.connect("q", q, "in")
+        engine.schedule(tff, "t", 0.0)
+        engine.schedule(tff, "read", 10.0)
+        engine.schedule(tff, "read", 20.0)
+        engine.run()
+        assert q.count == 2
+        assert tff.q_state
+
+    def test_reset(self, engine):
+        tff = engine.add(TFF("t"))
+        engine.schedule(tff, "t", 0.0)
+        engine.schedule(tff, "reset", 10.0)
+        engine.run()
+        assert not tff.q_state
+
+
+class TestPulseCounter:
+    @pytest.mark.parametrize("pulses", [0, 1, 2, 3])
+    def test_counts_and_reads_out(self, engine, pulses):
+        counter = engine.add(PulseCounter("c", bits=2))
+        b0 = engine.add(Probe("b0"))
+        b1 = engine.add(Probe("b1"))
+        counter.connect("b0", b0, "in")
+        counter.connect("b1", b1, "in")
+        for k in range(pulses):
+            engine.schedule(counter, "in", k * 10.0)
+        engine.schedule(counter, "read", 100.0)
+        engine.run()
+        assert b0.count == (pulses & 1)
+        assert b1.count == ((pulses >> 1) & 1)
+
+    def test_wraps_modulo(self, engine):
+        counter = engine.add(PulseCounter("c", bits=2))
+        for k in range(5):
+            engine.schedule(counter, "in", k * 10.0)
+        engine.run()
+        assert counter.count == 1
+        assert counter.wrapped == 1
+
+    def test_reset_clears(self, engine):
+        counter = engine.add(PulseCounter("c", bits=2))
+        engine.schedule(counter, "in", 0.0)
+        engine.schedule(counter, "reset", 10.0)
+        engine.run()
+        assert counter.count == 0
+
+    def test_read_is_non_destructive(self, engine):
+        counter = engine.add(PulseCounter("c", bits=2))
+        engine.schedule(counter, "in", 0.0)
+        engine.schedule(counter, "in", 10.0)
+        engine.schedule(counter, "read", 50.0)
+        engine.run()
+        assert counter.count == 2
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            PulseCounter("c", bits=0)

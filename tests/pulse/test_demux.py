@@ -1,0 +1,126 @@
+"""Tests for the NDROC tree DEMUX and splitter/merger tree builders."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.pulse import Engine, MergeTree, NdrocDemux, Probe, SplitTree
+
+
+def _attach_probes(engine, demux):
+    probes = []
+    for i in range(demux.num_outputs):
+        probe = engine.add(Probe(f"leaf{i}"))
+        comp, port = demux.leaf(i)
+        comp.connect(port, probe, "in")
+        probes.append(probe)
+    return probes
+
+
+class TestSplitTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 32])
+    def test_reaches_all_outputs(self, engine, n):
+        tree = SplitTree(engine, f"t{n}", n)
+        probes = []
+        for i in range(n):
+            probe = engine.add(Probe(f"p{i}"))
+            tree.connect_output(i, probe, "in")
+            probes.append(probe)
+        engine.schedule(*tree.inp, 0.0)
+        engine.run()
+        assert all(p.count == 1 for p in probes)
+
+    def test_splitter_count(self, engine):
+        assert SplitTree(engine, "t", 8).splitter_count == 7
+        assert SplitTree(Engine(), "t", 1).splitter_count == 0
+
+    def test_invalid_fanout(self, engine):
+        with pytest.raises(NetlistError):
+            SplitTree(engine, "t", 0)
+
+
+class TestMergeTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8])
+    def test_all_inputs_reach_output(self, engine, n):
+        tree = MergeTree(engine, f"m{n}", n)
+        probe = engine.add(Probe("p"))
+        comp, port = tree.out
+        comp.connect(port, probe, "in")
+        for i in range(n):
+            jcomp, jport = tree.inputs[i]
+            engine.schedule(jcomp, jport, i * 60.0)
+        engine.run()
+        assert probe.count == n
+
+    def test_merger_count(self, engine):
+        assert MergeTree(engine, "m", 8).merger_count == 7
+
+    def test_invalid_width(self, engine):
+        with pytest.raises(NetlistError):
+            MergeTree(engine, "m", 0)
+
+
+class TestNdrocDemux:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_routes_every_address(self, n):
+        from repro.pulse import Engine as E
+
+        engine = E()
+        demux = NdrocDemux(engine, "dm", n)
+        probes = _attach_probes(engine, demux)
+        t = 0.0
+        for address in range(n):
+            demux.apply_select(address, t)
+            demux.fire(t + 5.0)
+            demux.apply_reset(t + 150.0)
+            engine.run()
+            t += 200.0
+        assert [p.count for p in probes] == [1] * n
+
+    def test_exactly_one_leaf_fires(self, engine):
+        demux = NdrocDemux(engine, "dm", 8)
+        probes = _attach_probes(engine, demux)
+        demux.apply_select(5, 0.0)
+        demux.fire(5.0)
+        engine.run()
+        assert [p.count for p in probes] == [0, 0, 0, 0, 0, 1, 0, 0]
+
+    def test_without_reset_stale_select_misroutes(self, engine):
+        # The paper (Section III-A): RESET must be asserted after each
+        # demux operation or a stale '1' corrupts the next selection.
+        demux = NdrocDemux(engine, "dm", 4)
+        probes = _attach_probes(engine, demux)
+        demux.apply_select(3, 0.0)
+        demux.fire(5.0)
+        engine.run()
+        # Address 0 without an intervening reset: stale bits route to 3.
+        demux.apply_select(0, 100.0)
+        demux.fire(105.0)
+        engine.run()
+        assert probes[3].count == 2
+        assert probes[0].count == 0
+
+    def test_ndroc_count(self, engine):
+        assert NdrocDemux(engine, "dm", 32).ndroc_count == 31
+
+    def test_depth(self, engine):
+        assert NdrocDemux(engine, "dm", 16).depth == 4
+
+    def test_propagation_latency(self, engine):
+        demux = NdrocDemux(engine, "dm", 8)
+        probes = _attach_probes(engine, demux)
+        demux.apply_select(0, 0.0)
+        demux.fire(10.0)
+        engine.run()
+        # Three NDROC levels at 24 ps each.
+        assert probes[0].times_ps == [pytest.approx(10.0 + 3 * 24.0)]
+
+    def test_address_out_of_range(self, engine):
+        demux = NdrocDemux(engine, "dm", 8)
+        with pytest.raises(NetlistError):
+            demux.apply_select(8, 0.0)
+        with pytest.raises(NetlistError):
+            demux.leaf(-1)
+
+    def test_too_small(self, engine):
+        with pytest.raises(NetlistError):
+            NdrocDemux(engine, "dm", 1)

@@ -1,0 +1,124 @@
+"""Tests for the discrete-event pulse engine."""
+
+import pytest
+
+from repro.errors import NetlistError, SimulationError
+from repro.pulse import JTL, Engine, Probe, Sink, Splitter
+
+
+class TestRegistration:
+    def test_duplicate_names_rejected(self, engine):
+        engine.add(JTL("a"))
+        with pytest.raises(NetlistError, match="duplicate"):
+            engine.add(JTL("a"))
+
+    def test_component_lookup(self, engine):
+        jtl = engine.add(JTL("a"))
+        assert engine.component("a") is jtl
+        with pytest.raises(NetlistError):
+            engine.component("missing")
+
+    def test_num_components(self, engine):
+        engine.add(JTL("a"))
+        engine.add(JTL("b"))
+        assert engine.num_components == 2
+
+
+class TestWiring:
+    def test_single_driver_rule(self, engine):
+        src = engine.add(JTL("src"))
+        a = engine.add(Sink("a"))
+        b = engine.add(Sink("b"))
+        src.connect("out", a, "in")
+        with pytest.raises(NetlistError, match="Splitter"):
+            src.connect("out", b, "in")
+
+    def test_unknown_ports_rejected(self, engine):
+        src = engine.add(JTL("src"))
+        dst = engine.add(Sink("dst"))
+        with pytest.raises(NetlistError):
+            src.connect("q", dst, "in")
+        with pytest.raises(NetlistError):
+            src.connect("out", dst, "d")
+
+    def test_negative_wire_delay_rejected(self, engine):
+        src = engine.add(JTL("src"))
+        dst = engine.add(Sink("dst"))
+        with pytest.raises(NetlistError):
+            src.connect("out", dst, "in", delay_ps=-1.0)
+
+    def test_unconnected_output_dissipates(self, engine):
+        jtl = engine.add(JTL("lonely"))
+        engine.schedule(jtl, "in", 0.0)
+        assert engine.run() == 1  # the pulse is delivered, output vanishes
+
+
+class TestEventOrdering:
+    def test_pulses_delivered_in_time_order(self, engine):
+        probe = engine.add(Probe("p"))
+        for t in (30.0, 10.0, 20.0):
+            engine.schedule(probe, "in", t)
+        engine.run()
+        assert probe.times_ps == [10.0, 20.0, 30.0]
+
+    def test_fifo_for_simultaneous_events(self, engine):
+        probe = engine.add(Probe("p"))
+        engine.schedule(probe, "in", 5.0)
+        engine.schedule(probe, "in", 5.0)
+        assert engine.run() == 2
+
+    def test_wire_delay_applied(self, engine):
+        jtl = engine.add(JTL("j", delay_ps=2.0))
+        probe = engine.add(Probe("p"))
+        jtl.connect("out", probe, "in", delay_ps=3.5)
+        engine.schedule(jtl, "in", 1.0)
+        engine.run()
+        assert probe.times_ps == [pytest.approx(6.5)]
+
+    def test_run_until(self, engine):
+        probe = engine.add(Probe("p"))
+        engine.schedule(probe, "in", 10.0)
+        engine.schedule(probe, "in", 100.0)
+        engine.run(until_ps=50.0)
+        assert probe.count == 1
+        assert engine.pending_events == 1
+        engine.run()
+        assert probe.count == 2
+
+    def test_past_scheduling_rejected(self, engine):
+        probe = engine.add(Probe("p"))
+        engine.schedule(probe, "in", 10.0)
+        engine.run()
+        with pytest.raises(SimulationError, match="past"):
+            engine.schedule(probe, "in", 5.0)
+
+    def test_max_events_guard(self, engine):
+        # A splitter feeding itself through both outputs would oscillate;
+        # emulate runaway with a probe loop.
+        a = engine.add(Probe("a"))
+        b = engine.add(Probe("b"))
+        a.connect("out", b, "in", delay_ps=1.0)
+        b.connect("out", a, "in", delay_ps=1.0)
+        engine.schedule(a, "in", 0.0)
+        with pytest.raises(SimulationError, match="events"):
+            engine.run(max_events=100)
+
+    def test_total_delivered_accumulates(self, engine):
+        probe = engine.add(Probe("p"))
+        engine.schedule(probe, "in", 1.0)
+        engine.run()
+        engine.schedule(probe, "in", 2.0)
+        engine.run()
+        assert engine.total_delivered == 2
+
+    def test_reset_all_state(self, engine):
+        probe = engine.add(Probe("p"))
+        engine.schedule(probe, "in", 1.0)
+        engine.run()
+        engine.reset_all_state()
+        assert probe.count == 0
+
+    def test_emit_without_engine(self):
+        jtl = JTL("orphan")
+        with pytest.raises(SimulationError):
+            jtl.emit("out", 0.0)

@@ -1,0 +1,60 @@
+"""Tests for netlist export."""
+
+import json
+
+import pytest
+
+from repro.pulse import Engine, HCClk, Probe
+from repro.pulse.export import (
+    engine_graph,
+    engine_to_dot,
+    engine_to_json,
+    network_to_dot,
+)
+from repro.rf.geometry import RFGeometry
+from repro.rf.netlist import PulseHiPerRF
+from repro.synth import build_kogge_stone_adder
+
+
+def small_engine():
+    engine = Engine()
+    hc = HCClk(engine, "hc")
+    probe = engine.add(Probe("p"))
+    hc.connect_output(probe, "in")
+    return engine
+
+
+class TestEngineExport:
+    def test_graph_counts(self):
+        engine = small_engine()
+        graph = engine_graph(engine)
+        assert len(graph["nodes"]) == engine.num_components
+        # HC-CLK internal wiring: every non-terminal output is connected.
+        assert len(graph["edges"]) >= engine.num_components - 2
+
+    def test_json_roundtrip(self):
+        payload = json.loads(engine_to_json(small_engine()))
+        assert {node["kind"] for node in payload["nodes"]} >= \
+            {"Splitter", "Merger", "JTL", "Probe"}
+
+    def test_dot_structure(self):
+        dot = engine_to_dot(small_engine(), "hcclk")
+        assert dot.startswith("digraph hcclk {")
+        assert dot.rstrip().endswith("}")
+        assert '"hc.m2" -> "p"' in dot
+
+    def test_full_rf_exports(self):
+        engine = Engine()
+        PulseHiPerRF(engine, RFGeometry(4, 4))
+        graph = engine_graph(engine)
+        kinds = {node["kind"] for node in graph["nodes"]}
+        assert {"HCDRO", "NDRO", "NDROC", "DAND"} <= kinds
+        assert len(graph["edges"]) > 100
+
+
+class TestNetworkExport:
+    def test_adder_dot(self):
+        dot = network_to_dot(build_kogge_stone_adder(4))
+        assert "digraph ks_adder4" in dot
+        assert "rank=same" in dot
+        assert dot.count("->") > 30

@@ -1,0 +1,125 @@
+"""Tests for the HC-CLK, HC-WRITE and HC-READ composites (Figure 10)."""
+
+import pytest
+
+from repro.cells import params
+from repro.pulse import Engine, HCClk, HCDRO, HCRead, HCWrite, Probe
+from repro.pulse.monitor import train_spacings
+
+
+class TestHCClk:
+    def test_one_pulse_becomes_three(self, engine):
+        hc = HCClk(engine, "hc")
+        probe = engine.add(Probe("p"))
+        hc.connect_output(probe, "in")
+        engine.schedule(*hc.inp, 0.0)
+        engine.run()
+        assert probe.count == 3
+
+    def test_train_spacing_meets_hcdro_requirement(self, engine):
+        hc = HCClk(engine, "hc")
+        probe = engine.add(Probe("p"))
+        hc.connect_output(probe, "in")
+        engine.schedule(*hc.inp, 0.0)
+        engine.run()
+        for gap in train_spacings(probe.times_ps):
+            assert gap == pytest.approx(params.HC_PULSE_SPACING_PS, abs=1e-6)
+
+    def test_train_can_drain_full_hcdro(self, engine):
+        hc = HCClk(engine, "hc")
+        cell = engine.add(HCDRO("cell"))
+        probe = engine.add(Probe("p"))
+        hc.connect_output(cell, "clk")
+        cell.connect("q", probe, "in")
+        for k in range(3):
+            engine.schedule(cell, "d", k * 10.0)
+        engine.run()
+        engine.schedule(*hc.inp, 100.0)
+        engine.run()
+        assert probe.count == 3
+        assert cell.stored_value == 0
+
+    def test_two_trains_independent(self, engine):
+        hc = HCClk(engine, "hc")
+        probe = engine.add(Probe("p"))
+        hc.connect_output(probe, "in")
+        engine.schedule(*hc.inp, 0.0)
+        engine.schedule(*hc.inp, 100.0)
+        engine.run()
+        assert probe.count == 6
+
+
+class TestHCWrite:
+    @pytest.mark.parametrize("value", [0, 1, 2, 3])
+    def test_pulse_count_encodes_value(self, engine, value):
+        hw = HCWrite(engine, "hw")
+        probe = engine.add(Probe("p"))
+        hw.connect_output(probe, "in")
+        if value & 1:
+            engine.schedule(*hw.b0, 0.0)
+        if value & 2:
+            engine.schedule(*hw.b1, 0.0)
+        engine.run()
+        assert probe.count == value
+
+    def test_train_spacing(self, engine):
+        hw = HCWrite(engine, "hw")
+        probe = engine.add(Probe("p"))
+        hw.connect_output(probe, "in")
+        engine.schedule(*hw.b0, 0.0)
+        engine.schedule(*hw.b1, 0.0)
+        engine.run()
+        for gap in train_spacings(probe.times_ps):
+            assert gap == pytest.approx(params.HC_PULSE_SPACING_PS, abs=1e-6)
+
+    @pytest.mark.parametrize("value", [0, 1, 2, 3])
+    def test_write_then_storage_roundtrip(self, engine, value):
+        # HC-WRITE output can be stored directly in an HC-DRO cell.
+        hw = HCWrite(engine, "hw")
+        cell = engine.add(HCDRO("cell"))
+        hw.connect_output(cell, "d")
+        if value & 1:
+            engine.schedule(*hw.b0, 0.0)
+        if value & 2:
+            engine.schedule(*hw.b1, 0.0)
+        engine.run()
+        assert cell.stored_value == value
+
+
+class TestHCRead:
+    @pytest.mark.parametrize("value", [0, 1, 2, 3])
+    def test_counts_train_into_bits(self, engine, value):
+        hcr = HCRead(engine, "hcr")
+        b0 = engine.add(Probe("b0"))
+        b1 = engine.add(Probe("b1"))
+        hcr.connect_b0(b0, "in")
+        hcr.connect_b1(b1, "in")
+        for k in range(value):
+            engine.schedule(*hcr.inp, k * 10.0)
+        engine.schedule(*hcr.read, 100.0)
+        engine.run()
+        assert b0.count == (value & 1)
+        assert b1.count == ((value >> 1) & 1)
+        assert hcr.value == value
+
+
+class TestEndToEndSerdes:
+    @pytest.mark.parametrize("value", [0, 1, 2, 3])
+    def test_write_store_drain_count(self, engine, value):
+        """Full 2-bit datapath: HC-WRITE -> HC-DRO -> HC-CLK drain -> HC-READ."""
+        hw = HCWrite(engine, "hw")
+        cell = engine.add(HCDRO("cell"))
+        hc = HCClk(engine, "hc")
+        hcr = HCRead(engine, "hcr")
+        hw.connect_output(cell, "d")
+        hc.connect_output(cell, "clk")
+        cell.connect("q", hcr.inp[0], hcr.inp[1])
+        if value & 1:
+            engine.schedule(*hw.b0, 0.0)
+        if value & 2:
+            engine.schedule(*hw.b1, 0.0)
+        engine.run()
+        engine.schedule(*hc.inp, 200.0)
+        engine.run()
+        assert hcr.value == value
+        assert cell.stored_value == 0

@@ -1,0 +1,96 @@
+"""Tests for clocked SFQ logic gates (gate-level clocking, Section II-A)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.pulse import Engine, Probe
+from repro.pulse.logic import (
+    ClockedAnd,
+    ClockedBuffer,
+    ClockedNot,
+    ClockedOr,
+    ClockedXor,
+)
+
+
+def evaluate(gate_cls, a, b=None):
+    engine = Engine()
+    gate = engine.add(gate_cls("g"))
+    probe = engine.add(Probe("p"))
+    gate.connect("out", probe, "in")
+    if a:
+        engine.schedule(gate, "a", 0.0)
+    if b:
+        engine.schedule(gate, "b", 0.0)
+    engine.schedule(gate, "clk", 10.0)
+    engine.run()
+    return probe.count
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 0), (0, 1, 0),
+                                              (1, 0, 0), (1, 1, 1)])
+    def test_and(self, a, b, expected):
+        assert evaluate(ClockedAnd, a, b) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 0), (0, 1, 1),
+                                              (1, 0, 1), (1, 1, 1)])
+    def test_or(self, a, b, expected):
+        assert evaluate(ClockedOr, a, b) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 0), (0, 1, 1),
+                                              (1, 0, 1), (1, 1, 0)])
+    def test_xor(self, a, b, expected):
+        assert evaluate(ClockedXor, a, b) == expected
+
+    @pytest.mark.parametrize("a,expected", [(0, 1), (1, 0)])
+    def test_not(self, a, expected):
+        assert evaluate(ClockedNot, a) == expected
+
+    @pytest.mark.parametrize("a,expected", [(0, 0), (1, 1)])
+    def test_buffer(self, a, expected):
+        assert evaluate(ClockedBuffer, a) == expected
+
+
+class TestClockSemantics:
+    def test_state_clears_after_clock(self):
+        """Arming pulses do not leak into the next clock period."""
+        engine = Engine()
+        gate = engine.add(ClockedAnd("g"))
+        probe = engine.add(Probe("p"))
+        gate.connect("out", probe, "in")
+        engine.schedule(gate, "a", 0.0)
+        engine.schedule(gate, "b", 0.0)
+        engine.schedule(gate, "clk", 10.0)   # fires: 1
+        engine.schedule(gate, "a", 20.0)     # only a in the next period
+        engine.schedule(gate, "clk", 30.0)   # does not fire
+        engine.run()
+        assert probe.count == 1
+        assert gate.evaluations == 2
+
+    def test_not_emits_every_empty_period(self):
+        """The inverter's defining SFQ behaviour: a pulse per clock with
+        no input - which is why NOT gates need clock lines at all."""
+        engine = Engine()
+        gate = engine.add(ClockedNot("n"))
+        probe = engine.add(Probe("p"))
+        gate.connect("out", probe, "in")
+        for k in range(3):
+            engine.schedule(gate, "clk", 10.0 + 20.0 * k)
+        engine.run()
+        assert probe.count == 3
+
+    def test_unary_gate_rejects_b(self):
+        engine = Engine()
+        gate = engine.add(ClockedNot("n"))
+        engine.schedule(gate, "b", 0.0)
+        with pytest.raises(NetlistError):
+            engine.run()
+
+    def test_reset_state(self):
+        engine = Engine()
+        gate = engine.add(ClockedAnd("g"))
+        engine.schedule(gate, "a", 0.0)
+        engine.run()
+        gate.reset_state()
+        assert gate.evaluations == 0

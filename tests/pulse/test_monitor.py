@@ -1,0 +1,55 @@
+"""Tests for probes and pulse-train decoding helpers."""
+
+import pytest
+
+from repro.pulse import Engine, Probe
+from repro.pulse.monitor import train_spacings, train_value
+
+
+class TestProbe:
+    def test_transparent_forwarding(self, engine):
+        first = engine.add(Probe("a"))
+        second = engine.add(Probe("b"))
+        first.connect("out", second, "in")
+        engine.schedule(first, "in", 5.0)
+        engine.run()
+        assert first.times_ps == second.times_ps == [5.0]
+
+    def test_window_query(self, engine):
+        probe = engine.add(Probe("p"))
+        for t in (1.0, 5.0, 9.0, 15.0):
+            engine.schedule(probe, "in", t)
+        engine.run()
+        assert probe.pulses_in_window(4.0, 10.0) == [5.0, 9.0]
+        assert probe.pulses_in_window(20.0, 30.0) == []
+
+    def test_window_is_half_open(self, engine):
+        probe = engine.add(Probe("p"))
+        engine.schedule(probe, "in", 10.0)
+        engine.run()
+        assert probe.pulses_in_window(10.0, 11.0) == [10.0]
+        assert probe.pulses_in_window(9.0, 10.0) == []
+
+    def test_clear_and_reset(self, engine):
+        probe = engine.add(Probe("p"))
+        engine.schedule(probe, "in", 1.0)
+        engine.run()
+        probe.clear()
+        assert probe.count == 0
+        engine.schedule(probe, "in", 2.0)
+        engine.run()
+        probe.reset_state()
+        assert probe.times_ps == []
+
+
+class TestTrainHelpers:
+    def test_train_value_is_length(self):
+        assert train_value([]) == 0
+        assert train_value([1.0, 11.0, 21.0]) == 3
+
+    def test_spacings_sorted(self):
+        assert train_spacings([30.0, 10.0, 20.0]) == [10.0, 10.0]
+
+    def test_spacings_empty_and_single(self):
+        assert train_spacings([]) == []
+        assert train_spacings([5.0]) == []

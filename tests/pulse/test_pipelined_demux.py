@@ -1,0 +1,85 @@
+"""Tests for pipelined DEMUX operation at the 53 ps cycle (Section III-E)."""
+
+import pytest
+
+from repro.cells import params
+from repro.errors import TimingViolationError
+from repro.pulse import Engine, NdrocDemux, Probe
+from repro.pulse.demux import PipelinedDemuxDriver
+
+
+def build(engine, n):
+    demux = NdrocDemux(engine, "dm", n)
+    probes = []
+    for i in range(n):
+        probe = engine.add(Probe(f"leaf{i}"))
+        comp, port = demux.leaf(i)
+        comp.connect(port, probe, "in")
+        probes.append(probe)
+    return demux, probes
+
+
+class TestPipelinedOperation:
+    def test_back_to_back_ops_route_correctly(self):
+        engine = Engine()
+        demux, probes = build(engine, 16)
+        addresses = [3, 11, 3, 0, 15, 8, 7, 12, 1, 14]
+        PipelinedDemuxDriver(demux).run_stream(addresses)
+        engine.run()
+        assert [p.count for p in probes] == \
+            [addresses.count(i) for i in range(16)]
+
+    def test_full_rate_is_one_op_per_cycle(self):
+        engine = Engine()
+        demux, probes = build(engine, 8)
+        # Two consecutive ops to the same leaf: outputs one cycle apart.
+        PipelinedDemuxDriver(demux).run_stream([5, 5])
+        engine.run()
+        times = probes[5].times_ps
+        assert len(times) == 2
+        assert times[1] - times[0] == pytest.approx(
+            params.NDROC_MIN_ENABLE_SEPARATION_PS)
+
+    def test_strict_timing_holds_at_53ps(self):
+        """The 53 ps stream must not trip the NDROC separation check."""
+        engine = Engine(strict_timing=True)
+        demux, probes = build(engine, 32)
+        addresses = list(range(32))
+        PipelinedDemuxDriver(demux).run_stream(addresses)
+        engine.run()  # raises TimingViolationError on any violation
+        assert all(p.count == 1 for p in probes)
+
+    def test_overclocking_trips_the_constraint(self):
+        """Below 53 ps the root NDROC must reject the stream."""
+        engine = Engine(strict_timing=True)
+        demux, probes = build(engine, 8)
+        driver = PipelinedDemuxDriver(demux, cycle_ps=40.0)
+        driver.run_stream([1, 2, 3])
+        with pytest.raises(TimingViolationError):
+            engine.run()
+
+    def test_long_stream(self):
+        engine = Engine()
+        demux, probes = build(engine, 8)
+        addresses = [(7 * k + 3) % 8 for k in range(64)]
+        PipelinedDemuxDriver(demux).run_stream(addresses)
+        engine.run()
+        assert [p.count for p in probes] == \
+            [addresses.count(i) for i in range(8)]
+
+
+class TestPerLevelAccess:
+    def test_per_level_reset_only_clears_that_level(self):
+        engine = Engine()
+        demux, probes = build(engine, 8)
+        # Select address 7 (all levels set), then reset only level 0.
+        demux.apply_select(7, 0.0)
+        engine.run()
+        demux.reset_arrives_at(0, 50.0)
+        engine.run()
+        # Firing now routes 0b011 at levels 1..2 but 0 at the root: the
+        # pulse lands on leaf 3 (root complement, rest true).
+        demux.fire(100.0)
+        engine.run()
+        assert probes[3].count == 1
+        assert probes[7].count == 0

@@ -1,0 +1,132 @@
+"""Tests for JTL, PTL, splitter, merger and DAND primitives."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.pulse import DAND, JTL, PTL, Engine, Merger, Probe, Splitter
+
+
+class TestJTL:
+    def test_delay(self, engine):
+        jtl = engine.add(JTL("j", delay_ps=3.0))
+        probe = engine.add(Probe("p"))
+        jtl.connect("out", probe, "in")
+        engine.schedule(jtl, "in", 10.0)
+        engine.run()
+        assert probe.times_ps == [13.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(NetlistError):
+            JTL("j", delay_ps=-1.0)
+
+
+class TestPTL:
+    def test_paper_rate(self, engine):
+        # 262 um at 1 ps / 100 um = 2.62 ps (Section VI-C).
+        ptl = engine.add(PTL("w", length_um=262.0))
+        assert ptl.delay_ps == pytest.approx(2.62)
+
+    def test_propagation(self, engine):
+        ptl = engine.add(PTL("w", length_um=100.0))
+        probe = engine.add(Probe("p"))
+        ptl.connect("out", probe, "in")
+        engine.schedule(ptl, "in", 0.0)
+        engine.run()
+        assert probe.times_ps == [pytest.approx(1.0)]
+
+
+class TestSplitter:
+    def test_duplicates_pulse(self, engine):
+        spl = engine.add(Splitter("s"))
+        p0 = engine.add(Probe("p0"))
+        p1 = engine.add(Probe("p1"))
+        spl.connect("out0", p0, "in")
+        spl.connect("out1", p1, "in")
+        engine.schedule(spl, "in", 0.0)
+        engine.run()
+        assert p0.count == p1.count == 1
+        assert p0.times_ps == p1.times_ps
+
+
+class TestMerger:
+    def test_merges_two_streams(self, engine):
+        mrg = engine.add(Merger("m"))
+        probe = engine.add(Probe("p"))
+        mrg.connect("out", probe, "in")
+        engine.schedule(mrg, "in0", 0.0)
+        engine.schedule(mrg, "in1", 50.0)
+        engine.run()
+        assert probe.count == 2
+
+    def test_dead_time_dissipates_second_pulse(self, engine):
+        # Figure 3b: pulses arriving too close produce a single output.
+        mrg = engine.add(Merger("m", dead_time_ps=5.0))
+        probe = engine.add(Probe("p"))
+        mrg.connect("out", probe, "in")
+        engine.schedule(mrg, "in0", 0.0)
+        engine.schedule(mrg, "in1", 2.0)
+        engine.run()
+        assert probe.count == 1
+        assert mrg.dissipated == 1
+
+    def test_reset_state(self, engine):
+        mrg = engine.add(Merger("m", dead_time_ps=5.0))
+        engine.schedule(mrg, "in0", 0.0)
+        engine.run()
+        mrg.reset_state()
+        assert mrg.dissipated == 0
+
+
+class TestDAND:
+    def test_coincidence_fires(self, engine):
+        dand = engine.add(DAND("d", hold_window_ps=10.0))
+        probe = engine.add(Probe("p"))
+        dand.connect("out", probe, "in")
+        engine.schedule(dand, "a", 0.0)
+        engine.schedule(dand, "b", 6.0)
+        engine.run()
+        assert probe.count == 1
+
+    def test_lone_pulse_decays(self, engine):
+        dand = engine.add(DAND("d", hold_window_ps=10.0))
+        probe = engine.add(Probe("p"))
+        dand.connect("out", probe, "in")
+        engine.schedule(dand, "a", 0.0)
+        engine.run()
+        assert probe.count == 0
+
+    def test_pulses_outside_window_do_not_fire(self, engine):
+        # Figure 7b: inputs outside the hold time produce no output.
+        dand = engine.add(DAND("d", hold_window_ps=10.0))
+        probe = engine.add(Probe("p"))
+        dand.connect("out", probe, "in")
+        engine.schedule(dand, "a", 0.0)
+        engine.schedule(dand, "b", 25.0)
+        engine.run()
+        assert probe.count == 0
+
+    def test_consumed_pulses_cannot_double_fire(self, engine):
+        dand = engine.add(DAND("d", hold_window_ps=10.0))
+        probe = engine.add(Probe("p"))
+        dand.connect("out", probe, "in")
+        engine.schedule(dand, "a", 0.0)
+        engine.schedule(dand, "b", 5.0)
+        engine.schedule(dand, "b", 9.0)  # 'a' already consumed
+        engine.run()
+        assert probe.count == 1
+
+    def test_train_gating(self, engine):
+        # Three WEN pulses, two data pulses: exactly two outputs.
+        dand = engine.add(DAND("d", hold_window_ps=10.0))
+        probe = engine.add(Probe("p"))
+        dand.connect("out", probe, "in")
+        for k in range(3):
+            engine.schedule(dand, "a", k * 10.0)
+        for k in range(2):
+            engine.schedule(dand, "b", k * 10.0)
+        engine.run()
+        assert probe.count == 2
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(NetlistError):
+            DAND("d", hold_window_ps=0.0)

@@ -1,0 +1,151 @@
+"""Property-based tests on pulse-level component invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pulse import (
+    DAND,
+    Engine,
+    HCClk,
+    HCDRO,
+    HCWrite,
+    MergeTree,
+    NdrocDemux,
+    Probe,
+    PulseCounter,
+    SplitTree,
+)
+
+
+class TestFanoutConservation:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=64),
+           pulses=st.integers(min_value=1, max_value=4))
+    def test_split_tree_delivers_every_pulse_everywhere(self, n, pulses):
+        engine = Engine()
+        tree = SplitTree(engine, "t", n)
+        probes = []
+        for i in range(n):
+            probe = engine.add(Probe(f"p{i}"))
+            tree.connect_output(i, probe, "in")
+            probes.append(probe)
+        for k in range(pulses):
+            comp, port = tree.inp
+            engine.schedule(comp, port, k * 50.0)
+        engine.run()
+        assert all(probe.count == pulses for probe in probes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=64))
+    def test_merge_tree_conserves_well_spaced_pulses(self, n):
+        engine = Engine()
+        tree = MergeTree(engine, "m", n)
+        probe = engine.add(Probe("p"))
+        comp, port = tree.out
+        comp.connect(port, probe, "in")
+        for i in range(n):
+            jcomp, jport = tree.inputs[i]
+            engine.schedule(jcomp, jport, i * 60.0)
+        engine.run()
+        assert probe.count == n
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=64))
+    def test_tree_component_counts_match_census_formulas(self, n):
+        engine = Engine()
+        split = SplitTree(engine, "s", n)
+        merge = MergeTree(engine, "m", n)
+        assert split.splitter_count == max(n - 1, 0)
+        assert merge.merger_count == max(n - 1, 0)
+
+
+class TestStorageProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(writes=st.integers(min_value=0, max_value=8),
+           reads=st.integers(min_value=0, max_value=8))
+    def test_hcdro_fluxon_conservation(self, writes, reads):
+        """stored + emitted == min(writes, capacity) for any sequence."""
+        engine = Engine()
+        cell = engine.add(HCDRO("c"))
+        probe = engine.add(Probe("p"))
+        cell.connect("q", probe, "in")
+        t = 0.0
+        for _ in range(writes):
+            engine.schedule(cell, "d", t)
+            t += 10.0
+        t += 50.0
+        for _ in range(reads):
+            engine.schedule(cell, "clk", t)
+            t += 10.0
+        engine.run()
+        deposited = min(writes, 3)
+        assert cell.stored_value + probe.count == deposited
+        assert probe.count == min(reads, deposited)
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=st.integers(min_value=0, max_value=3))
+    def test_hcwrite_hcdro_counter_roundtrip(self, value):
+        """HC-WRITE -> HC-DRO -> drain -> counter recovers any 2-bit value."""
+        engine = Engine()
+        hcw = HCWrite(engine, "w")
+        cell = engine.add(HCDRO("c"))
+        hcc = HCClk(engine, "k")
+        counter = engine.add(PulseCounter("cnt", bits=2))
+        hcw.connect_output(cell, "d")
+        hcc.connect_output(cell, "clk")
+        cell.connect("q", counter, "in")
+        if value & 1:
+            engine.schedule(*hcw.b0, 0.0)
+        if value & 2:
+            engine.schedule(*hcw.b1, 0.0)
+        engine.run()
+        engine.schedule(*hcc.inp, 200.0)
+        engine.run()
+        assert counter.count == value
+
+    @settings(max_examples=20, deadline=None)
+    @given(pulses=st.integers(min_value=0, max_value=15),
+           bits=st.integers(min_value=1, max_value=4))
+    def test_counter_counts_modulo(self, pulses, bits):
+        engine = Engine()
+        counter = engine.add(PulseCounter("c", bits=bits))
+        for k in range(pulses):
+            engine.schedule(counter, "in", k * 10.0)
+        engine.run()
+        assert counter.count == pulses % (2 ** bits)
+
+
+class TestDemuxProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(k=st.integers(min_value=1, max_value=5),
+           data=st.data())
+    def test_demux_routes_exactly_one_leaf(self, k, data):
+        n = 2 ** k
+        address = data.draw(st.integers(min_value=0, max_value=n - 1))
+        engine = Engine()
+        demux = NdrocDemux(engine, "dm", n)
+        probes = []
+        for i in range(n):
+            probe = engine.add(Probe(f"l{i}"))
+            comp, port = demux.leaf(i)
+            comp.connect(port, probe, "in")
+            probes.append(probe)
+        demux.apply_select(address, 0.0)
+        demux.fire(5.0)
+        engine.run()
+        counts = [probe.count for probe in probes]
+        assert sum(counts) == 1
+        assert counts[address] == 1
+
+
+class TestDandProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(gap=st.floats(min_value=0.0, max_value=40.0))
+    def test_window_semantics(self, gap):
+        engine = Engine()
+        dand = engine.add(DAND("d", hold_window_ps=10.0))
+        probe = engine.add(Probe("p"))
+        dand.connect("out", probe, "in")
+        engine.schedule(dand, "a", 0.0)
+        engine.schedule(dand, "b", gap)
+        engine.run()
+        assert probe.count == (1 if gap <= 10.0 else 0)

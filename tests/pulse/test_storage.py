@@ -1,0 +1,193 @@
+"""Tests for DRO, HC-DRO, NDRO and NDROC storage cell semantics."""
+
+import pytest
+
+from repro.errors import TimingViolationError
+from repro.pulse import DRO, HCDRO, NDRO, NDROC, Engine, Probe
+
+
+def _probe_output(engine, cell, out_port="q"):
+    probe = engine.add(Probe(f"{cell.name}.probe"))
+    cell.connect(out_port, probe, "in")
+    return probe
+
+
+class TestDRO:
+    def test_store_and_destructive_read(self, engine):
+        cell = engine.add(DRO("dro"))
+        probe = _probe_output(engine, cell)
+        engine.schedule(cell, "d", 0.0)
+        engine.schedule(cell, "clk", 20.0)
+        engine.schedule(cell, "clk", 40.0)  # second read: nothing left
+        engine.run()
+        assert probe.count == 1
+        assert not cell.stored
+
+    def test_second_write_dissipated(self, engine):
+        cell = engine.add(DRO("dro"))
+        engine.schedule(cell, "d", 0.0)
+        engine.schedule(cell, "d", 20.0)
+        engine.run()
+        assert cell.stored
+        assert cell.dissipated == 1
+
+    def test_read_empty_cell_is_silent(self, engine):
+        cell = engine.add(DRO("dro"))
+        probe = _probe_output(engine, cell)
+        engine.schedule(cell, "clk", 0.0)
+        engine.run()
+        assert probe.count == 0
+
+
+class TestHCDRO:
+    def test_stores_up_to_three_fluxons(self, engine):
+        cell = engine.add(HCDRO("hc"))
+        for k in range(3):
+            engine.schedule(cell, "d", k * 10.0)
+        engine.run()
+        assert cell.stored_value == 3
+
+    def test_fourth_fluxon_dissipated(self, engine):
+        cell = engine.add(HCDRO("hc"))
+        for k in range(4):
+            engine.schedule(cell, "d", k * 10.0)
+        engine.run()
+        assert cell.stored_value == 3
+        assert cell.dissipated == 1
+
+    def test_each_clk_pops_one_fluxon(self, engine):
+        cell = engine.add(HCDRO("hc"))
+        probe = _probe_output(engine, cell)
+        for k in range(2):
+            engine.schedule(cell, "d", k * 10.0)
+        for k in range(3):
+            engine.schedule(cell, "clk", 100.0 + k * 10.0)
+        engine.run()
+        assert probe.count == 2  # only two fluxons were stored
+        assert cell.stored_value == 0
+
+    @pytest.mark.parametrize("value", [0, 1, 2, 3])
+    def test_two_bit_roundtrip(self, engine, value):
+        cell = engine.add(HCDRO("hc"))
+        probe = _probe_output(engine, cell)
+        for k in range(value):
+            engine.schedule(cell, "d", k * 10.0)
+        for k in range(3):
+            engine.schedule(cell, "clk", 200.0 + k * 10.0)
+        engine.run()
+        assert probe.count == value
+
+    def test_spacing_violation_strict(self):
+        engine = Engine(strict_timing=True)
+        cell = engine.add(HCDRO("hc"))
+        engine.schedule(cell, "d", 0.0)
+        engine.schedule(cell, "d", 4.0)  # < 10 ps apart
+        with pytest.raises(TimingViolationError):
+            engine.run()
+
+    def test_spacing_violation_lenient_dissipates(self):
+        engine = Engine(strict_timing=False)
+        cell = engine.add(HCDRO("hc"))
+        engine.schedule(cell, "d", 0.0)
+        engine.schedule(cell, "d", 4.0)
+        engine.run()
+        assert cell.stored_value == 1
+        assert cell.dissipated == 1
+
+    def test_exact_10ps_spacing_accepted(self, engine):
+        cell = engine.add(HCDRO("hc"))
+        for k in range(3):
+            engine.schedule(cell, "d", k * 10.0)
+        engine.run()
+        assert cell.stored_value == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HCDRO("hc", capacity=0)
+
+
+class TestNDRO:
+    def test_non_destructive_read(self, engine):
+        cell = engine.add(NDRO("n"))
+        probe = _probe_output(engine, cell, "out")
+        engine.schedule(cell, "set", 0.0)
+        for k in range(5):
+            engine.schedule(cell, "clk", 20.0 + 10 * k)
+        engine.run()
+        assert probe.count == 5
+        assert cell.stored
+
+    def test_reset_clears(self, engine):
+        cell = engine.add(NDRO("n"))
+        probe = _probe_output(engine, cell, "out")
+        engine.schedule(cell, "set", 0.0)
+        engine.schedule(cell, "reset", 10.0)
+        engine.schedule(cell, "clk", 20.0)
+        engine.run()
+        assert probe.count == 0
+
+    def test_redundant_set_and_reset_dissipate(self, engine):
+        cell = engine.add(NDRO("n"))
+        engine.schedule(cell, "set", 0.0)
+        engine.schedule(cell, "set", 5.0)
+        engine.schedule(cell, "reset", 10.0)
+        engine.schedule(cell, "reset", 15.0)
+        engine.run()
+        assert cell.dissipated == 2
+
+    def test_read_empty_is_silent(self, engine):
+        cell = engine.add(NDRO("n"))
+        probe = _probe_output(engine, cell, "out")
+        engine.schedule(cell, "clk", 0.0)
+        engine.run()
+        assert probe.count == 0
+
+
+class TestNDROC:
+    def test_complementary_routing(self, engine):
+        cell = engine.add(NDROC("c"))
+        true_probe = engine.add(Probe("t"))
+        comp_probe = engine.add(Probe("f"))
+        cell.connect("out0", true_probe, "in")
+        cell.connect("out1", comp_probe, "in")
+        # Clear cell: CLK exits the complement output.
+        engine.schedule(cell, "clk", 0.0)
+        engine.run()
+        assert (true_probe.count, comp_probe.count) == (0, 1)
+        # Set cell: CLK exits the true output, state is kept.
+        engine.schedule(cell, "set", 100.0)
+        engine.schedule(cell, "clk", 200.0)
+        engine.schedule(cell, "clk", 300.0)
+        engine.run()
+        assert (true_probe.count, comp_probe.count) == (2, 1)
+
+    def test_enable_separation_enforced(self):
+        # Section III-E: two enables must be >= 53 ps apart.
+        engine = Engine(strict_timing=True)
+        cell = engine.add(NDROC("c"))
+        engine.schedule(cell, "clk", 0.0)
+        engine.schedule(cell, "clk", 30.0)
+        with pytest.raises(TimingViolationError):
+            engine.run()
+
+    def test_53ps_separation_accepted(self, engine):
+        cell = engine.add(NDROC("c"))
+        engine.schedule(cell, "clk", 0.0)
+        engine.schedule(cell, "clk", 53.0)
+        assert engine.run() == 2
+
+    def test_lenient_mode_dissipates(self):
+        engine = Engine(strict_timing=False)
+        cell = engine.add(NDROC("c"))
+        engine.schedule(cell, "clk", 0.0)
+        engine.schedule(cell, "clk", 30.0)
+        engine.run()
+        assert cell.dissipated == 1
+
+    def test_propagation_delay(self, engine):
+        cell = engine.add(NDROC("c"))
+        probe = engine.add(Probe("p"))
+        cell.connect("out1", probe, "in")
+        engine.schedule(cell, "clk", 0.0)
+        engine.run()
+        assert probe.times_ps == [pytest.approx(24.0)]

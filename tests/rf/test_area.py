@@ -1,0 +1,61 @@
+"""Tests for the area-estimation model (Section VI-A's ~20% observation)."""
+
+import pytest
+
+from repro.rf import DualBankHiPerRF, HiPerRF, NdroRegisterFile, RFGeometry
+from repro.rf.alternatives import ShiftRegisterRF
+from repro.rf.area import (
+    CELL_AREA_UM2,
+    macro_area,
+    rf_chip_area_fraction,
+)
+
+GEO = RFGeometry(32, 32)
+
+
+class TestMacroArea:
+    def test_routed_area_exceeds_cell_area(self):
+        area = macro_area(NdroRegisterFile(GEO))
+        assert area.routed_area_um2 > area.cell_area_um2
+
+    def test_hiperrf_smaller_than_baseline(self):
+        base = macro_area(NdroRegisterFile(GEO)).routed_area_mm2
+        hiper = macro_area(HiPerRF(GEO)).routed_area_mm2
+        assert hiper < 0.6 * base
+
+    def test_area_and_jj_savings_differ(self):
+        # Area is not proportional to JJs (interconnect is pad-limited):
+        # the area saving is even larger than the JJ saving.
+        base = NdroRegisterFile(GEO)
+        hiper = HiPerRF(GEO)
+        jj_ratio = hiper.jj_count() / base.jj_count()
+        area_ratio = (macro_area(hiper).routed_area_um2
+                      / macro_area(base).routed_area_um2)
+        assert area_ratio != pytest.approx(jj_ratio, abs=0.001)
+
+    def test_dual_bank_slightly_larger(self):
+        assert macro_area(DualBankHiPerRF(GEO)).routed_area_um2 > \
+            macro_area(HiPerRF(GEO)).routed_area_um2
+
+    def test_every_census_cell_has_a_footprint(self):
+        for design in (NdroRegisterFile(GEO), HiPerRF(GEO),
+                       DualBankHiPerRF(GEO), ShiftRegisterRF(GEO)):
+            for cell_name in design.census().as_dict():
+                assert cell_name in CELL_AREA_UM2, cell_name
+
+
+class TestChipFraction:
+    def test_baseline_is_about_20_percent(self):
+        # Section VI-A: "the register file size is about 20% of the total
+        # CPU design area using NDRO cells".
+        fraction = rf_chip_area_fraction(NdroRegisterFile(GEO))
+        assert fraction == pytest.approx(0.20, abs=0.03)
+
+    def test_hiperrf_roughly_halves_the_share(self):
+        base = rf_chip_area_fraction(NdroRegisterFile(GEO))
+        hiper = rf_chip_area_fraction(HiPerRF(GEO))
+        assert hiper < 0.65 * base
+
+    def test_fraction_bounds(self):
+        for design in (NdroRegisterFile(GEO), HiPerRF(GEO)):
+            assert 0.0 < rf_chip_area_fraction(design) < 1.0

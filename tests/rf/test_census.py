@@ -1,0 +1,98 @@
+"""Tests for the component census and structural sub-blocks."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.rf.census import (
+    ComponentCensus,
+    demux_census,
+    demux_depth,
+    fanout_splitters,
+    merger_tree_mergers,
+)
+
+
+class TestComponentCensus:
+    def test_empty(self):
+        census = ComponentCensus()
+        assert census.total_cells == 0
+        assert census.jj_count() == 0
+        assert census.static_power_uw() == 0.0
+
+    def test_add_and_count(self):
+        census = ComponentCensus()
+        census.add("ndro", 4)
+        census.add("splitter")
+        assert census.count("ndro") == 4
+        assert census.count("splitter") == 1
+        assert census.count("merger") == 0
+        assert census.jj_count() == 4 * 11 + 3
+
+    def test_add_zero_is_noop(self):
+        census = ComponentCensus()
+        census.add("ndro", 0)
+        assert census.as_dict() == {}
+
+    def test_unknown_cell_rejected_eagerly(self):
+        census = ComponentCensus()
+        with pytest.raises(Exception):
+            census.add("warp_core", 1)
+
+    def test_negative_rejected(self):
+        census = ComponentCensus()
+        with pytest.raises(NetlistError):
+            census.add("ndro", -1)
+
+    def test_merge_times(self):
+        a = ComponentCensus({"ndro": 2})
+        b = ComponentCensus({"ndro": 1, "merger": 3})
+        a.merge(b, times=2)
+        assert a.count("ndro") == 4
+        assert a.count("merger") == 6
+
+    def test_merge_negative_rejected(self):
+        with pytest.raises(NetlistError):
+            ComponentCensus().merge(ComponentCensus(), times=-1)
+
+    def test_equality(self):
+        assert ComponentCensus({"ndro": 1}) == ComponentCensus({"ndro": 1})
+        assert ComponentCensus({"ndro": 1}) != ComponentCensus({"ndro": 2})
+
+    def test_as_dict_sorted(self):
+        census = ComponentCensus({"splitter": 1, "merger": 2, "dand": 3})
+        assert list(census.as_dict()) == ["dand", "merger", "splitter"]
+
+
+class TestStructuralBlocks:
+    @pytest.mark.parametrize("fanout,expected", [(1, 0), (2, 1), (32, 31)])
+    def test_fanout_splitters(self, fanout, expected):
+        assert fanout_splitters(fanout) == expected
+
+    def test_fanout_invalid(self):
+        with pytest.raises(NetlistError):
+            fanout_splitters(0)
+
+    @pytest.mark.parametrize("inputs,expected", [(1, 0), (2, 1), (32, 31)])
+    def test_merger_tree(self, inputs, expected):
+        assert merger_tree_mergers(inputs) == expected
+
+    def test_demux_ndroc_count(self):
+        # A 1-to-n tree needs n-1 routing cells.
+        for n in (2, 4, 8, 16, 32):
+            assert demux_census(n).count("ndroc") == n - 1
+
+    def test_demux_select_splitters(self):
+        # Level k's select bit drives 2^k cells via 2^k - 1 splitters.
+        census = demux_census(8)
+        assert census.count("splitter") == (1 - 1) + (2 - 1) + (4 - 1)
+
+    def test_demux_depth(self):
+        assert demux_depth(32) == 5
+
+    def test_demux_1to2_cost_vs_paper(self):
+        # Section III-A: the NDROC-based 1-to-2 DEMUX costs 33 JJs.
+        assert demux_census(2).jj_count() == 33
+
+    def test_demux_non_power_of_two_rejected(self):
+        with pytest.raises(Exception):
+            demux_census(6)

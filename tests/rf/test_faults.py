@@ -1,0 +1,66 @@
+"""Tests for single-event fault injection into the pulse netlists."""
+
+import pytest
+
+from repro.rf.faults import (
+    FaultKind,
+    inject_hiperrf_fault,
+    inject_ndro_fault,
+)
+
+
+class TestHiPerRFFaults:
+    def test_dropped_loopback_pulse_corrupts_state(self):
+        """The headline fragility: state recycles through the loopback,
+        so one lost pulse is a permanent soft error."""
+        outcome = inject_hiperrf_fault(FaultKind.DROP_LOOPBACK_PULSE)
+        assert outcome.state_corrupted
+        assert outcome.read_wrong
+        # Exactly one fluxon went missing from one column.
+        assert bin(outcome.stored_after ^ outcome.expected).count("1") <= 2
+
+    def test_extra_data_pulse_clamped_by_capacity(self):
+        outcome = inject_hiperrf_fault(FaultKind.EXTRA_DATA_PULSE)
+        assert not outcome.state_corrupted  # matches the bumped expectation
+        assert outcome.stored_after == outcome.expected
+
+    def test_extra_pulse_on_full_column_dissipated(self):
+        outcome = inject_hiperrf_fault(FaultKind.EXTRA_DATA_PULSE,
+                                       value=0x03)  # column 0 already full
+        assert outcome.stored_after == 0x03
+
+    def test_dropped_read_enable_is_safe(self):
+        """A lost enable is a transient fault: no state change."""
+        outcome = inject_hiperrf_fault(FaultKind.DROP_READ_ENABLE)
+        assert not outcome.state_corrupted
+        assert outcome.read_value is None
+
+
+class TestNdroFaults:
+    def test_extra_set_pulse_idempotent_when_set(self):
+        outcome = inject_ndro_fault(FaultKind.EXTRA_DATA_PULSE, value=0xE5)
+        assert outcome.stored_after == 0xE5  # bit 0 already 1: absorbed
+
+    def test_extra_set_pulse_flips_zero_bit(self):
+        outcome = inject_ndro_fault(FaultKind.EXTRA_DATA_PULSE, value=0xE4)
+        assert outcome.stored_after == 0xE5
+        assert not outcome.state_corrupted  # matches the expectation model
+
+    def test_dropped_read_enable_is_safe(self):
+        outcome = inject_ndro_fault(FaultKind.DROP_READ_ENABLE)
+        assert not outcome.state_corrupted
+
+    def test_loopback_fault_not_applicable(self):
+        with pytest.raises(ValueError):
+            inject_ndro_fault(FaultKind.DROP_LOOPBACK_PULSE)
+
+
+class TestAsymmetry:
+    def test_only_hiperrf_has_a_read_time_state_hazard(self):
+        """The design trade-off in one assertion: the same single-pulse
+        loss class that is fatal for HiPerRF does not exist for the
+        baseline, whose reads never move the stored fluxons."""
+        hiperrf = inject_hiperrf_fault(FaultKind.DROP_LOOPBACK_PULSE)
+        assert hiperrf.state_corrupted
+        baseline = inject_ndro_fault(FaultKind.DROP_READ_ENABLE)
+        assert not baseline.state_corrupted

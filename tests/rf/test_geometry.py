@@ -1,0 +1,52 @@
+"""Tests for register file geometry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.rf.geometry import RFGeometry, log2_int
+
+
+class TestLog2Int:
+    @pytest.mark.parametrize("value,expected", [(1, 0), (2, 1), (4, 2),
+                                                (32, 5), (1024, 10)])
+    def test_exact(self, value, expected):
+        assert log2_int(value) == expected
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 33])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ConfigError):
+            log2_int(value)
+
+
+class TestRFGeometry:
+    def test_paper_geometries(self):
+        for n, w in ((4, 4), (16, 16), (32, 32)):
+            geo = RFGeometry(n, w)
+            assert geo.total_bits == n * w
+            assert geo.hc_cells_per_register == w // 2
+
+    def test_select_bits(self):
+        assert RFGeometry(32, 32).select_bits == 5
+        assert RFGeometry(4, 4).select_bits == 2
+
+    def test_label(self):
+        assert RFGeometry(16, 16).label() == "16x16"
+
+    def test_halved(self):
+        half = RFGeometry(32, 32).halved()
+        assert half.num_registers == 16
+        assert half.width_bits == 32
+
+    def test_halved_too_small(self):
+        with pytest.raises(ConfigError):
+            RFGeometry(2, 4).halved()
+
+    @pytest.mark.parametrize("n,w", [(3, 4), (0, 4), (1, 4), (4, 3), (4, 0), (4, 1)])
+    def test_invalid_shapes(self, n, w):
+        with pytest.raises(ConfigError):
+            RFGeometry(n, w)
+
+    def test_frozen(self):
+        geo = RFGeometry(4, 4)
+        with pytest.raises(AttributeError):
+            geo.num_registers = 8

@@ -1,0 +1,98 @@
+"""Tests for the PTL wire model (Table IV) and placement study (Figure 15)."""
+
+import pytest
+
+from repro.rf import (
+    DualBankHiPerRF,
+    HiPerRF,
+    NdroRegisterFile,
+    RFGeometry,
+    WireModel,
+    placed_loopback_report,
+    wire_aware_delays,
+)
+from repro.rf.wiring import place_loopback_segments
+
+GEO = RFGeometry(32, 32)
+
+# Table IV, 32x32 with PTL delays.
+PAPER_READOUT = {"ndro_rf": 216.8, "hiperrf": 270.1, "dual_bank_hiperrf": 236.8}
+PAPER_LOOPBACK = {"hiperrf": 108.4, "dual_bank_hiperrf": 93.7}
+
+
+class TestWireModel:
+    def test_default_hop_delay(self):
+        # 262 um at 1 ps / 100 um = 2.62 ps per hop (Section VI-C).
+        assert WireModel().avg_hop_delay_ps == pytest.approx(2.62)
+
+    def test_custom_model(self):
+        model = WireModel(ps_per_100um=2.0, avg_wire_length_um=100.0)
+        assert model.avg_hop_delay_ps == pytest.approx(2.0)
+
+
+class TestTable4:
+    @pytest.mark.parametrize("cls,name", [
+        (NdroRegisterFile, "ndro_rf"),
+        (HiPerRF, "hiperrf"),
+        (DualBankHiPerRF, "dual_bank_hiperrf"),
+    ])
+    def test_readout_with_wires(self, cls, name):
+        result = wire_aware_delays(cls(GEO))
+        assert result.readout_delay_ps == pytest.approx(
+            PAPER_READOUT[name], rel=0.03)
+
+    @pytest.mark.parametrize("cls,name", [
+        (HiPerRF, "hiperrf"),
+        (DualBankHiPerRF, "dual_bank_hiperrf"),
+    ])
+    def test_loopback_with_wires(self, cls, name):
+        result = wire_aware_delays(cls(GEO))
+        assert result.loopback_delay_ps == pytest.approx(
+            PAPER_LOOPBACK[name], rel=0.05)
+
+    def test_baseline_has_no_loopback(self):
+        result = wire_aware_delays(NdroRegisterFile(GEO))
+        assert result.loopback_delay_ps is None
+        assert result.loopback_wire_ps is None
+
+    def test_wire_overhead_is_about_one_percent_cpi_claim(self):
+        # Section VI-C: wire delays add ~1% relative overhead vs baseline.
+        base = wire_aware_delays(NdroRegisterFile(GEO))
+        hiper = wire_aware_delays(HiPerRF(GEO))
+        overhead_no_wire = (HiPerRF(GEO).readout_delay_ps()
+                            / NdroRegisterFile(GEO).readout_delay_ps())
+        overhead_wire = hiper.readout_delay_ps / base.readout_delay_ps
+        assert abs(overhead_wire - overhead_no_wire) < 0.03
+
+
+class TestFigure15Placement:
+    def test_loopback_path_is_short_after_placement(self):
+        report = placed_loopback_report(HiPerRF(GEO))
+        # Figure 15: longest loopback wire ~4.6 ps, far below 53 ps.
+        assert report["longest_wire_delay_ps"] < 6.0
+        assert report["longest_wire_delay_ps"] == pytest.approx(4.6, abs=2.0)
+        assert report["margin_ps"] > 40.0
+
+    def test_decoder_latency_dominates(self):
+        report = placed_loopback_report(HiPerRF(GEO))
+        assert report["decoder_latency_ps"] == 53.0
+        assert report["longest_wire_delay_ps"] < report["decoder_latency_ps"]
+
+    def test_segments_cover_loopback_chain(self):
+        segments = place_loopback_segments(HiPerRF(GEO))
+        names = [s.source for s in segments] + [segments[-1].sink]
+        assert names[0] == "loopbuffer_ndro"
+        assert names[-1] == "dand_column_entry"
+
+    def test_scales_with_pitch(self):
+        small = placed_loopback_report(HiPerRF(GEO), cell_pitch_um=40.0)
+        large = placed_loopback_report(HiPerRF(GEO), cell_pitch_um=150.0)
+        assert small["longest_wire_delay_ps"] < large["longest_wire_delay_ps"]
+
+    def test_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            place_loopback_segments(NdroRegisterFile(GEO))
+
+    def test_invalid_pitch(self):
+        with pytest.raises(ValueError):
+            place_loopback_segments(HiPerRF(GEO), cell_pitch_um=0.0)

@@ -1,0 +1,77 @@
+"""Tests for the gate-network IR."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.synth import GateKind, GateNetwork
+
+
+def tiny():
+    network = GateNetwork("tiny")
+    a = network.add_input("a")
+    b = network.add_input("b")
+    x = network.add_xor(a, b, "x")
+    y = network.add_and(x, b, "y")
+    network.add_output(y, "out")
+    return network, (a, b, x, y)
+
+
+class TestConstruction:
+    def test_gate_ids_sequential(self):
+        network, (a, b, x, y) = tiny()
+        assert [g.gate_id for g in network.gates] == list(range(5))
+
+    def test_unknown_input_rejected(self):
+        network = GateNetwork("bad")
+        with pytest.raises(NetlistError):
+            network.add_and(0, 1)
+
+    def test_primary_lists(self):
+        network, (a, b, x, y) = tiny()
+        assert network.primary_inputs == [a, b]
+        assert len(network.primary_outputs) == 1
+
+
+class TestAnalysis:
+    def test_levels(self):
+        network, (a, b, x, y) = tiny()
+        levels = network.levels()
+        assert levels[a] == levels[b] == 0
+        assert levels[x] == 1
+        assert levels[y] == 2
+
+    def test_depth(self):
+        network, _ = tiny()
+        assert network.depth() == 2
+
+    def test_fanouts(self):
+        network, (a, b, x, y) = tiny()
+        fanouts = network.fanouts()
+        assert fanouts[b] == 2  # feeds x and y
+        assert fanouts[a] == 1
+        assert fanouts[y] == 1  # the output marker
+
+    def test_gate_count(self):
+        network, _ = tiny()
+        assert network.gate_count() == 2
+        assert network.gate_count(GateKind.XOR) == 1
+
+    def test_wide_or_is_logarithmic(self):
+        network = GateNetwork("wide")
+        sources = network.add_inputs(16, "i")
+        out = network.add_wide_or(sources)
+        network.add_output(out)
+        assert network.depth() == 4
+
+    def test_wide_or_empty_rejected(self):
+        with pytest.raises(NetlistError):
+            GateNetwork("w").add_wide_or([])
+
+    def test_mux2_depth(self):
+        network = GateNetwork("mux")
+        s = network.add_input("s")
+        d0 = network.add_input("d0")
+        d1 = network.add_input("d1")
+        network.add_output(network.add_mux2(s, d0, d1))
+        # select -> not -> and -> or = 3 levels on the select path.
+        assert network.depth() == 3

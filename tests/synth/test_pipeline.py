@@ -1,0 +1,92 @@
+"""Tests for the SFQ synthesis passes."""
+
+import pytest
+
+from repro.synth import GateNetwork, build_execute_stage, synthesize
+from repro.synth.pipeline import BUFFER_JJ, SPLITTER_JJ
+
+
+def unbalanced_network():
+    """b reaches the AND one level later than a's path: needs 1 buffer."""
+    network = GateNetwork("unbal")
+    a = network.add_input("a")
+    b = network.add_input("b")
+    deep = network.add_not(a, "n1")        # level 1
+    gate = network.add_and(deep, b, "g")   # level 2; b is level 0
+    network.add_output(gate)
+    return network
+
+
+class TestSynthesisPasses:
+    def test_balancing_buffer_count(self):
+        report = synthesize(unbalanced_network())
+        assert report.balancing_buffers == 1
+        assert report.balancing_jj == BUFFER_JJ
+
+    def test_balanced_network_needs_no_buffers(self):
+        network = GateNetwork("bal")
+        a = network.add_input("a")
+        b = network.add_input("b")
+        gate = network.add_and(a, b)
+        network.add_output(gate)
+        report = synthesize(network)
+        assert report.balancing_buffers == 0
+
+    def test_splitter_insertion(self):
+        network = GateNetwork("fan")
+        a = network.add_input("a")
+        x = network.add_not(a, "x")
+        one = network.add_not(x)
+        two = network.add_not(x)
+        three = network.add_not(x)
+        # x drives 3 sinks: 2 splitters; the three NOT outputs are
+        # unbalanced only through the OUTPUT markers.
+        network.add_output(one)
+        network.add_output(two)
+        network.add_output(three)
+        report = synthesize(network)
+        assert report.splitters == 2
+        assert report.splitter_jj == 2 * SPLITTER_JJ
+
+    def test_output_wave_balancing(self):
+        """Primary outputs are padded to the block's full depth."""
+        network = GateNetwork("skew")
+        a = network.add_input("a")
+        shallow = network.add_not(a)         # depth 1
+        deep = network.add_not(network.add_not(network.add_not(a)))  # 4? no:
+        network.add_output(shallow)
+        network.add_output(deep)
+        report = synthesize(network)
+        # a fans out (splitters), shallow output needs padding to depth.
+        assert report.balancing_buffers >= report.depth - 1
+
+    def test_clock_tree_counts_buffers_too(self):
+        report = synthesize(unbalanced_network())
+        assert report.clocked_cells == report.logic_gates \
+            + report.balancing_buffers
+
+    def test_total_jj_is_sum(self):
+        report = synthesize(build_execute_stage(8))
+        assert report.total_jj == (report.logic_jj + report.splitter_jj
+                                   + report.balancing_jj
+                                   + report.clock_tree_jj)
+
+    def test_latency(self):
+        report = synthesize(unbalanced_network())
+        assert report.latency_ps == report.depth * 28.0
+
+    def test_describe(self):
+        text = synthesize(unbalanced_network()).describe()
+        assert "depth" in text and "balancing" in text
+
+
+class TestDepthScaling:
+    def test_wider_execute_is_deeper(self):
+        assert build_execute_stage(32).depth() > \
+            build_execute_stage(8).depth()
+
+    def test_balancing_overhead_substantial(self):
+        # The classic RSFQ observation: path balancing costs a large
+        # fraction of the logic budget in wide datapaths.
+        report = synthesize(build_execute_stage(32))
+        assert report.balancing_overhead > 0.3

@@ -1,0 +1,24 @@
+"""Smoke tests: every example script must run to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"{script} produced almost no output"
+
+
+def test_expected_examples_present():
+    for name in ("quickstart.py", "design_space.py", "pulse_rf_demo.py",
+                 "josim_hcdro.py", "cpu_pipeline_demo.py",
+                 "synthesis_tour.py"):
+        assert name in EXAMPLES

@@ -1,0 +1,63 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_ps_ns_roundtrip(self):
+        assert units.ns_to_ps(units.ps_to_ns(1234.5)) == pytest.approx(1234.5)
+
+    def test_ghz_period(self):
+        assert units.ghz_to_period_ps(1.0) == pytest.approx(1000.0)
+        assert units.ghz_to_period_ps(770.0) == pytest.approx(1.2987, rel=1e-3)
+
+    def test_period_to_ghz_inverse(self):
+        for freq in (0.5, 10.0, 770.0):
+            assert units.period_ps_to_ghz(
+                units.ghz_to_period_ps(freq)) == pytest.approx(freq)
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.ghz_to_period_ps(0.0)
+        with pytest.raises(ValueError):
+            units.period_ps_to_ghz(-1.0)
+
+    def test_uw_to_mw(self):
+        assert units.uw_to_mw(7262.17) == pytest.approx(7.26217)
+
+
+class TestWireDelay:
+    def test_paper_ptl_rate(self):
+        # Section VI-C: 1 ps per 100 um; the average 262 um wire is 2.62 ps.
+        assert units.wire_delay_ps(262.0) == pytest.approx(2.62)
+
+    def test_zero_length(self):
+        assert units.wire_delay_ps(0.0) == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            units.wire_delay_ps(-1.0)
+
+    def test_custom_rate(self):
+        assert units.wire_delay_ps(100.0, ps_per_100um=2.0) == pytest.approx(2.0)
+
+
+class TestConstants:
+    def test_flux_quantum_magnitude(self):
+        # PHI0 in mV*ps should be ~2.068.
+        assert math.isclose(units.PHI0, 2.067833848, rel_tol=1e-9)
+
+
+class TestTopLevelExports:
+    def test_convenience_imports(self):
+        import repro
+
+        design = repro.HiPerRF(repro.RFGeometry(32, 32))
+        baseline = repro.NdroRegisterFile(repro.RFGeometry(32, 32))
+        comparison = repro.compare_designs(baseline, design)
+        assert comparison.jj_percent_of_baseline < 50.0
+        assert repro.__version__

@@ -1,0 +1,129 @@
+"""Tests for trace profiling and the workload dependency characters."""
+
+import pytest
+
+from repro.isa import Executor, assemble
+from repro.workloads.analysis import (
+    TraceProfile,
+    profile_trace,
+    profile_workload,
+)
+
+
+def profile_of(source: str) -> TraceProfile:
+    executor = Executor(assemble(source))
+    return profile_trace(executor.trace())
+
+
+class TestProfileMechanics:
+    def test_instruction_classes(self):
+        profile = profile_of("""
+_start:
+    la   t0, w
+    lw   t1, 0(t0)
+    sw   t1, 0(t0)
+    add  t2, t1, t1
+    beqz t2, skip
+skip:
+    li   a0, 0
+    li   a7, 93
+    ecall
+.data
+w: .word 0
+""")
+        assert profile.loads == 1
+        assert profile.stores == 1
+        assert profile.branches == 1
+
+    def test_raw_distance(self):
+        profile = profile_of("""
+_start:
+    li   t0, 1
+    addi t1, t0, 1
+    nop
+    nop
+    addi t2, t0, 2
+    li   a0, 0
+    li   a7, 93
+    ecall
+""")
+        # t0 produced at index 0 (after li expansion it's still 1 instr),
+        # consumed at distances 1 and 4.
+        assert profile.raw_distances[1] >= 1
+        assert profile.raw_distances[4] >= 1
+
+    def test_reread_distance(self):
+        profile = profile_of("""
+_start:
+    li   t0, 1
+    addi t1, t0, 1
+    addi t2, t0, 2
+    li   a0, 0
+    li   a7, 93
+    ecall
+""")
+        assert profile.reread_distances[1] >= 1
+
+    def test_same_bank_pairs(self):
+        profile = profile_of("""
+_start:
+    li   t0, 1
+    li   t2, 2
+    add  t1, t0, t2    # x5,x7: both odd -> same bank
+    li   a0, 0
+    li   a7, 93
+    ecall
+""")
+        assert profile.two_source_ops == 1
+        assert profile.same_bank_pairs == 1
+        assert profile.same_bank_pair_fraction == 1.0
+
+    def test_empty_profile_derived_values(self):
+        profile = TraceProfile()
+        assert profile.load_fraction == 0.0
+        assert profile.mean_raw_distance() is None
+        assert profile.raw_distance_at_most(2) == 0.0
+        assert profile.reread_within(2) == 0.0
+        assert profile.same_bank_pair_fraction == 0.0
+
+    def test_summary_keys(self):
+        summary = profile_workload("vvadd").summary()
+        for key in ("instructions", "load_fraction", "branch_fraction",
+                    "mean_raw_distance", "raw_within_2", "reread_within_2",
+                    "same_bank_pair_fraction"):
+            assert key in summary
+
+
+class TestWorkloadCharacters:
+    """The synthetic SPEC stand-ins must show their namesakes' profiles."""
+
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        names = ("mcf", "sjeng", "libquantum", "specrand", "vvadd",
+                 "dhrystone", "towers")
+        return {name: profile_workload(name) for name in names}
+
+    def test_mcf_is_load_heavy(self, profiles):
+        # Pointer chasing: the highest load fraction in the SPEC set.
+        assert profiles["mcf"].load_fraction > 0.15
+        assert profiles["mcf"].load_fraction > \
+            profiles["sjeng"].load_fraction
+
+    def test_sjeng_is_branch_heavy(self, profiles):
+        assert profiles["sjeng"].branch_fraction > 0.25
+        assert profiles["sjeng"].branch_fraction > \
+            profiles["mcf"].branch_fraction
+
+    def test_specrand_tight_recurrence(self, profiles):
+        # The LCG chain keeps dependencies close.
+        assert profiles["specrand"].raw_distance_at_most(3) > 0.4
+
+    def test_mcf_high_register_reuse(self, profiles):
+        # The chase re-reads its pointer register constantly (loopback
+        # exposure), more than the streaming libquantum kernel.
+        assert profiles["mcf"].reread_within(2) > \
+            profiles["vvadd"].reread_within(2)
+
+    def test_every_profile_nonempty(self, profiles):
+        for name, profile in profiles.items():
+            assert profile.instructions > 100, name

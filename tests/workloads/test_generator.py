@@ -1,0 +1,61 @@
+"""Tests for the workload data generators and shared assembly fragments."""
+
+import pytest
+
+from repro.isa import Executor, assemble
+from repro.workloads.generator import (
+    EXIT_STUBS,
+    Lcg,
+    MUL_SUBROUTINE,
+    words_directive,
+)
+
+
+class TestWordsDirective:
+    def test_renders_word_lines(self):
+        text = words_directive([1, 2, 3])
+        assert text.strip() == ".word 1, 2, 3"
+
+    def test_wraps_at_eight(self):
+        text = words_directive(list(range(10)))
+        assert text.count(".word") == 2
+
+    def test_masks_to_32_bits(self):
+        text = words_directive([-1])
+        assert "4294967295" in text
+
+    def test_empty(self):
+        assert words_directive([]) == ""
+
+    def test_assembles(self):
+        program = assemble(".data\nv:\n" + words_directive([7, 8]) + "\n")
+        words = program.words()
+        base = program.symbols["v"]
+        assert words[base] == 7 and words[base + 4] == 8
+
+
+class TestMulSubroutine:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 99), (123, 456),
+                                     (0xFFFF, 0xFFFF), (65535, 3)])
+    def test_matches_python_multiply(self, a, b):
+        source = f"""
+_start:
+    li a0, {a}
+    li a1, {b}
+    call __mulsi3
+    li a7, 93
+    ecall
+{MUL_SUBROUTINE}
+"""
+        executor = Executor(assemble(source))
+        executor.run()
+        assert executor.state.read(10) == (a * b) & 0xFFFFFFFF
+
+
+class TestExitStubs:
+    def test_pass_and_fail_paths(self):
+        for target, expected in (("__pass", 42), ("__fail", 1)):
+            source = f"_start:\n  j {target}\n{EXIT_STUBS}"
+            executor = Executor(assemble(source))
+            executor.run()
+            assert executor.exit_code == expected

@@ -1,0 +1,83 @@
+"""Functional verification of every benchmark workload."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import Executor, assemble
+from repro.workloads import (
+    PASS_EXIT_CODE,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.generator import Lcg
+
+
+class TestRegistry:
+    def test_workload_count(self):
+        # 11 riscv-tests kernels + 4 SPEC 2006 stand-ins; Figure 14 uses
+        # the paper's 12-entry subset (see repro.experiments.figure14).
+        assert len(workload_names()) == 15
+
+    def test_figure14_subset_registered(self):
+        from repro.experiments.figure14 import FIGURE14_WORKLOADS
+
+        assert len(FIGURE14_WORKLOADS) == 12
+        for name in FIGURE14_WORKLOADS:
+            assert get_workload(name) is not None
+
+    def test_categories(self):
+        categories = {w.category for w in all_workloads()}
+        assert categories == {"riscv-tests", "spec2006"}
+
+    def test_spec_benchmarks_present(self):
+        # The paper ran 429.mcf, 458.sjeng, 462.libquantum, 999.specrand.
+        for name in ("mcf", "sjeng", "libquantum", "specrand"):
+            assert get_workload(name).category == "spec2006"
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigError):
+            get_workload("linpack")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            get_workload("vvadd").build(scale=0)
+
+
+class TestSelfChecking:
+    @pytest.mark.parametrize("name", workload_names())
+    def test_workload_passes(self, name):
+        program = assemble(get_workload(name).build())
+        executor = Executor(program)
+        executor.run(max_instructions=500_000)
+        assert executor.exit_code == PASS_EXIT_CODE, \
+            f"{name} failed its self-check (exit {executor.exit_code})"
+
+    @pytest.mark.parametrize("name", ["vvadd", "qsort", "mcf", "libquantum"])
+    def test_workloads_scale(self, name):
+        program = assemble(get_workload(name).build(scale=2.0))
+        executor = Executor(program)
+        executor.run(max_instructions=2_000_000)
+        assert executor.exit_code == PASS_EXIT_CODE
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_deterministic_source(self, name):
+        workload = get_workload(name)
+        assert workload.build() == workload.build()
+
+
+class TestLcg:
+    def test_deterministic(self):
+        assert Lcg(seed=5).sequence(10) == Lcg(seed=5).sequence(10)
+
+    def test_fifteen_bit_outputs(self):
+        assert all(0 <= v < (1 << 15) for v in Lcg().sequence(1000))
+
+    def test_matches_assembly_implementation(self):
+        """The specrand kernel passing proves the asm LCG matches this one;
+        spot-check the first draws here for a direct cross-check."""
+        rng = Lcg(seed=1)
+        first = rng.next()
+        # state = 1 * 1103515245 + 12345; output = (state >> 16) & 0x7FFF
+        expected = ((1103515245 + 12345) >> 16) & 0x7FFF
+        assert first == expected
