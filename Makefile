@@ -1,4 +1,4 @@
-.PHONY: install test bench experiments examples quick all
+.PHONY: install test bench bench-josim experiments examples quick all
 
 install:
 	pip install -e .
@@ -8,6 +8,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Tracks the RCSJ solver speedup trajectory across PRs: writes machine-
+# readable timings (incl. the reference-solver baseline) to BENCH_josim.json.
+bench-josim:
+	pytest benchmarks/bench_josim.py --benchmark-only \
+		--benchmark-json=BENCH_josim.json
 
 experiments:
 	hiperrf-experiments all

@@ -1,6 +1,5 @@
 """Benches for the extension studies: banking, scheduling, skew, faults."""
 
-import pytest
 
 from repro.experiments import banking, fault_study, scheduling, skew
 

@@ -7,7 +7,7 @@ benchmark times one complete regeneration.
 
 import pytest
 
-from repro.experiments import figure14, paper_data
+from repro.experiments import paper_data
 
 
 def test_figure14_regeneration(benchmark, figure14_result):

@@ -1,8 +1,15 @@
-"""Benchmark the analog RCSJ solver on the Section II-D cell study."""
+"""Benchmark the analog RCSJ solver on the Section II-D cell study.
 
-import pytest
+``test_hcdro_analog_study`` tracks the compiled-stamp hot path;
+``test_hcdro_reference_solver`` keeps the per-element assembly's cost
+on record so the speedup trajectory stays visible in BENCH_josim.json
+(see ``make bench-josim``).
+"""
+
 
 from repro.experiments import josim_cells
+from repro.josim import sweep
+from repro.josim.margins import sweep_read_amplitude
 from repro.josim.testbench import HCDROTestbench
 
 
@@ -17,7 +24,49 @@ def test_hcdro_analog_study(benchmark):
     assert report.output_pulses == 3
 
 
+def test_hcdro_reference_solver(benchmark):
+    import repro.josim.testbench as tb
+    from repro.josim.solver import TransientSolver
+
+    class _ReferenceSolver(TransientSolver):
+        def __init__(self, circuit, **kwargs):
+            kwargs["reference"] = True
+            super().__init__(circuit, **kwargs)
+
+    def run_reference():
+        original = tb.TransientSolver
+        tb.TransientSolver = _ReferenceSolver
+        try:
+            return HCDROTestbench().run(writes=3, reads=4)
+        finally:
+            tb.TransientSolver = original
+
+    report = benchmark.pedantic(run_reference, rounds=1, iterations=1)
+    benchmark.extra_info["stored"] = report.stored_after_writes
+    benchmark.extra_info["popped"] = report.output_pulses
+    assert report.stored_after_writes == 3
+    assert report.output_pulses == 3
+
+
 def test_josim_experiment_sweep(benchmark):
-    rows = benchmark.pedantic(josim_cells.run, rounds=1, iterations=1)
+    def cold_sweep():
+        sweep.clear_run_cache()
+        return josim_cells.run()
+
+    rows = benchmark.pedantic(cold_sweep, rounds=1, iterations=1)
     for row in rows:
         assert row["stored"] == min(row["writes"], 3)
+
+
+def test_margin_sweep_cached_revisit(benchmark):
+    """A margin sweep revisiting cached points must be near-free."""
+    sweep.clear_run_cache()
+    points = sweep_read_amplitude(scales=(0.95, 1.0, 1.05))
+    assert points[1].correct
+
+    def revisit():
+        return sweep_read_amplitude(scales=(0.95, 1.0, 1.05))
+
+    again = benchmark(revisit)
+    benchmark.extra_info["cache_entries"] = sweep.run_cache_size()
+    assert [p.correct for p in again] == [p.correct for p in points]

@@ -1,6 +1,5 @@
 """Benchmark the gate-level synthesis passes (the qPalace stand-in)."""
 
-import pytest
 
 from repro.synth import build_execute_stage, synthesize
 

@@ -18,7 +18,7 @@ CPI overheads can be decomposed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from repro.cpu.config import CoreConfig

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Sequence
 
 from repro.cpu.config import CoreConfig
-from repro.cpu.pipeline import GateLevelPipeline, PipelineResult
+from repro.cpu.pipeline import GateLevelPipeline
 from repro.cpu.rf_model import RF_DESIGN_NAMES, RFTimingModel
 from repro.cpu.stats import CpiReport
 from repro.errors import ExecutionError

@@ -17,14 +17,14 @@ DESIGN.md calls out three load-bearing choices; each is ablated here:
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List
+from typing import Dict
 
 from repro.cpu import CoreConfig
 from repro.cpu.pipeline import GateLevelPipeline
-from repro.cpu.rf_model import ABLATION_DESIGN_NAMES, RFTimingModel
+from repro.cpu.rf_model import RFTimingModel
 from repro.isa import Executor, assemble
 from repro.rf import HiPerRF, NdroRegisterFile, RFGeometry
-from repro.rf.alternatives import SingleBitLoopbackRF, TrueTwoPortHiPerRF
+from repro.rf.alternatives import SingleBitLoopbackRF
 from repro.workloads import all_workloads
 
 

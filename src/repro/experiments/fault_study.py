@@ -8,7 +8,7 @@ lost pulse do?  The pulse netlists give a precise answer.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.rf.faults import (
     FaultKind,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.cpu import CoreConfig, simulate_program
 from repro.cpu.rf_model import RF_DESIGN_NAMES

@@ -4,27 +4,29 @@ Drives the RCSJ-model HC-DRO netlist through write/read pulse sequences
 and confirms the paper's claims: the cell robustly stores 0-3 fluxons
 (2 bits), overflow pulses are dissipated, and each read pops exactly one
 stored fluxon (destructive readout).
+
+The write-count sweep is dispatched through :mod:`repro.josim.sweep`,
+so the five transients fan out across worker processes and repeated
+configurations come from the run-cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.josim.testbench import HCDROTestbench
+from repro.josim.sweep import HCDROConfig, run_configs
 
 
-def run() -> List[Dict[str, int]]:
+def run(workers: Optional[int] = None) -> List[Dict[str, int]]:
     """Sweep write counts 0..4, always applying 4 read pulses."""
-    rows = []
-    for writes in range(5):
-        report = HCDROTestbench().run(writes=writes, reads=4)
-        rows.append({
-            "writes": writes,
-            "stored": report.stored_after_writes,
-            "output_pulses": report.output_pulses,
-            "left_after_reads": report.stored_at_end,
-        })
-    return rows
+    configs = [HCDROConfig(writes=writes, reads=4) for writes in range(5)]
+    summaries = run_configs(configs, workers=workers)
+    return [{
+        "writes": summary.config.writes,
+        "stored": summary.stored_after_writes,
+        "output_pulses": summary.output_pulses,
+        "left_after_reads": summary.stored_at_end,
+    } for summary in summaries]
 
 
 def render(rows: List[Dict[str, int]] | None = None) -> str:

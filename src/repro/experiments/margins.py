@@ -1,8 +1,13 @@
-"""HC-DRO operating margins (Section II-D robustness claim)."""
+"""HC-DRO operating margins (Section II-D robustness claim).
+
+The read-amplitude sweep goes through the parallel sweep engine in
+:mod:`repro.josim.sweep`; pass ``workers=1`` (or set
+``REPRO_SWEEP_WORKERS=1``) to force serial execution.
+"""
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.josim.margins import (
     MarginPoint,
@@ -11,8 +16,9 @@ from repro.josim.margins import (
 )
 
 
-def run(scales=(0.90, 0.95, 1.0, 1.05, 1.10)) -> List[MarginPoint]:
-    return sweep_read_amplitude(scales=scales)
+def run(scales=(0.90, 0.95, 1.0, 1.05, 1.10),
+        workers: Optional[int] = None) -> List[MarginPoint]:
+    return sweep_read_amplitude(scales=scales, workers=workers)
 
 
 def render(points: List[MarginPoint] | None = None) -> str:

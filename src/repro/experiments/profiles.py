@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.workloads.analysis import TraceProfile, profile_all
+from repro.workloads.analysis import profile_all
 
 
 def run(scale: float = 1.0) -> Dict[str, Dict[str, float]]:

@@ -9,7 +9,7 @@ Table IV delays - and reports the per-design CPI shift.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List
+from typing import Dict
 
 from repro.cpu import CoreConfig
 from repro.cpu.pipeline import GateLevelPipeline

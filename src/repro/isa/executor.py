@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from typing import Iterator, List, Optional
 
 from repro.errors import ExecutionError
 from repro.isa.assembler import Program
-from repro.isa.encoding import MASK32, sign_extend, to_s32
+from repro.isa.encoding import MASK32, to_s32
 from repro.isa.instructions import Instruction, decode
 from repro.isa.memory import Memory
 from repro.isa.state import CpuState

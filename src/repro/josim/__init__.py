@@ -36,11 +36,20 @@ from repro.josim.cells import (
     build_hcdro_cell,
     build_jtl_stage,
 )
+from repro.josim.sweep import (
+    HCDROConfig,
+    HCDROSummary,
+    run_configs,
+    simulate_hcdro,
+    sweep_map,
+)
 
 __all__ = [
     "BiasCurrent",
     "Capacitor",
     "Circuit",
+    "HCDROConfig",
+    "HCDROSummary",
     "Inductor",
     "JosephsonJunction",
     "PulseCurrent",
@@ -52,4 +61,7 @@ __all__ = [
     "build_jtl_stage",
     "junction_fluxons",
     "loop_fluxons",
+    "run_configs",
+    "simulate_hcdro",
+    "sweep_map",
 ]

@@ -21,7 +21,7 @@ this substitution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.josim.circuit import Circuit
 

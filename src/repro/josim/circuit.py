@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Union
 
 from repro.errors import NetlistError
 from repro.josim.elements import (
@@ -33,6 +33,7 @@ class Circuit:
 
     def __init__(self) -> None:
         self._node_index: Dict[str, int] = {}
+        self._element_index: Dict[str, Element] = {}
         self.elements: List[Element] = []
 
     # -- nodes -----------------------------------------------------------
@@ -56,8 +57,9 @@ class Circuit:
     # -- element factories -------------------------------------------------
 
     def _add(self, element: Element) -> Element:
-        if any(e.name == element.name for e in self.elements):
+        if element.name in self._element_index:
             raise NetlistError(f"duplicate element name {element.name!r}")
+        self._element_index[element.name] = element
         self.elements.append(element)
         return element
 
@@ -96,10 +98,22 @@ class Circuit:
     # -- queries -----------------------------------------------------------
 
     def element(self, name: str) -> Element:
-        for candidate in self.elements:
-            if candidate.name == name:
-                return candidate
-        raise NetlistError(f"no element named {name!r}")
+        try:
+            return self._element_index[name]
+        except KeyError:
+            raise NetlistError(f"no element named {name!r}") from None
+
+    def partition(self) -> Dict[type, List[Element]]:
+        """Elements grouped by concrete class, in netlist order.
+
+        The compiled-stamp solver and introspection tools use this to
+        build per-class index/value arrays without re-walking the
+        element list with ``isinstance`` chains.
+        """
+        groups: Dict[type, List[Element]] = {}
+        for element in self.elements:
+            groups.setdefault(type(element), []).append(element)
+        return groups
 
     def junctions(self) -> List[JosephsonJunction]:
         return [e for e in self.elements if isinstance(e, JosephsonJunction)]

@@ -13,7 +13,7 @@ with the phase-to-voltage relation ``V = KAPPA * dphi/dt`` where
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.units import PHI0
 
@@ -58,20 +58,15 @@ class JosephsonJunction(Element):
             raise ValueError(f"{self.name}: shunt resistance must be positive")
         if self.capacitance_ff < 0:
             raise ValueError(f"{self.name}: capacitance must be >= 0")
-
-    @property
-    def conductance(self) -> float:
-        """Shunt conductance in uA/mV (1/R with R in mV/uA = kOhm)."""
-        return 1.0 / (self.shunt_ohm * 1e-3)
-
-    @property
-    def capacitance(self) -> float:
-        """Capacitance in uA*ps/mV (numerically equals fF * 1e0 * 1e-3...).
-
-        1 fF = 1e-15 F; in (uA*ps/mV): 1 F = 1 A*s/V = 1e6 uA * 1e12 ps
-        / 1e3 mV = 1e15, so 1 fF = 1 unit exactly.
-        """
-        return self.capacitance_ff
+        # Derived constants, precomputed once so the solver's stamp
+        # compilation (and the per-element reference path) never repeats
+        # the unit conversions:
+        #: Shunt conductance in uA/mV (1/R with R in mV/uA = kOhm).
+        self.conductance = 1.0 / (self.shunt_ohm * 1e-3)
+        #: Capacitance in uA*ps/mV.  1 fF = 1e-15 F; in (uA*ps/mV):
+        #: 1 F = 1 A*s/V = 1e6 uA * 1e12 ps / 1e3 mV = 1e15, so
+        #: 1 fF = 1 unit exactly.
+        self.capacitance = self.capacitance_ff
 
     @property
     def stewart_mccumber(self) -> float:
@@ -95,11 +90,8 @@ class Inductor(Element):
         super().__post_init__()
         if self.inductance_ph <= 0:
             raise ValueError(f"{self.name}: inductance must be positive")
-
-    @property
-    def inv_l(self) -> float:
-        """KAPPA / L in uA per radian."""
-        return KAPPA / (self.inductance_ph * 1e-3)
+        #: KAPPA / L in uA per radian (precomputed once).
+        self.inv_l = KAPPA / (self.inductance_ph * 1e-3)
 
 
 @dataclass
@@ -112,10 +104,8 @@ class Resistor(Element):
         super().__post_init__()
         if self.resistance_ohm <= 0:
             raise ValueError(f"{self.name}: resistance must be positive")
-
-    @property
-    def conductance(self) -> float:
-        return 1.0 / (self.resistance_ohm * 1e-3)
+        #: Conductance in uA/mV (precomputed once).
+        self.conductance = 1.0 / (self.resistance_ohm * 1e-3)
 
 
 @dataclass

@@ -6,19 +6,31 @@ module quantifies robustness for our RCSJ netlist: it sweeps the read
 pulse amplitude and the J2 bias around the nominal drive point and maps
 where the cell still behaves perfectly (stores exactly ``min(w, 3)``
 fluxons, pops exactly one per clock, empty reads silent).
+
+All sweeps are dispatched through :mod:`repro.josim.sweep`: operating
+points fan out across worker processes and repeated testbench
+configurations (e.g. the shared nominal point of a row/column sweep)
+are simulated once thanks to the keyed run-cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.josim.cells import (
     RECOMMENDED_J2_BIAS_UA,
     RECOMMENDED_READ_PULSE_UA,
-    build_hcdro_cell,
 )
-from repro.josim.testbench import HCDROTestbench
+from repro.josim.sweep import HCDROConfig, run_configs
+
+#: Write counts exercised per operating point: empty cell, a partial
+#: fill and the full 3-fluxon capacity.
+DEFAULT_WRITE_COUNTS = (0, 2, 3)
+
+#: Read pulses applied per run; one more than capacity so the
+#: "empty reads stay silent" requirement is always exercised.
+DEFAULT_READS = 4
 
 
 @dataclass(frozen=True)
@@ -30,55 +42,90 @@ class MarginPoint:
     correct: bool
 
 
+def _point_configs(read_amplitude_ua: float, j2_bias_ua: float,
+                   write_counts: Sequence[int]) -> List[HCDROConfig]:
+    return [HCDROConfig(writes=writes, reads=DEFAULT_READS,
+                        read_amplitude_ua=read_amplitude_ua,
+                        j2_bias_ua=j2_bias_ua)
+            for writes in write_counts]
+
+
 def point_is_correct(read_amplitude_ua: float, j2_bias_ua: float,
-                     write_counts: Sequence[int] = (0, 2, 3)) -> bool:
+                     write_counts: Sequence[int] = DEFAULT_WRITE_COUNTS,
+                     workers: Optional[int] = None) -> bool:
     """Exhaustive pass/fail of one operating point.
 
     For each write count the cell must store exactly ``min(w, 3)``
     fluxons, emit exactly that many output pulses over 4 reads, and end
     empty.
     """
-    for writes in write_counts:
-        bench = HCDROTestbench(
-            handles=build_hcdro_cell(j2_bias_ua=j2_bias_ua),
-            read_amplitude_ua=read_amplitude_ua)
-        report = bench.run(writes=writes, reads=4)
-        expected = min(writes, 3)
-        if (report.stored_after_writes != expected
-                or report.output_pulses != expected
-                or report.stored_at_end != 0):
-            return False
-    return True
+    summaries = run_configs(
+        _point_configs(read_amplitude_ua, j2_bias_ua, write_counts),
+        workers=workers)
+    return all(summary.correct for summary in summaries)
 
 
 def sweep_read_amplitude(scales: Sequence[float] = (0.90, 0.95, 1.0, 1.05,
                                                     1.10),
-                         j2_bias_ua: float = RECOMMENDED_J2_BIAS_UA
-                         ) -> List[MarginPoint]:
-    """Sweep the read amplitude at fixed bias."""
+                         j2_bias_ua: float = RECOMMENDED_J2_BIAS_UA,
+                         write_counts: Sequence[int] = DEFAULT_WRITE_COUNTS,
+                         workers: Optional[int] = None) -> List[MarginPoint]:
+    """Sweep the read amplitude at fixed bias.
+
+    All ``len(scales) * len(write_counts)`` testbench runs are batched
+    into one parallel dispatch.
+    """
+    amplitudes = [RECOMMENDED_READ_PULSE_UA * scale for scale in scales]
+    configs: List[HCDROConfig] = []
+    for amplitude in amplitudes:
+        configs.extend(_point_configs(amplitude, j2_bias_ua, write_counts))
+    summaries = run_configs(configs, workers=workers)
     points = []
-    for scale in scales:
-        amplitude = RECOMMENDED_READ_PULSE_UA * scale
+    stride = len(write_counts)
+    for index, amplitude in enumerate(amplitudes):
+        verdicts = summaries[index * stride:(index + 1) * stride]
         points.append(MarginPoint(
             read_amplitude_ua=amplitude,
             j2_bias_ua=j2_bias_ua,
-            correct=point_is_correct(amplitude, j2_bias_ua),
+            correct=all(summary.correct for summary in verdicts),
         ))
     return points
+
+
+def sweep_margin_grid(read_scales: Sequence[float],
+                      bias_scales: Sequence[float],
+                      write_counts: Sequence[int] = DEFAULT_WRITE_COUNTS,
+                      workers: Optional[int] = None) -> List[MarginPoint]:
+    """2-D margin map over (read amplitude, J2 bias), row-major order.
+
+    The full grid is dispatched as one batch so the sweep engine can
+    keep every worker busy and deduplicate shared configurations.
+    """
+    grid = [(RECOMMENDED_READ_PULSE_UA * rs, RECOMMENDED_J2_BIAS_UA * bs)
+            for rs in read_scales for bs in bias_scales]
+    configs: List[HCDROConfig] = []
+    for amplitude, bias in grid:
+        configs.extend(_point_configs(amplitude, bias, write_counts))
+    summaries = run_configs(configs, workers=workers)
+    stride = len(write_counts)
+    return [MarginPoint(
+        read_amplitude_ua=amplitude,
+        j2_bias_ua=bias,
+        correct=all(s.correct
+                    for s in summaries[k * stride:(k + 1) * stride]))
+        for k, (amplitude, bias) in enumerate(grid)]
 
 
 def working_margin_percent(points: Sequence[MarginPoint]) -> float:
     """Width of the contiguous working window around nominal, in percent.
 
-    Returns the +/- percentage span over which every tested point works
-    (0 if the nominal point itself fails).
+    Returns the +/- percentage span over which every tested point works;
+    0 if the nominal point is missing from ``points`` or itself fails.
     """
     nominal = RECOMMENDED_READ_PULSE_UA
-    working = sorted(p.read_amplitude_ua / nominal
-                     for p in points if p.correct)
-    if not working or 1.0 not in [round(w, 6) for w in working]:
-        if not any(abs(w - 1.0) < 1e-6 for w in working):
-            return 0.0
+    if not any(abs(p.read_amplitude_ua / nominal - 1.0) < 1e-6 and p.correct
+               for p in points):
+        return 0.0
     # Expand from nominal outwards while contiguous in the tested grid.
     scales = sorted(p.read_amplitude_ua / nominal for p in points)
     verdicts = {round(p.read_amplitude_ua / nominal, 6): p.correct

@@ -1,11 +1,36 @@
-"""Trapezoidal transient solver with a Newton iteration per timestep."""
+"""Trapezoidal transient solver with a Newton iteration per timestep.
+
+Two assembly backends share one Newton driver:
+
+* **compiled** (default): at construction the circuit is compiled into
+  per-class NumPy stamp structures — junction gather/scatter matrices,
+  parameter vectors, a precomputed source-current table, and the
+  constant linear part of the Jacobian (inductors, resistors,
+  capacitors and the JJ shunt/capacitance terms never change between
+  Newton iterations for a fixed timestep).  Each iteration is then a
+  handful of vectorized NumPy calls — one matvec for the linear
+  residual, one ``sin``/``cos`` pass over all junctions, two small
+  scatter matvecs, and a direct LAPACK ``gesv`` solve — instead of a
+  Python walk over the element list.
+* **reference** (``reference=True``): the original per-element assembly,
+  kept as the independently-auditable ground truth.  The equivalence
+  tests drive both backends through the same decks and assert the
+  trajectories agree to ~1e-9.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 import numpy as np
+
+try:  # direct LAPACK entry point: ~3x less call overhead than np.linalg
+    from scipy.linalg import get_lapack_funcs
+
+    _GESV = get_lapack_funcs(
+        ("gesv",), (np.empty((1, 1)), np.empty(1)))[0]
+except ImportError:  # pragma: no cover - scipy is normally available
+    _GESV = None
 
 from repro.errors import SimulationError
 from repro.josim.circuit import Circuit
@@ -18,6 +43,10 @@ from repro.josim.elements import (
     PulseCurrent,
     Resistor,
 )
+
+#: Above this many table entries the per-step source fallback is used
+#: instead of precomputing the (steps x nodes) source-current table.
+_SOURCE_TABLE_LIMIT = 4_000_000
 
 
 @dataclass
@@ -58,29 +87,97 @@ class TransientResult:
         return element.inv_l * self.element_delta_phase(name)
 
 
-class TransientSolver:
-    """Phase-domain MNA with trapezoidal integration.
+class _CompiledStamps:
+    """Precomputed NumPy structures for one circuit at one timestep.
 
-    State variables are the non-ground node phases.  Each step solves the
-    nonlinear KCL system with Newton's method; the Jacobian is dense
-    (cells have a handful of nodes).
+    The trapezoidal derivative estimates are affine in the trial phases,
+    so every linear element contributes a constant Jacobian stamp.  The
+    KCL residual splits as::
+
+        F(phi) = J_lin @ phi + step_const + R_sin @ sin(D @ phi)
+
+    where ``J_lin = A_phi + (2/h) A_v + (4/h^2) A_a`` is assembled once,
+    ``step_const`` (history + source terms) is refreshed once per
+    timestep, ``D`` is the junction incidence matrix and ``R_sin``
+    carries the signed critical currents.  The Jacobian update is the
+    flat scatter matvec ``J.ravel() = J_lin.ravel() + JC @ cos(D@phi)``.
     """
 
-    def __init__(self, circuit: Circuit, timestep_ps: float = 0.05,
-                 newton_tol_ua: float = 1e-6, max_newton_iter: int = 60) -> None:
-        circuit.validate()
-        if timestep_ps <= 0:
-            raise SimulationError("timestep must be positive")
-        self.circuit = circuit
-        self.h = timestep_ps
-        self.tol = newton_tol_ua
-        self.max_iter = max_newton_iter
-        self._n = circuit.num_nodes  # non-ground nodes
+    def __init__(self, circuit: Circuit, h: float) -> None:
+        n = circuit.num_nodes
+        self.n = n
+        dv = 2.0 / h
+        da = 4.0 / (h * h)
+        a_phi = np.zeros((n, n))   # d(residual)/d(phi) from inductors
+        a_v = np.zeros((n, n))     # d(residual)/d(v) from R + JJ shunts
+        a_a = np.zeros((n, n))     # d(residual)/d(a) from C + JJ caps
 
-    # -- assembly helpers --------------------------------------------------
+        groups = circuit.partition()
+        junctions = groups.get(JosephsonJunction, [])
+        for element in junctions:
+            self._stamp(a_v, element.pos, element.neg,
+                        KAPPA * element.conductance)
+            self._stamp(a_a, element.pos, element.neg,
+                        KAPPA * element.capacitance)
+        for element in groups.get(Inductor, []):
+            self._stamp(a_phi, element.pos, element.neg, element.inv_l)
+        for element in groups.get(Resistor, []):
+            self._stamp(a_v, element.pos, element.neg,
+                        KAPPA * element.conductance)
+        for element in groups.get(Capacitor, []):
+            self._stamp(a_a, element.pos, element.neg,
+                        KAPPA * element.capacitance_ff)
 
-    def _stamp(self, matrix: np.ndarray, pos: int, neg: int, value: float) -> None:
-        """Stamp a two-terminal conductance-like derivative into the Jacobian."""
+        self.a_v = a_v
+        self.a_a = a_a
+        self.j_lin = a_phi + dv * a_v + da * a_a
+        self.j_lin_flat = self.j_lin.ravel()
+
+        # Junction gather/scatter matrices.
+        k = len(junctions)
+        self.num_jj = k
+        incidence = np.zeros((k, n))       # dphi = incidence @ phi
+        r_sin = np.zeros((n, k))           # residual += r_sin @ sin(dphi)
+        jc = np.zeros((n * n, k))          # J.ravel() += jc @ cos(dphi)
+        for idx, element in enumerate(junctions):
+            p, q, ic = element.pos, element.neg, element.critical_current_ua
+            if p > 0:
+                incidence[idx, p - 1] = 1.0
+                r_sin[p - 1, idx] += ic
+                jc[(p - 1) * n + (p - 1), idx] += ic
+                if q > 0:
+                    jc[(p - 1) * n + (q - 1), idx] -= ic
+            if q > 0:
+                incidence[idx, q - 1] = -1.0
+                r_sin[q - 1, idx] -= ic
+                jc[(q - 1) * n + (q - 1), idx] += ic
+                if p > 0:
+                    jc[(q - 1) * n + (p - 1), idx] -= ic
+        self.incidence = incidence
+        self.r_sin = r_sin
+        self.jc = jc
+
+        # Sources: a source injected INTO pos appears as a negative
+        # outflow in the residual (matching the reference assembly), so
+        # the scatter matrix carries -1 at pos and +1 at neg.
+        biases = groups.get(BiasCurrent, [])
+        pulses = groups.get(PulseCurrent, [])
+        num_src = len(biases) + len(pulses)
+        scatter = np.zeros((n, num_src))
+        for idx, element in enumerate(biases + pulses):
+            if element.pos > 0:
+                scatter[element.pos - 1, idx] = -1.0
+            if element.neg > 0:
+                scatter[element.neg - 1, idx] = 1.0
+        self.src_scatter = scatter
+        self.bias_cur = np.asarray([b.current_ua for b in biases])
+        self.bias_ramp = np.asarray([b.ramp_ps for b in biases])
+        self.pulse_start = np.asarray([p.start_ps for p in pulses])
+        self.pulse_amp = np.asarray([p.amplitude_ua for p in pulses])
+        self.pulse_width = np.asarray([p.width_ps for p in pulses])
+
+    @staticmethod
+    def _stamp(matrix: np.ndarray, pos: int, neg: int, value: float) -> None:
         if pos > 0:
             matrix[pos - 1, pos - 1] += value
             if neg > 0:
@@ -90,10 +187,91 @@ class TransientSolver:
             if pos > 0:
                 matrix[neg - 1, pos - 1] -= value
 
+    def _source_values(self, t) -> np.ndarray:
+        """Per-source injected currents at time(s) ``t`` (vectorized)."""
+        t = np.asarray(t, dtype=float)
+        columns = []
+        if self.bias_cur.size:
+            ramp = self.bias_ramp
+            denom = np.where(ramp > 0, ramp, 1.0)
+            tt = t[..., None]
+            ramped = np.where(
+                (ramp <= 0) | (tt >= ramp),
+                self.bias_cur,
+                np.where(tt <= 0, 0.0, self.bias_cur * tt / denom))
+            columns.append(ramped)
+        if self.pulse_amp.size:
+            x = (t[..., None] - self.pulse_start) / self.pulse_width
+            columns.append(np.where(
+                (x >= 0.0) & (x <= 1.0),
+                self.pulse_amp * 0.5 * (1.0 - np.cos(2.0 * np.pi * x)),
+                0.0))
+        if not columns:
+            return np.zeros(t.shape + (0,))
+        return np.concatenate(columns, axis=-1)
+
+    def source_table(self, times: np.ndarray) -> np.ndarray:
+        """Signed residual source contribution for every step at once."""
+        return self._source_values(times) @ self.src_scatter.T
+
+    def source_vector(self, t: float) -> np.ndarray:
+        """Signed residual source contribution at one time point."""
+        return self.src_scatter @ self._source_values(t)
+
+
+def _solve_dense(jacobian: np.ndarray, residual: np.ndarray) -> np.ndarray:
+    """Direct linear solve; jacobian and residual may be overwritten."""
+    if _GESV is not None:
+        _, _, update, info = _GESV(jacobian, residual,
+                                   overwrite_a=True, overwrite_b=True)
+        if info != 0:
+            raise np.linalg.LinAlgError(f"gesv failed (info={info})")
+        return update
+    return np.linalg.solve(jacobian, residual)
+
+
+class TransientSolver:
+    """Phase-domain MNA with trapezoidal integration.
+
+    State variables are the non-ground node phases.  Each step solves the
+    nonlinear KCL system with Newton's method; the Jacobian is dense
+    (cells have a handful of nodes).
+
+    ``reference=True`` selects the per-element assembly path instead of
+    the compiled-stamp fast path; results agree to ~1e-9 in phase.
+    """
+
+    def __init__(self, circuit: Circuit, timestep_ps: float = 0.05,
+                 newton_tol_ua: float = 1e-6, max_newton_iter: int = 60,
+                 reference: bool = False) -> None:
+        circuit.validate()
+        if timestep_ps <= 0:
+            raise SimulationError("timestep must be positive")
+        self.circuit = circuit
+        self.h = timestep_ps
+        self.tol = newton_tol_ua
+        self.max_iter = max_newton_iter
+        self.reference = reference
+        self._n = circuit.num_nodes  # non-ground nodes
+        self._stamps: _CompiledStamps | None = None
+        self._compiled_element_count = -1
+        if not reference:
+            self._compile()
+
+    def _compile(self) -> None:
+        self._stamps = _CompiledStamps(self.circuit, self.h)
+        self._compiled_element_count = len(self.circuit.elements)
+
+    # -- assembly helpers --------------------------------------------------
+
+    def _stamp(self, matrix: np.ndarray, pos: int, neg: int, value: float) -> None:
+        """Stamp a two-terminal conductance-like derivative into the Jacobian."""
+        _CompiledStamps._stamp(matrix, pos, neg, value)
+
     def _residual_and_jacobian(self, phi: np.ndarray, phi_prev: np.ndarray,
                                v_prev: np.ndarray, a_prev: np.ndarray,
                                t: float):
-        """KCL residual F (uA) and Jacobian dF/dphi at trial phases ``phi``."""
+        """Reference per-element assembly: KCL residual F (uA) and dF/dphi."""
         h = self.h
         # Trapezoidal derivative estimates at the trial point.
         v = 2.0 / h * (phi - phi_prev) - v_prev
@@ -153,25 +331,145 @@ class TransientSolver:
 
     def run(self, duration_ps: float,
             record_every: int = 1) -> TransientResult:
-        """Integrate for ``duration_ps`` and return the recorded series."""
+        """Integrate for ``duration_ps`` and return the recorded series.
+
+        Every ``record_every``-th step is recorded; the final step is
+        always recorded even when ``steps % record_every != 0`` so the
+        series ends at the true end of the transient.
+        """
         if duration_ps <= 0:
             raise SimulationError("duration must be positive")
+        if record_every < 1:
+            raise SimulationError("record_every must be >= 1")
         steps = int(round(duration_ps / self.h))
+        if not self.reference and (
+                self._stamps is None
+                or self._compiled_element_count != len(self.circuit.elements)):
+            self._compile()  # the circuit grew since construction
+        if self.reference:
+            times, phases, velocities = self._run_reference(
+                steps, record_every)
+        else:
+            times, phases, velocities = self._run_compiled(
+                steps, record_every)
+        return TransientResult(
+            circuit=self.circuit,
+            times_ps=times,
+            phases=phases,
+            velocities=velocities,
+        )
+
+    def _record_plan(self, steps: int, record_every: int):
+        """Preallocated recording buffers (final step always recorded)."""
+        recorded = list(range(0, steps + 1, record_every))
+        if recorded[-1] != steps:
+            recorded.append(steps)
+        num_rec = len(recorded)
+        times = np.zeros(num_rec)
+        phases = np.zeros((num_rec, self._n + 1))
+        velocities = np.zeros((num_rec, self._n + 1))
+        return times, phases, velocities
+
+    def _run_compiled(self, steps: int, record_every: int):
+        stamps = self._stamps
+        n = self._n
+        h = self.h
+        tol = self.tol
+        max_iter = self.max_iter
+        c1 = 2.0 / h             # dv/dphi
+        c2 = 4.0 / (h * h)       # da/dphi
+        c3 = 4.0 / h
+        phi = np.zeros(n)
+        v = np.zeros(n)
+        a = np.zeros(n)
+        times, phases, velocities = self._record_plan(steps, record_every)
+        row = 1
+
+        j_lin = stamps.j_lin
+        j_lin_flat = stamps.j_lin_flat
+        a_v = stamps.a_v
+        a_a = stamps.a_a
+        incidence = stamps.incidence
+        r_sin = stamps.r_sin
+        jc = stamps.jc
+
+        # Source currents for the whole transient in one vectorized pass
+        # (falls back to per-step evaluation for very long runs).
+        if steps * max(n, 1) <= _SOURCE_TABLE_LIMIT:
+            source_rows = stamps.source_table(h * np.arange(1, steps + 1))
+        else:
+            source_rows = None
+
+        residual = np.empty(n)
+        jac_flat = np.empty(n * n)
+        jacobian = jac_flat.reshape(n, n)
+        hist = np.empty(n)
+        norm = 0.0
+
+        for step in range(1, steps + 1):
+            t = step * h
+            # History + source terms: constant across Newton iterations.
+            np.dot(a_v, c1 * phi + v, out=hist)
+            step_const = -hist - a_a.dot(c2 * phi + c3 * v + a)
+            if source_rows is not None:
+                step_const += source_rows[step - 1]
+            else:
+                step_const += stamps.source_vector(t)
+            trial = phi.copy()  # previous solution is the predictor
+            converged = False
+            for _ in range(max_iter):
+                dphi = incidence.dot(trial)
+                np.dot(j_lin, trial, out=residual)
+                residual += step_const
+                residual += r_sin.dot(np.sin(dphi))
+                # Exact inf-norm; the tolist round-trip is ~4x cheaper
+                # than a NumPy reduction at this vector size.
+                norm = max(map(abs, residual.tolist()))
+                if norm < tol:
+                    converged = True
+                    break
+                np.dot(jc, np.cos(dphi), out=jac_flat)
+                jac_flat += j_lin_flat
+                try:
+                    update = _solve_dense(jacobian, residual)
+                except np.linalg.LinAlgError as exc:
+                    raise SimulationError(
+                        f"singular Jacobian at t={t:.3f} ps") from exc
+                # Damped Newton keeps 2pi phase slips stable.
+                max_step = max(map(abs, update.tolist()))
+                if max_step > 1.0:
+                    update *= 1.0 / max_step
+                trial -= update
+            if not converged:
+                raise SimulationError(
+                    f"Newton failed to converge at t={t:.3f} ps "
+                    f"(residual {norm:.3e} uA)")
+            # Converged derivatives come from the trapezoidal formulas
+            # directly - no redundant assembly pass.
+            v_new = 2.0 / h * (trial - phi) - v
+            a_new = 4.0 / (h * h) * (trial - phi) - 4.0 / h * v - a
+            phi, v, a = trial, v_new, a_new
+            if step % record_every == 0 or step == steps:
+                times[row] = t
+                phases[row, 1:] = phi
+                velocities[row, 1:] = v
+                row += 1
+        return times, phases, velocities
+
+    def _run_reference(self, steps: int, record_every: int):
+        h = self.h
         phi = np.zeros(self._n)
         v = np.zeros(self._n)
         a = np.zeros(self._n)
-
-        times: List[float] = [0.0]
-        phase_rows: List[np.ndarray] = [phi.copy()]
-        velocity_rows: List[np.ndarray] = [v.copy()]
-
-        t = 0.0
+        times, phases, velocities = self._record_plan(steps, record_every)
+        row = 1
+        norm = 0.0
         for step in range(1, steps + 1):
-            t = step * self.h
+            t = step * h
             trial = phi.copy()  # previous solution is the predictor
             converged = False
             for _ in range(self.max_iter):
-                residual, jacobian, v_trial, a_trial = \
+                residual, jacobian, _, _ = \
                     self._residual_and_jacobian(trial, phi, v, a, t)
                 norm = float(np.max(np.abs(residual)))
                 if norm < self.tol:
@@ -191,20 +489,14 @@ class TransientSolver:
                 raise SimulationError(
                     f"Newton failed to converge at t={t:.3f} ps "
                     f"(residual {norm:.3e} uA)")
-            _, _, v_new, a_new = self._residual_and_jacobian(trial, phi, v, a, t)
+            # Reuse the converged iteration's trapezoidal derivatives
+            # instead of a redundant final assembly pass.
+            v_new = 2.0 / h * (trial - phi) - v
+            a_new = 4.0 / (h * h) * (trial - phi) - 4.0 / h * v - a
             phi, v, a = trial, v_new, a_new
-            if step % record_every == 0:
-                times.append(t)
-                phase_rows.append(phi.copy())
-                velocity_rows.append(v.copy())
-
-        phases = np.column_stack(
-            [np.zeros(len(times)), np.vstack(phase_rows)])
-        velocities = np.column_stack(
-            [np.zeros(len(times)), np.vstack(velocity_rows)])
-        return TransientResult(
-            circuit=self.circuit,
-            times_ps=np.asarray(times),
-            phases=phases,
-            velocities=velocities,
-        )
+            if step % record_every == 0 or step == steps:
+                times[row] = t
+                phases[row, 1:] = phi
+                velocities[row, 1:] = v
+                row += 1
+        return times, phases, velocities

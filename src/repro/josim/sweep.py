@@ -1,0 +1,182 @@
+"""Parallel sweep engine for analog cell-margin studies.
+
+Margin maps and cell studies are embarrassingly parallel: each
+operating point is an independent transient simulation.  This module
+provides the shared driver used by :mod:`repro.josim.margins` and the
+``josim``/``margins`` experiments:
+
+* :class:`HCDROConfig` — a frozen, hashable description of one HC-DRO
+  testbench run (drive point + stimulus counts), usable as a cache key
+  and picklable for worker processes.
+* :func:`simulate_hcdro` — run one configuration and reduce it to a
+  :class:`HCDROSummary` (the full waveform stays in the worker).
+* :func:`run_configs` — simulate many configurations with a
+  ``ProcessPoolExecutor``, deterministic result ordering, a
+  process-global run-cache so repeated identical configurations are
+  simulated once, and a graceful serial fallback when no pool can be
+  spawned (or only one worker is requested).
+* :func:`sweep_map` — the same parallel/serial machinery for arbitrary
+  picklable functions.
+
+Worker count resolution: an explicit ``workers`` argument wins, then
+the ``REPRO_SWEEP_WORKERS`` environment variable, then ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.josim.cells import (
+    RECOMMENDED_J2_BIAS_UA,
+    RECOMMENDED_PULSE_WIDTH_PS,
+    RECOMMENDED_READ_PULSE_UA,
+    RECOMMENDED_WRITE_PULSE_UA,
+    build_hcdro_cell,
+)
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class HCDROConfig:
+    """One HC-DRO testbench run, fully determined by its fields.
+
+    Frozen and hashable so identical configurations share one cache
+    entry, and picklable so worker processes can receive it.
+    """
+
+    writes: int = 0
+    reads: int = 0
+    write_amplitude_ua: float = RECOMMENDED_WRITE_PULSE_UA
+    read_amplitude_ua: float = RECOMMENDED_READ_PULSE_UA
+    j2_bias_ua: float = RECOMMENDED_J2_BIAS_UA
+    pulse_width_ps: float = RECOMMENDED_PULSE_WIDTH_PS
+    pulse_spacing_ps: float = 25.0
+    timestep_ps: float = 0.05
+    settle_ps: float = 30.0
+
+
+@dataclass(frozen=True)
+class HCDROSummary:
+    """Reduced outcome of one HC-DRO run (waveforms stay in the worker)."""
+
+    config: HCDROConfig
+    stored_after_writes: int
+    stored_at_end: int
+    output_pulses: int
+
+    @property
+    def popped(self) -> int:
+        """Fluxons that left the cell during the read phase."""
+        return self.stored_after_writes - self.stored_at_end
+
+    @property
+    def correct(self) -> bool:
+        """Perfect 2-bit behaviour: store ``min(w, 3)``, pop all, end empty."""
+        expected = min(self.config.writes, 3)
+        return (self.stored_after_writes == expected
+                and self.output_pulses == expected
+                and self.stored_at_end == 0)
+
+
+#: Process-global run-cache; worker processes fill their own copy, the
+#: parent re-stores returned summaries so later sweeps hit locally.
+_RUN_CACHE: Dict[HCDROConfig, HCDROSummary] = {}
+
+
+def clear_run_cache() -> None:
+    """Drop all cached run summaries (mainly for tests and benchmarks)."""
+    _RUN_CACHE.clear()
+
+
+def run_cache_size() -> int:
+    return len(_RUN_CACHE)
+
+
+def simulate_hcdro(config: HCDROConfig) -> HCDROSummary:
+    """Simulate one configuration, consulting the run-cache first."""
+    cached = _RUN_CACHE.get(config)
+    if cached is not None:
+        return cached
+    # Imported here so a bare ``import repro.josim.sweep`` stays cheap
+    # in worker bootstrap paths.
+    from repro.josim.testbench import HCDROTestbench
+
+    bench = HCDROTestbench(
+        handles=build_hcdro_cell(j2_bias_ua=config.j2_bias_ua),
+        write_amplitude_ua=config.write_amplitude_ua,
+        read_amplitude_ua=config.read_amplitude_ua,
+        pulse_width_ps=config.pulse_width_ps,
+        pulse_spacing_ps=config.pulse_spacing_ps,
+        timestep_ps=config.timestep_ps)
+    report = bench.run(writes=config.writes, reads=config.reads,
+                       settle_ps=config.settle_ps)
+    summary = HCDROSummary(
+        config=config,
+        stored_after_writes=report.stored_after_writes,
+        stored_at_end=report.stored_at_end,
+        output_pulses=report.output_pulses)
+    _RUN_CACHE[config] = summary
+    return summary
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: argument, then env var, then cpu count."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR)
+        if env is not None:
+            try:
+                workers = int(env)
+            except ValueError:
+                workers = None
+        if workers is None:
+            workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def sweep_map(fn: Callable[[T], R], points: Sequence[T],
+              workers: Optional[int] = None) -> List[R]:
+    """Apply ``fn`` to every point, in parallel when it pays off.
+
+    Results come back in input order.  Serial execution is used when
+    only one worker resolves, fewer than two points exist, or the
+    process pool cannot be spawned (sandboxes, missing semaphores);
+    exceptions raised by ``fn`` itself always propagate.
+    """
+    points = list(points)
+    count = resolve_workers(workers)
+    if count <= 1 or len(points) <= 1:
+        return [fn(p) for p in points]
+    try:
+        with ProcessPoolExecutor(max_workers=min(count, len(points))) as pool:
+            return list(pool.map(fn, points))
+    except (OSError, BrokenProcessPool, ImportError):
+        return [fn(p) for p in points]
+
+
+def run_configs(configs: Sequence[HCDROConfig],
+                workers: Optional[int] = None) -> List[HCDROSummary]:
+    """Simulate many configurations, cached, ordered, and in parallel.
+
+    Duplicate configurations (and configurations already in the
+    run-cache) are simulated exactly once; the returned list matches
+    ``configs`` element-for-element regardless of worker scheduling.
+    """
+    configs = list(configs)
+    pending: List[HCDROConfig] = []
+    seen = set()
+    for config in configs:
+        if config not in _RUN_CACHE and config not in seen:
+            seen.add(config)
+            pending.append(config)
+    for summary in sweep_map(simulate_hcdro, pending, workers=workers):
+        _RUN_CACHE[summary.config] = summary
+    return [_RUN_CACHE[config] for config in configs]

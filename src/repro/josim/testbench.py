@@ -8,8 +8,9 @@ the transient solver - the analog analogue of the pulse-level drivers in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
+from repro.errors import SimulationError
 from repro.josim.cells import (
     CellHandles,
     RECOMMENDED_J2_BIAS_UA,
@@ -60,12 +61,24 @@ class HCDROTestbench:
         self.pulse_width_ps = pulse_width_ps
         self.pulse_spacing_ps = pulse_spacing_ps
         self.timestep_ps = timestep_ps
+        self._consumed = False
 
     def run(self, writes: int = 0, reads: int = 0,
-            settle_ps: float = 30.0) -> HCDRORunReport:
-        """Apply ``writes`` D pulses then ``reads`` CLK pulses."""
+            settle_ps: float = 30.0, record_every: int = 1) -> HCDRORunReport:
+        """Apply ``writes`` D pulses then ``reads`` CLK pulses.
+
+        A testbench owns its cell netlist and stamps the stimulus deck
+        into it, so each instance drives exactly one transient; build a
+        fresh testbench (or go through :mod:`repro.josim.sweep`) for the
+        next operating point.
+        """
         if writes < 0 or reads < 0:
             raise ValueError("writes and reads must be non-negative")
+        if self._consumed:
+            raise SimulationError(
+                "testbench already ran; its circuit now contains the "
+                "previous stimulus deck - build a new HCDROTestbench")
+        self._consumed = True
         handles = self.handles
         circuit = handles.circuit
         t = 20.0
@@ -82,7 +95,7 @@ class HCDROTestbench:
                           width_ps=self.pulse_width_ps)
         end = read_start + reads * self.pulse_spacing_ps + settle_ps
         solver = TransientSolver(circuit, timestep_ps=self.timestep_ps)
-        result = solver.run(end)
+        result = solver.run(end, record_every=record_every)
         stored_mid = loop_fluxons(result, handles.input_jj,
                                   handles.output_jj, at_ps=read_start - 5.0)
         stored_end = loop_fluxons(result, handles.input_jj, handles.output_jj)

@@ -16,7 +16,6 @@ HC circuits and the loopback write that every read implies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.cells import get_cell
 from repro.rf.base import RegisterFileDesign

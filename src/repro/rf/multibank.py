@@ -13,7 +13,6 @@ the same top-level glue pattern, so the banking trade-off can be swept:
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cells import params
 from repro.errors import ConfigError

@@ -15,7 +15,7 @@ and write-data coincidence.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.cells import params
 from repro.errors import ConfigError

@@ -19,7 +19,7 @@ pulse netlist and the architectural results are checked.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cells import params
 from repro.errors import ConfigError

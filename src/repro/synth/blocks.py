@@ -10,7 +10,7 @@ paper's "execution stage ... 28 stages deep".
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import ConfigError
 from repro.rf.geometry import log2_int

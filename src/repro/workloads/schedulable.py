@@ -10,7 +10,7 @@ paper says SFQ compilers should do.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.cpu.scheduler import IrOp, list_schedule, render_asm
 from repro.errors import ConfigError

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cpu import CoreConfig, RFTimingModel
+from repro.cpu import RFTimingModel
 from repro.cpu.rf_model import RF_DESIGN_NAMES
 from repro.errors import ConfigError
 

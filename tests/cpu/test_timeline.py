@@ -8,7 +8,7 @@ from repro.cpu.timeline import (
     record_timeline,
     render_waterfall,
 )
-from repro.cpu import CoreConfig, RFTimingModel
+from repro.cpu import RFTimingModel
 from repro.isa import Executor, assemble
 from repro.workloads import get_workload
 

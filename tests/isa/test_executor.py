@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ExecutionError
 from repro.isa import Executor, HaltReason, assemble
-from repro.isa.encoding import to_s32
 
 
 def run_asm(body: str, max_instructions: int = 100_000) -> Executor:

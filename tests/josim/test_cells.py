@@ -7,7 +7,6 @@ import pytest
 from repro.josim import (
     TransientSolver,
     build_dro_cell,
-    build_hcdro_cell,
     build_jtl_stage,
     junction_fluxons,
     loop_fluxons,

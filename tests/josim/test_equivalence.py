@@ -1,0 +1,79 @@
+"""Compiled-stamp solver vs per-element reference assembly.
+
+The vectorized hot path must be a pure optimisation: for the JTL, DRO
+and HC-DRO stimulus decks the trajectories of both backends must agree
+to 1e-9 in phase and produce identical fluxon counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.josim import TransientSolver
+from repro.josim.cells import (
+    RECOMMENDED_READ_PULSE_UA,
+    RECOMMENDED_WRITE_PULSE_UA,
+    build_dro_cell,
+    build_hcdro_cell,
+    build_jtl_stage,
+)
+from repro.josim.fluxon import junction_fluxons
+
+
+def _jtl_deck():
+    handles = build_jtl_stage()
+    handles.circuit.pulse("PIN", handles.input_node, start_ps=10.0)
+    return handles.circuit, 60.0, ["J1", "J2"]
+
+
+def _dro_deck():
+    handles = build_dro_cell()
+    ckt = handles.circuit
+    ckt.pulse("W0", handles.input_node, start_ps=20.0,
+              amplitude_ua=RECOMMENDED_WRITE_PULSE_UA, width_ps=3.0)
+    ckt.pulse("R0", handles.clock_node, start_ps=80.0,
+              amplitude_ua=RECOMMENDED_READ_PULSE_UA, width_ps=3.0)
+    return ckt, 130.0, ["J1", "J2", "J3"]
+
+
+def _hcdro_deck():
+    handles = build_hcdro_cell()
+    ckt = handles.circuit
+    for k in range(3):
+        ckt.pulse(f"W{k}", handles.input_node, start_ps=20.0 + 25.0 * k,
+                  amplitude_ua=RECOMMENDED_WRITE_PULSE_UA, width_ps=3.0)
+    for k in range(4):
+        ckt.pulse(f"R{k}", handles.clock_node, start_ps=130.0 + 25.0 * k,
+                  amplitude_ua=RECOMMENDED_READ_PULSE_UA, width_ps=3.0)
+    return ckt, 260.0, ["J1", "J2", "J3"]
+
+
+DECKS = {"jtl": _jtl_deck, "dro": _dro_deck, "hcdro": _hcdro_deck}
+
+
+@pytest.mark.parametrize("deck_name", sorted(DECKS))
+def test_compiled_matches_reference(deck_name):
+    circuit, duration_ps, junctions = DECKS[deck_name]()
+    fast = TransientSolver(circuit, timestep_ps=0.05).run(duration_ps)
+    reference = TransientSolver(circuit, timestep_ps=0.05,
+                                reference=True).run(duration_ps)
+
+    assert fast.times_ps.shape == reference.times_ps.shape
+    max_dphi = float(np.max(np.abs(fast.phases - reference.phases)))
+    assert max_dphi <= 1e-9, f"{deck_name}: max |dphi| = {max_dphi:.3e}"
+    for jj in junctions:
+        assert (junction_fluxons(fast, jj)
+                == junction_fluxons(reference, jj)), jj
+
+
+def test_reference_flag_roundtrip():
+    circuit, duration_ps, _ = _jtl_deck()
+    assert TransientSolver(circuit).reference is False
+    assert TransientSolver(circuit, reference=True).reference is True
+    # The compiled solver recompiles when the circuit grows after
+    # construction (e.g. a testbench stamping stimulus pulses late).
+    solver = TransientSolver(circuit)
+    circuit.pulse("LATE", "in", start_ps=30.0, amplitude_ua=100.0,
+                  width_ps=2.0)
+    grown = solver.run(duration_ps)
+    reference = TransientSolver(circuit, reference=True).run(duration_ps)
+    assert float(np.max(np.abs(grown.phases - reference.phases))) <= 1e-9

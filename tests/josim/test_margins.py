@@ -40,6 +40,17 @@ class TestMarginAccounting:
         points = self._points([(0.95, True), (1.0, False), (1.05, True)])
         assert working_margin_percent(points) == 0.0
 
+    def test_missing_nominal_gives_zero(self):
+        # Every tested point works, but the nominal point itself was
+        # never swept: the window around nominal is unknown, not "all
+        # of it".  The seed guard silently fell through here.
+        points = self._points([(0.90, True), (0.95, True), (1.05, True),
+                               (1.10, True)])
+        assert working_margin_percent(points) == 0.0
+
+    def test_no_points_gives_zero(self):
+        assert working_margin_percent([]) == 0.0
+
     def test_asymmetric_window_takes_minimum(self):
         points = self._points([(0.9, True), (0.95, True), (1.0, True),
                                (1.05, True), (1.1, False)])

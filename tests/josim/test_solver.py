@@ -125,3 +125,45 @@ class TestSolverBasics:
         result = TransientSolver(ckt, timestep_ps=0.1).run(1.0)
         with pytest.raises(SimulationError):
             result.inductor_current_ua("J1")
+
+
+class TestRecording:
+    def _biased_jj(self):
+        ckt = Circuit()
+        ckt.jj("J1", "a", "gnd", critical_current_ua=100.0)
+        ckt.bias("IB", "a", current_ua=150.0)
+        return ckt
+
+    def test_final_step_recorded_on_uneven_stride(self):
+        """50 ps / 0.05 ps = 1000 steps; 1000 % 7 != 0 must still record
+        the last step so the series ends at the true end of the run."""
+        ckt = self._biased_jj()
+        dense = TransientSolver(ckt, timestep_ps=0.05).run(50.0)
+        sparse = TransientSolver(ckt, timestep_ps=0.05).run(
+            50.0, record_every=7)
+        assert sparse.times_ps[-1] == pytest.approx(dense.times_ps[-1])
+        assert sparse.phases[-1] == pytest.approx(dense.phases[-1])
+        assert sparse.velocities[-1] == pytest.approx(dense.velocities[-1])
+
+    def test_even_stride_has_no_duplicate_final_row(self):
+        ckt = self._biased_jj()
+        result = TransientSolver(ckt, timestep_ps=0.05).run(
+            50.0, record_every=10)
+        # 1000 steps / 10 per record + the t=0 row.
+        assert len(result.times_ps) == 101
+        assert result.times_ps[-1] == pytest.approx(50.0)
+
+    def test_invalid_record_every(self):
+        ckt = self._biased_jj()
+        with pytest.raises(SimulationError):
+            TransientSolver(ckt, timestep_ps=0.05).run(1.0, record_every=0)
+
+
+class TestTestbenchSingleUse:
+    def test_second_run_rejected(self):
+        from repro.josim.testbench import HCDROTestbench
+
+        bench = HCDROTestbench()
+        bench.run(writes=0, reads=0)
+        with pytest.raises(SimulationError, match="already ran"):
+            bench.run(writes=0, reads=0)

@@ -1,6 +1,5 @@
 """Analog verification of the splitter cell (Figure 3a)."""
 
-import pytest
 
 from repro.josim import TransientSolver, junction_fluxons
 from repro.josim.cells import build_splitter_cell

@@ -1,0 +1,116 @@
+"""Tests for the parallel sweep engine and its run-cache."""
+
+import pytest
+
+from repro.josim import sweep
+from repro.josim.sweep import (
+    HCDROConfig,
+    clear_run_cache,
+    resolve_workers,
+    run_cache_size,
+    run_configs,
+    simulate_hcdro,
+    sweep_map,
+)
+
+#: The cheapest possible run: no stimulus, just bias settling.
+EMPTY = HCDROConfig(writes=0, reads=0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+def _square(x):
+    return x * x
+
+
+class TestSweepMap:
+    def test_serial_preserves_order(self):
+        assert sweep_map(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        values = list(range(8))
+        assert sweep_map(_square, values, workers=2) == [v * v for v in values]
+
+    def test_empty_and_single(self):
+        assert sweep_map(_square, [], workers=4) == []
+        assert sweep_map(_square, [5], workers=4) == [25]
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ZeroDivisionError):
+            sweep_map(_reciprocal, [1, 0], workers=1)
+
+
+def _reciprocal(x):
+    return 1.0 / x
+
+
+class TestWorkerResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(sweep.WORKERS_ENV_VAR, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(sweep.WORKERS_ENV_VAR, "5")
+        assert resolve_workers(None) == 5
+
+    def test_bad_env_var_ignored(self, monkeypatch):
+        monkeypatch.setenv(sweep.WORKERS_ENV_VAR, "lots")
+        assert resolve_workers(None) >= 1
+
+    def test_floor_of_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+
+class TestRunCache:
+    def test_repeat_config_simulated_once(self):
+        first = simulate_hcdro(EMPTY)
+        assert run_cache_size() == 1
+        again = simulate_hcdro(EMPTY)
+        assert again is first
+        assert run_cache_size() == 1
+
+    def test_run_configs_dedupes_batch(self):
+        summaries = run_configs([EMPTY, EMPTY, EMPTY], workers=1)
+        assert run_cache_size() == 1
+        assert len(summaries) == 3
+        assert summaries[0] == summaries[1] == summaries[2]
+
+    def test_clear(self):
+        simulate_hcdro(EMPTY)
+        clear_run_cache()
+        assert run_cache_size() == 0
+
+
+class TestRunConfigs:
+    def test_deterministic_ordering(self):
+        configs = [HCDROConfig(writes=1, reads=1),
+                   EMPTY,
+                   HCDROConfig(writes=1, reads=1)]
+        summaries = run_configs(configs, workers=1)
+        assert [s.config for s in summaries] == configs
+
+    def test_parallel_matches_serial(self):
+        configs = [EMPTY, HCDROConfig(writes=1, reads=1)]
+        serial = run_configs(configs, workers=1)
+        clear_run_cache()
+        parallel = run_configs(configs, workers=2)
+        assert [(s.stored_after_writes, s.stored_at_end, s.output_pulses)
+                for s in serial] == \
+               [(s.stored_after_writes, s.stored_at_end, s.output_pulses)
+                for s in parallel]
+
+    def test_summary_verdicts(self):
+        empty, written = run_configs(
+            [EMPTY, HCDROConfig(writes=1, reads=4)], workers=1)
+        assert empty.stored_after_writes == 0
+        assert empty.correct
+        assert written.stored_after_writes == 1
+        assert written.output_pulses == 1
+        assert written.popped == 1
+        assert written.correct

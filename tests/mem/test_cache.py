@@ -5,7 +5,7 @@ import pytest
 from repro.cpu import CoreConfig, GateLevelPipeline, RFTimingModel
 from repro.errors import ConfigError
 from repro.isa import Executor, assemble
-from repro.mem import CacheStats, DirectMappedCache, FlatMemory
+from repro.mem import DirectMappedCache, FlatMemory
 from repro.workloads import get_workload
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.pulse import Engine, Probe, PulseCounter, TFF
+from repro.pulse import Probe, PulseCounter, TFF
 
 
 class TestTFF:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NetlistError, SimulationError
-from repro.pulse import JTL, Engine, Probe, Sink, Splitter
+from repro.pulse import JTL, Probe, Sink, Splitter
 
 
 class TestRegistration:

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.pulse import Engine, HCClk, Probe
 from repro.pulse.export import (

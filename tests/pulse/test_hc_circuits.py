@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cells import params
-from repro.pulse import Engine, HCClk, HCDRO, HCRead, HCWrite, Probe
+from repro.pulse import HCClk, HCDRO, HCRead, HCWrite, Probe
 from repro.pulse.monitor import train_spacings
 
 

@@ -1,8 +1,7 @@
 """Tests for probes and pulse-train decoding helpers."""
 
-import pytest
 
-from repro.pulse import Engine, Probe
+from repro.pulse import Probe
 from repro.pulse.monitor import train_spacings, train_value
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NetlistError
-from repro.pulse import DAND, JTL, PTL, Engine, Merger, Probe, Splitter
+from repro.pulse import DAND, JTL, PTL, Merger, Probe, Splitter
 
 
 class TestJTL:

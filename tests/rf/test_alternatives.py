@@ -1,6 +1,5 @@
 """Tests for the alternative-design models (Sections III-A, V, rel. work)."""
 
-import pytest
 
 from repro.rf import DualBankHiPerRF, HiPerRF, NdroRegisterFile, RFGeometry
 from repro.rf.alternatives import (

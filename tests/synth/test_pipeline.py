@@ -1,6 +1,5 @@
 """Tests for the SFQ synthesis passes."""
 
-import pytest
 
 from repro.synth import GateNetwork, build_execute_stage, synthesize
 from repro.synth.pipeline import BUFFER_JJ, SPLITTER_JJ

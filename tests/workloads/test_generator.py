@@ -5,7 +5,6 @@ import pytest
 from repro.isa import Executor, assemble
 from repro.workloads.generator import (
     EXIT_STUBS,
-    Lcg,
     MUL_SUBROUTINE,
     words_directive,
 )
