@@ -1,10 +1,16 @@
-.PHONY: install test bench bench-josim experiments examples quick all
+.PHONY: install test bench bench-josim experiments examples quick all lint-netlists
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Static SFQ netlist verification (same gate CI runs): structural rules,
+# pulse-timing races, budget cross-checks and schedule validation over
+# every built-in register-file design.
+lint-netlists:
+	PYTHONPATH=src python -m repro.lint --fail-on error
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,81 @@
+"""Static SFQ netlist verifier and pulse-timing race detector.
+
+SFQ netlists have structural invariants a pulse simulation only probes
+one stimulus at a time: every fan-out point needs a splitter, every
+shared pin a merger, every clocked element a reachable strobe, and every
+reconvergent path a safe skew.  This package checks them *statically*,
+before any simulation runs, over three representations:
+
+* pulse-engine netlists (:mod:`repro.pulse`), lowered into a
+  representation-neutral :class:`~repro.lint.graph.CircuitGraph` IR,
+* synthesised gate networks (:mod:`repro.synth.netlist`),
+* analog circuit decks (:mod:`repro.josim.circuit`).
+
+Rules carry stable IDs (``SFQ001`` ...; see :mod:`repro.lint.rules`),
+findings aggregate into a :class:`~repro.lint.report.LintReport`, and
+``# lint: disable=SFQ00x`` source comments suppress expected findings
+(:mod:`repro.lint.suppress`).  ``python -m repro.lint`` runs the whole
+catalog over the built-in register-file designs and is wired into CI
+next to the style linter.
+"""
+
+from repro.lint.budget import check_budget
+from repro.lint.config import LintConfig
+from repro.lint.designs import (
+    BUILTIN_DESIGNS,
+    DEFAULT_GEOMETRY,
+    check_schedule,
+    lint_all,
+    lint_design,
+    lint_graph,
+)
+from repro.lint.graph import (
+    Arc,
+    CircuitGraph,
+    Edge,
+    GraphNode,
+    NodeClass,
+    PortRef,
+    graph_from_engine,
+)
+from repro.lint.josim_rules import check_deck
+from repro.lint.passes import run_structural_passes
+from repro.lint.report import LintIssue, LintReport, Severity
+from repro.lint.rules import RULES, Rule, get_rule, make_issue
+from repro.lint.suppress import Suppression, parse_suppressions, suppressions_for
+from repro.lint.synthnet import check_network
+from repro.lint.timing import Window, propagate_arrivals, run_timing_passes
+
+__all__ = [
+    "Arc",
+    "BUILTIN_DESIGNS",
+    "CircuitGraph",
+    "DEFAULT_GEOMETRY",
+    "Edge",
+    "GraphNode",
+    "LintConfig",
+    "LintIssue",
+    "LintReport",
+    "NodeClass",
+    "PortRef",
+    "RULES",
+    "Rule",
+    "Severity",
+    "Suppression",
+    "Window",
+    "check_budget",
+    "check_deck",
+    "check_network",
+    "check_schedule",
+    "graph_from_engine",
+    "get_rule",
+    "lint_all",
+    "lint_design",
+    "lint_graph",
+    "make_issue",
+    "parse_suppressions",
+    "propagate_arrivals",
+    "run_structural_passes",
+    "run_timing_passes",
+    "suppressions_for",
+]

@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.lint``."""
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

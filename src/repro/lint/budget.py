@@ -1,0 +1,82 @@
+"""JJ-count and bias-current budget accounting (SFQ007).
+
+Two layers of cross-checking:
+
+* the design's component census must roll up to the same JJ total and
+  static power that the :mod:`repro.cells` library predicts cell-by-cell
+  (guards against census/library drift), and
+* for the designs and geometries the paper publishes, the roll-up must
+  stay within tolerance of Table I (JJ) and Table II (bias power).
+"""
+
+from __future__ import annotations
+
+from repro.cells import get_cell
+from repro.experiments import paper_data
+from repro.lint.config import LintConfig
+from repro.lint.report import LintIssue, Severity
+from repro.lint.rules import make_issue
+from repro.rf.base import RegisterFileDesign
+
+
+def _relative_error(measured: float, reference: float) -> float:
+    if reference == 0:
+        return float("inf") if measured else 0.0
+    return abs(measured - reference) / abs(reference)
+
+
+def check_budget(design: RegisterFileDesign,
+                 config: LintConfig | None = None) -> list[LintIssue]:
+    """SFQ007 checks for one built register-file design."""
+    cfg = config or LintConfig()
+    issues: list[LintIssue] = []
+    census = design.census()
+    label = design.geometry.label()
+    where = f"{design.name}[{label}]"
+
+    # Layer 1: census totals vs a cell-by-cell library roll-up.
+    jj_by_cell = sum(get_cell(name).jj_count * count
+                     for name, count in census.items())
+    power_by_cell = sum(get_cell(name).static_power_uw * count
+                        for name, count in census.items())
+    if jj_by_cell != census.jj_count():
+        issues.append(make_issue(
+            "SFQ007", where,
+            f"census JJ roll-up ({census.jj_count()}) disagrees with the "
+            f"cell-by-cell sum ({jj_by_cell})", design=design.name))
+    if abs(power_by_cell - census.static_power_uw()) > 1e-6:
+        issues.append(make_issue(
+            "SFQ007", where,
+            f"census power roll-up ({census.static_power_uw():.3f} uW) "
+            f"disagrees with the cell-by-cell sum ({power_by_cell:.3f} uW)",
+            design=design.name))
+
+    # Layer 2: per-design budgets from the paper's tables.
+    jj_table = paper_data.TABLE1_JJ.get(design.name, {})
+    power_table = paper_data.TABLE2_POWER_UW.get(design.name, {})
+    if label in jj_table:
+        measured, budget = design.jj_count(), jj_table[label]
+        error = _relative_error(measured, budget)
+        if error > cfg.budget_tolerance:
+            issues.append(make_issue(
+                "SFQ007", where,
+                f"JJ count {measured} deviates {100 * error:.1f}% from the "
+                f"Table I budget of {budget} "
+                f"(> {100 * cfg.budget_tolerance:.0f}%)", design=design.name))
+    if label in power_table:
+        measured_uw, budget_uw = design.static_power_uw(), power_table[label]
+        error = _relative_error(measured_uw, budget_uw)
+        if error > cfg.budget_tolerance:
+            issues.append(make_issue(
+                "SFQ007", where,
+                f"bias power {measured_uw:.1f} uW deviates "
+                f"{100 * error:.1f}% from the Table II budget of "
+                f"{budget_uw:.1f} uW (> {100 * cfg.budget_tolerance:.0f}%)",
+                design=design.name))
+    if label not in jj_table and label not in power_table:
+        issues.append(make_issue(
+            "SFQ007", where,
+            f"no published budget for geometry {label}; structural "
+            f"roll-up checks only", design=design.name,
+            severity=Severity.INFO))
+    return issues

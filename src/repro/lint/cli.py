@@ -1,0 +1,96 @@
+"""``python -m repro.lint``: the static netlist verifier CLI.
+
+Exit status encodes the gate decision: 0 when the report contains
+nothing at or above ``--fail-on``, 1 otherwise.  ``--format json``
+emits a machine-readable report for CI artifact collection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ConfigError
+from repro.lint.config import LintConfig
+from repro.lint.designs import BUILTIN_DESIGNS, DEFAULT_GEOMETRY, lint_all
+from repro.lint.report import LintReport, Severity
+from repro.lint.rules import catalog_text
+from repro.rf import RFGeometry
+
+
+def _parse_geometry(text: str) -> RFGeometry:
+    try:
+        registers, _, bits = text.partition("x")
+        return RFGeometry(int(registers), int(bits))
+    except (ValueError, ConfigError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad geometry {text!r} (want e.g. 8x8): {exc}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static SFQ netlist verifier and pulse-timing race "
+                    "detector for the built-in register-file designs.")
+    parser.add_argument(
+        "--design", action="append", choices=BUILTIN_DESIGNS, default=None,
+        help="design to lint (repeatable; default: all built-ins)")
+    parser.add_argument(
+        "--geometry", type=_parse_geometry, default=DEFAULT_GEOMETRY,
+        metavar="NxW",
+        help="pulse-netlist geometry to analyse (default: "
+             f"{DEFAULT_GEOMETRY.label()})")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format (default: human)")
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning", "never"), default="error",
+        help="lowest severity that makes the exit status non-zero "
+             "(default: error)")
+    parser.add_argument(
+        "--no-budgets", action="store_true",
+        help="skip the Table I/II budget cross-checks (SFQ007)")
+    parser.add_argument(
+        "--race-margin-ps", type=float, default=None, metavar="PS",
+        help="override the SFQ008 setup/hold margin")
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="include info-level findings in the human report")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def _gate(report: LintReport, fail_on: str) -> int:
+    if fail_on == "never":
+        return 0
+    threshold = Severity.ERROR if fail_on == "error" else Severity.WARNING
+    worst = report.worst_severity()
+    if worst is not None and worst >= threshold:
+        return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(catalog_text())
+        return 0
+    config = LintConfig()
+    if args.race_margin_ps is not None:
+        config = LintConfig(race_margin_ps=args.race_margin_ps,
+                            budget_tolerance=config.budget_tolerance)
+    names = tuple(args.design) if args.design else BUILTIN_DESIGNS
+    report = lint_all(names, geometry=args.geometry, config=config,
+                      budgets=not args.no_budgets)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render(verbose=args.verbose))
+    return _gate(report, args.fail_on)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Analyzer configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable thresholds shared by the rule passes.
+
+    Attributes
+    ----------
+    race_margin_ps:
+        Minimum static separation required between a clocked element's
+        data and clock arrival windows when both reconverge from one
+        origin (SFQ008).  Cells that declare their own spacing constraint
+        (e.g. the HC-DRO 10 ps setup/hold) use the larger of the two.
+    budget_tolerance:
+        Relative tolerance for the JJ / bias-power budget cross-check
+        against the paper's Tables I and II (SFQ007).  The census model
+        tracks the paper within a few percent (worst case is the 4x4
+        dual-bank at ~8.7%), so the default gate is 10%.
+    """
+
+    race_margin_ps: float = 5.0
+    budget_tolerance: float = 0.10

@@ -1,0 +1,253 @@
+"""Representation-neutral circuit-graph IR and the pulse-engine adapter.
+
+The analyzer does not walk :class:`repro.pulse.Engine` netlists directly;
+it first lowers them into a :class:`CircuitGraph` - named nodes with typed
+ports, directed edges carrying wire delay, internal propagation *arcs*
+(which input pin forwards a pulse to which output pin, and how late), and
+a set of *external* ports where test-bench stimulus enters.  Structural
+and timing rules run over this IR, so future front-ends (e.g. a Verilog
+or JoSIM-deck importer) only need an adapter, not new rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.pulse.counters import TFF, PulseCounter
+from repro.pulse.engine import Component, Engine
+from repro.pulse.logic import ClockedGate
+from repro.pulse.monitor import Probe
+from repro.pulse.primitives import DAND, JTL, PTL, Merger, Sink, Splitter
+from repro.pulse.storage import DRO, HCDRO, NDRO, NDROC
+
+
+class NodeClass(enum.Enum):
+    """Coarse functional category used by the structural rules."""
+
+    INTERCONNECT = "interconnect"
+    STORAGE = "storage"
+    LOGIC = "logic"
+    SINK = "sink"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """One pin: a node name plus a port name."""
+
+    node: str
+    port: str
+
+    def __str__(self) -> str:
+        return f"{self.node}.{self.port}"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed wire from an output pin to an input pin."""
+
+    src: PortRef
+    dst: PortRef
+    delay_ps: float = 0.0
+
+
+@dataclass(frozen=True)
+class Arc:
+    """Internal pulse propagation: input pin -> output pin with delay."""
+
+    in_port: str
+    out_port: str
+    delay_ps: float
+
+
+@dataclass
+class GraphNode:
+    """One circuit element in the IR."""
+
+    name: str
+    kind: str
+    node_class: NodeClass
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    arcs: tuple[Arc, ...] = ()
+    #: Pins that act as a clock / read strobe (evaluation triggers).
+    clock_ports: frozenset = frozenset()
+    #: Pins that arm internal state without directly producing output.
+    data_ports: frozenset = frozenset()
+    #: Cell-specific constraints (dead_time_ps, hold_window_ps, ...).
+    params: dict = field(default_factory=dict)
+
+
+class CircuitGraph:
+    """Nodes + wires + external stimulus ports, with pin-level indexes."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: dict[str, GraphNode] = {}
+        self.edges: list[Edge] = []
+        self.externals: set[PortRef] = set()
+        self._in_edges: dict[PortRef, list[Edge]] = {}
+        self._out_edges: dict[PortRef, list[Edge]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: GraphNode) -> GraphNode:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def add_edge(self, src: PortRef, dst: PortRef, delay_ps: float = 0.0) -> Edge:
+        """Add a wire.  Unlike the engine, the IR accepts *illegal* wiring
+        (double-driven pins, fanned-out outputs) - expressing violations is
+        exactly what the rules need."""
+        edge = Edge(src, dst, delay_ps)
+        self.edges.append(edge)
+        self._out_edges.setdefault(src, []).append(edge)
+        self._in_edges.setdefault(dst, []).append(edge)
+        return edge
+
+    def mark_external(self, ref: PortRef) -> None:
+        self.externals.add(ref)
+
+    # -- queries -----------------------------------------------------------
+
+    def drivers(self, ref: PortRef) -> list[Edge]:
+        """Wires ending at input pin ``ref``."""
+        return self._in_edges.get(ref, [])
+
+    def fanout(self, ref: PortRef) -> list[Edge]:
+        """Wires starting at output pin ``ref``."""
+        return self._out_edges.get(ref, [])
+
+    def input_refs(self, node: GraphNode) -> list[PortRef]:
+        return [PortRef(node.name, p) for p in node.inputs]
+
+    def output_refs(self, node: GraphNode) -> list[PortRef]:
+        return [PortRef(node.name, p) for p in node.outputs]
+
+    def __repr__(self) -> str:
+        return (f"CircuitGraph({self.name!r}, nodes={len(self.nodes)}, "
+                f"edges={len(self.edges)})")
+
+
+# ---------------------------------------------------------------------------
+# Pulse-engine adapter
+# ---------------------------------------------------------------------------
+
+
+def _delay(comp: Component, attr: str = "delay_ps") -> float:
+    return float(getattr(comp, attr, 0.0))
+
+
+def _lower_component(comp: Component) -> GraphNode:
+    """Classify one pulse component into the IR vocabulary."""
+    name = comp.name
+    inputs = tuple(comp.INPUTS)
+    outputs = tuple(comp.OUTPUTS)
+    if isinstance(comp, Splitter):
+        return GraphNode(name, "splitter", NodeClass.INTERCONNECT, inputs, outputs,
+                         arcs=(Arc("in", "out0", comp.delay_ps),
+                               Arc("in", "out1", comp.delay_ps)))
+    if isinstance(comp, Merger):
+        return GraphNode(name, "merger", NodeClass.INTERCONNECT, inputs, outputs,
+                         arcs=(Arc("in0", "out", comp.delay_ps),
+                               Arc("in1", "out", comp.delay_ps)),
+                         params={"dead_time_ps": comp.dead_time_ps})
+    if isinstance(comp, (JTL, PTL)):
+        return GraphNode(name, type(comp).__name__.lower(),
+                         NodeClass.INTERCONNECT, inputs, outputs,
+                         arcs=(Arc("in", "out", comp.delay_ps),))
+    if isinstance(comp, Probe):
+        return GraphNode(name, "probe", NodeClass.INTERCONNECT, inputs, outputs,
+                         arcs=(Arc("in", "out", 0.0),))
+    if isinstance(comp, Sink):
+        return GraphNode(name, "sink", NodeClass.SINK, inputs, outputs)
+    if isinstance(comp, DAND):
+        return GraphNode(name, "dand", NodeClass.LOGIC, inputs, outputs,
+                         arcs=(Arc("a", "out", comp.delay_ps),
+                               Arc("b", "out", comp.delay_ps)),
+                         data_ports=frozenset({"a", "b"}),
+                         params={"hold_window_ps": comp.hold_window_ps})
+    if isinstance(comp, ClockedGate):
+        data = frozenset({"a", "b"} if comp.ARITY == 2 else {"a"})
+        return GraphNode(name, "clocked_gate", NodeClass.LOGIC, inputs, outputs,
+                         arcs=(Arc("clk", "out", comp.delay_ps),),
+                         clock_ports=frozenset({"clk"}), data_ports=data)
+    if isinstance(comp, DRO):
+        return GraphNode(name, "dro", NodeClass.STORAGE, inputs, outputs,
+                         arcs=(Arc("clk", "q", comp.clk_to_q_ps),),
+                         clock_ports=frozenset({"clk"}),
+                         data_ports=frozenset({"d"}))
+    if isinstance(comp, HCDRO):
+        return GraphNode(name, "hcdro", NodeClass.STORAGE, inputs, outputs,
+                         arcs=(Arc("clk", "q", comp.clk_to_q_ps),),
+                         clock_ports=frozenset({"clk"}),
+                         data_ports=frozenset({"d"}),
+                         params={"min_spacing_ps": comp.min_pulse_spacing_ps})
+    if isinstance(comp, NDROC):
+        # ``exclusive_routing``: one CLK pulse exits out0 *or* out1, never
+        # both, so downstream paths through different outputs can never
+        # race each other.  The timing pass re-originates arrival windows
+        # at each output instead of forwarding the common origin.
+        return GraphNode(name, "ndroc", NodeClass.STORAGE, inputs, outputs,
+                         arcs=(Arc("clk", "out0", comp.propagation_ps),
+                               Arc("clk", "out1", comp.propagation_ps)),
+                         clock_ports=frozenset({"clk"}),
+                         data_ports=frozenset({"set", "reset"}),
+                         params={"min_separation_ps": comp.min_clk_separation_ps,
+                                 "exclusive_routing": True})
+    if isinstance(comp, NDRO):
+        return GraphNode(name, "ndro", NodeClass.STORAGE, inputs, outputs,
+                         arcs=(Arc("clk", "out", comp.clk_to_q_ps),),
+                         clock_ports=frozenset({"clk"}),
+                         data_ports=frozenset({"set", "reset"}))
+    if isinstance(comp, TFF):
+        return GraphNode(name, "tff", NodeClass.STORAGE, inputs, outputs,
+                         arcs=(Arc("t", "carry", comp.delay_ps),
+                               Arc("read", "q", comp.delay_ps)),
+                         clock_ports=frozenset({"read"}),
+                         data_ports=frozenset({"t", "reset"}))
+    if isinstance(comp, PulseCounter):
+        arcs = tuple(Arc("read", f"b{i}", comp.delay_ps)
+                     for i in range(comp.bits))
+        return GraphNode(name, "counter", NodeClass.STORAGE, inputs, outputs,
+                         arcs=arcs,
+                         clock_ports=frozenset({"read"}),
+                         data_ports=frozenset({"in", "reset"}))
+    # Unknown component type: all-to-all propagation, clock pin by name.
+    arcs = tuple(Arc(i, o, _delay(comp)) for i in inputs for o in outputs)
+    clock = frozenset({p for p in inputs if p in ("clk", "read")})
+    return GraphNode(name, type(comp).__name__.lower(), NodeClass.OTHER,
+                     inputs, outputs, arcs=arcs, clock_ports=clock,
+                     data_ports=frozenset(inputs) - clock)
+
+
+def graph_from_engine(engine: Engine, name: str,
+                      externals: Iterable = ()) -> CircuitGraph:
+    """Lower a registered pulse-engine netlist into the IR.
+
+    ``externals`` lists the stimulus entry pins, each either a
+    :class:`PortRef` or a ``(component, port_name)`` pair as returned by
+    the builders' ``external_inputs()`` methods.
+    """
+    graph = CircuitGraph(name)
+    for comp in engine.components():
+        graph.add_node(_lower_component(comp))
+    for comp in engine.components():
+        for out_port in comp.OUTPUTS:
+            wire = comp.wire_for(out_port)
+            if wire is None:
+                continue
+            graph.add_edge(PortRef(comp.name, out_port),
+                           PortRef(wire.sink.name, wire.sink_port),
+                           wire.delay_ps)
+    for entry in externals:
+        if isinstance(entry, PortRef):
+            graph.mark_external(entry)
+        else:
+            comp, port = entry
+            graph.mark_external(PortRef(comp.name, port))
+    return graph

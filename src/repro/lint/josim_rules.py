@@ -1,0 +1,51 @@
+"""Static checks over analog circuit decks (SFQ010-SFQ012).
+
+These run on :class:`repro.josim.circuit.Circuit` before any transient
+simulation: a floating node, a shorted element or a bias-less junction
+deck produces garbage waveforms that are much cheaper to catch here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.josim.circuit import Circuit
+from repro.josim.elements import BiasCurrent, JosephsonJunction
+from repro.lint.report import LintIssue
+from repro.lint.rules import make_issue
+
+
+def check_deck(circuit: Circuit, name: str = "deck") -> list[LintIssue]:
+    """All deck rules for one circuit."""
+    issues: list[LintIssue] = []
+    index_to_name = {0: "gnd"}
+    for node_name in circuit.node_names():
+        index_to_name[circuit.node(node_name)] = node_name
+
+    touches: Counter = Counter()
+    for element in circuit.elements:
+        if element.pos == element.neg:
+            issues.append(make_issue(
+                "SFQ011", element.name,
+                f"both terminals on node {index_to_name.get(element.pos, element.pos)!r}",
+                design=name))
+        touches[element.pos] += 1
+        touches[element.neg] += 1
+
+    for node_index, count in sorted(touches.items()):
+        if node_index == 0 or count > 1:
+            continue
+        issues.append(make_issue(
+            "SFQ010", index_to_name.get(node_index, str(node_index)),
+            "node is attached to exactly one element terminal (floating)",
+            design=name))
+
+    junctions = [e for e in circuit.elements
+                 if isinstance(e, JosephsonJunction)]
+    biases = [e for e in circuit.elements if isinstance(e, BiasCurrent)]
+    if junctions and not biases:
+        issues.append(make_issue(
+            "SFQ012", junctions[0].name,
+            f"deck has {len(junctions)} junction(s) but no DC bias source",
+            design=name))
+    return issues

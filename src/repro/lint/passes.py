@@ -1,0 +1,156 @@
+"""Structural rules over the circuit-graph IR (SFQ001-SFQ004, SFQ006).
+
+These are pure graph checks: no timing is computed here.  Timing-aware
+rules (merger exclusivity, clock/data races, coincidence satisfiability)
+live in :mod:`repro.lint.timing`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.graph import CircuitGraph, NodeClass, PortRef
+from repro.lint.report import LintIssue, Severity
+from repro.lint.rules import make_issue
+
+#: Kinds allowed to drive several wires from distinct pins by design;
+#: a *single pin* driving several wires is still an error everywhere.
+_SPLITTING_KINDS = {"splitter"}
+
+
+def check_fanout(graph: CircuitGraph) -> list[LintIssue]:
+    """SFQ001: every output pin drives at most one wire."""
+    issues: list[LintIssue] = []
+    for node in graph.nodes.values():
+        for ref in graph.output_refs(node):
+            sinks = graph.fanout(ref)
+            if len(sinks) > 1:
+                targets = ", ".join(str(e.dst) for e in sinks)
+                issues.append(make_issue(
+                    "SFQ001", str(ref),
+                    f"drives {len(sinks)} wires ({targets}); insert a "
+                    f"splitter tree", design=graph.name))
+    return issues
+
+
+def check_drivers(graph: CircuitGraph) -> list[LintIssue]:
+    """SFQ002: every input pin is driven by at most one wire."""
+    issues: list[LintIssue] = []
+    for node in graph.nodes.values():
+        for ref in graph.input_refs(node):
+            drivers = graph.drivers(ref)
+            if len(drivers) > 1:
+                sources = ", ".join(str(e.src) for e in drivers)
+                issues.append(make_issue(
+                    "SFQ002", str(ref),
+                    f"driven by {len(drivers)} wires ({sources}); shared "
+                    f"pins need a merger", design=graph.name))
+    return issues
+
+
+def check_dangling(graph: CircuitGraph) -> list[LintIssue]:
+    """SFQ003/SFQ004: undriven, non-external input pins.
+
+    Severity depends on the pin's role:
+
+    * clock/read-strobe pin on a clocked element -> SFQ004 *error* (the
+      element can never be evaluated),
+    * data pin on a logic gate -> SFQ003 *error* (a coincidence gate with
+      one dead input can never fire),
+    * data pin on storage -> SFQ003 *warning* (the cell is usable but a
+      state transition is unreachable),
+    * interconnect/sink input -> SFQ003 *info* (dead wiring).
+    """
+    issues: list[LintIssue] = []
+    for node in graph.nodes.values():
+        for port in node.inputs:
+            ref = PortRef(node.name, port)
+            if graph.drivers(ref) or ref in graph.externals:
+                continue
+            if port in node.clock_ports:
+                issues.append(make_issue(
+                    "SFQ004", str(ref),
+                    f"clock pin of {node.kind} is undriven and not an "
+                    f"external stimulus entry", design=graph.name))
+                continue
+            if node.node_class is NodeClass.LOGIC:
+                severity = Severity.ERROR
+            elif node.node_class is NodeClass.STORAGE:
+                severity = Severity.WARNING
+            else:
+                severity = Severity.INFO
+            issues.append(make_issue(
+                "SFQ003", str(ref),
+                f"input pin of {node.kind} is undriven and not external",
+                design=graph.name, severity=severity))
+    return issues
+
+
+def check_cycles(graph: CircuitGraph) -> list[LintIssue]:
+    """SFQ006: cycles in the pulse-propagation arc graph.
+
+    Propagation follows wires plus each node's internal arcs.  Storage
+    *data* pins have no arcs (a stored fluxon waits for a strobe), so
+    legitimate feedback - e.g. HiPerRF's loopback write re-entering the
+    HC-DRO ``d`` pins - is cut there.  Any cycle that survives is a ring
+    of interconnect/logic that would oscillate.
+    """
+    # Pin-level adjacency: input pin -> output pin (arc), output -> input (wire).
+    successors: dict[PortRef, list[PortRef]] = {}
+    for node in graph.nodes.values():
+        for arc in node.arcs:
+            successors.setdefault(PortRef(node.name, arc.in_port), []).append(
+                PortRef(node.name, arc.out_port))
+    for edge in graph.edges:
+        successors.setdefault(edge.src, []).append(edge.dst)
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: dict[PortRef, int] = {}
+    cycle_nodes: set = set()
+
+    def visit(start: PortRef) -> None:
+        stack: list[tuple[PortRef, int]] = [(start, 0)]
+        path: list[PortRef] = []
+        while stack:
+            ref, child = stack.pop()
+            if child == 0:
+                if colour.get(ref, WHITE) != WHITE:
+                    continue
+                colour[ref] = GREY
+                path.append(ref)
+            succ = successors.get(ref, [])
+            if child < len(succ):
+                stack.append((ref, child + 1))
+                nxt = succ[child]
+                state = colour.get(nxt, WHITE)
+                if state == GREY:
+                    # Everything from nxt onwards in the path is on a cycle.
+                    idx = path.index(nxt)
+                    cycle_nodes.update(r.node for r in path[idx:])
+                elif state == WHITE:
+                    stack.append((nxt, 0))
+            else:
+                colour[ref] = BLACK
+                path.pop()
+
+    for ref in list(successors):
+        if colour.get(ref, WHITE) == WHITE:
+            visit(ref)
+
+    issues: list[LintIssue] = []
+    if cycle_nodes:
+        members = sorted(cycle_nodes)
+        shown = ", ".join(members[:8]) + (" ..." if len(members) > 8 else "")
+        issues.append(make_issue(
+            "SFQ006", members[0],
+            f"pulse-propagation cycle through {len(members)} element(s) "
+            f"with no storage data pin on it: {shown}", design=graph.name))
+    return issues
+
+
+def run_structural_passes(graph: CircuitGraph) -> list[LintIssue]:
+    """All structural rules, in rule-ID order."""
+    issues: list[LintIssue] = []
+    issues.extend(check_fanout(graph))
+    issues.extend(check_drivers(graph))
+    issues.extend(check_dangling(graph))
+    issues.extend(check_cycles(graph))
+    return issues

@@ -1,0 +1,155 @@
+"""Lint issue records and reports.
+
+Every finding the analyzer produces is a :class:`LintIssue` carrying a
+stable rule ID (``SFQ001`` ...), a severity, the name of the offending
+object (component, gate, node or schedule event) and a human-readable
+message.  A :class:`LintReport` aggregates issues across passes and
+renders them for humans or as JSON for CI tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Issue severity; the integer order is the gating order."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding: a rule violation anchored to a named netlist object."""
+
+    rule_id: str
+    severity: Severity
+    obj: str
+    message: str
+    design: str = ""
+
+    def location(self) -> str:
+        """``design::object`` anchor used in rendered reports."""
+        if self.design:
+            return f"{self.design}::{self.obj}"
+        return self.obj
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "design": self.design,
+            "object": self.obj,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """An ordered collection of issues plus suppression bookkeeping."""
+
+    issues: list[LintIssue] = field(default_factory=list)
+    suppressed: list[LintIssue] = field(default_factory=list)
+    #: Designs/objects that were analysed (rendered even when clean).
+    analysed: list[str] = field(default_factory=list)
+
+    def add(self, issue: LintIssue) -> None:
+        self.issues.append(issue)
+
+    def extend(self, issues: list[LintIssue]) -> None:
+        self.issues.extend(issues)
+
+    def merge(self, other: "LintReport") -> None:
+        self.issues.extend(other.issues)
+        self.suppressed.extend(other.suppressed)
+        self.analysed.extend(other.analysed)
+
+    # -- queries -----------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> list[LintIssue]:
+        return [i for i in self.issues if i.severity is severity]
+
+    @property
+    def errors(self) -> list[LintIssue]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[LintIssue]:
+        return self.by_severity(Severity.WARNING)
+
+    def rule_ids(self) -> set[str]:
+        """Distinct rule IDs present in the report."""
+        return {i.rule_id for i in self.issues}
+
+    def worst_severity(self) -> Severity | None:
+        if not self.issues:
+            return None
+        return max(i.severity for i in self.issues)
+
+    # -- suppression -------------------------------------------------------
+
+    def apply_suppressions(self, suppressions) -> None:
+        """Move issues matched by ``suppressions`` into :attr:`suppressed`.
+
+        ``suppressions`` is an iterable of objects exposing
+        ``matches(issue) -> bool`` (see :mod:`repro.lint.suppress`).
+        """
+        rules = list(suppressions)
+        kept: list[LintIssue] = []
+        for issue in self.issues:
+            if any(s.matches(issue) for s in rules):
+                self.suppressed.append(issue)
+            else:
+                kept.append(issue)
+        self.issues = kept
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, *, verbose: bool = False) -> str:
+        """Human-readable report, grouped by design, errors first."""
+        lines: list[str] = []
+        ordered = sorted(
+            self.issues,
+            key=lambda i: (-int(i.severity), i.design, i.rule_id, i.obj))
+        for issue in ordered:
+            if issue.severity is Severity.INFO and not verbose:
+                continue
+            lines.append(f"{str(issue.severity):7s} {issue.rule_id}  "
+                         f"{issue.location()}: {issue.message}")
+        infos = len(self.by_severity(Severity.INFO))
+        summary = (f"{len(self.errors)} error(s), {len(self.warnings)} "
+                   f"warning(s), {infos} info(s)")
+        if self.suppressed:
+            summary += f", {len(self.suppressed)} suppressed"
+        if self.analysed:
+            summary += f"  [{', '.join(self.analysed)}]"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report for CI artifact consumption."""
+        payload = {
+            "analysed": self.analysed,
+            "issues": [i.as_dict() for i in self.issues],
+            "suppressed": [i.as_dict() for i in self.suppressed],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.by_severity(Severity.INFO)),
+            },
+        }
+        return json.dumps(payload, indent=2)

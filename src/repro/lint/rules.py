@@ -1,0 +1,110 @@
+"""The rule catalog: stable IDs, default severities and descriptions.
+
+Rule IDs are append-only: a published ID keeps its meaning forever so
+``# lint: disable=SFQ00x`` suppressions stay valid across versions.  New
+rules take the next free number.  See ``docs/architecture.md`` for the
+how-to-add-a-rule walkthrough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.report import LintIssue, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Catalog entry for one check."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    description: str
+
+
+_CATALOG: tuple[Rule, ...] = (
+    Rule("SFQ001", "unsplit-fanout", Severity.ERROR,
+         "An output pin drives more than one wire.  SFQ pulses cannot fan "
+         "out; every multi-consumer point needs an explicit splitter tree "
+         "(paper Section II-F)."),
+    Rule("SFQ002", "multiply-driven-input", Severity.ERROR,
+         "An input pin is driven by more than one wire.  Shared pins need "
+         "an explicit merger (confluence buffer)."),
+    Rule("SFQ003", "dangling-input", Severity.WARNING,
+         "An input pin is neither wired nor declared as an external "
+         "stimulus entry; the element can never receive that pulse."),
+    Rule("SFQ004", "unclocked-clocked-element", Severity.ERROR,
+         "A clocked element's clock/read strobe pin is undriven and not "
+         "external, so the element can never be evaluated or read."),
+    Rule("SFQ005", "merger-exclusivity", Severity.ERROR,
+         "Both merger inputs are reachable from one common pulse origin "
+         "with a path-delay skew inside the merger dead time; the second "
+         "pulse would be silently dissipated."),
+    Rule("SFQ006", "combinational-cycle", Severity.ERROR,
+         "A pulse-propagation cycle is not cut by any storage-element "
+         "data pin; the loop would oscillate."),
+    Rule("SFQ007", "budget-mismatch", Severity.ERROR,
+         "The design's JJ count or bias-power roll-up disagrees with the "
+         "cell library or with the paper's per-design budget (Tables I "
+         "and II) beyond tolerance."),
+    Rule("SFQ008", "clock-data-race", Severity.ERROR,
+         "A clocked element's data and clock pins reconverge from one "
+         "common origin with overlapping arrival windows: whether data "
+         "lands before the read strobe depends on fabrication skew."),
+    Rule("SFQ009", "coincidence-unsatisfiable", Severity.ERROR,
+         "A coincidence gate's (DAND) two inputs only ever receive pulses "
+         "from one common origin whose fixed path skew exceeds the hold "
+         "window; the gate can never fire."),
+    Rule("SFQ010", "floating-node", Severity.ERROR,
+         "A circuit-deck node is attached to exactly one element terminal "
+         "and therefore carries no current path."),
+    Rule("SFQ011", "shorted-element", Severity.ERROR,
+         "A circuit-deck element has both terminals on the same node."),
+    Rule("SFQ012", "unbiased-junction", Severity.WARNING,
+         "A deck contains Josephson junctions but no DC bias source; the "
+         "junctions can never be driven near critical current."),
+    Rule("SFQ013", "dangling-gate", Severity.WARNING,
+         "A gate-network node drives nothing and is not a primary output; "
+         "its JJs are dead weight."),
+    Rule("SFQ014", "unbalanced-fanin", Severity.WARNING,
+         "A clocked gate's inputs arrive from different logic levels; "
+         "RSFQ needs full path balancing (DRO buffers) or the late pulse "
+         "slips into the next clock period."),
+    Rule("SFQ015", "schedule-timing-violation", Severity.ERROR,
+         "A generated port schedule violates the device timing "
+         "constraints (53 ps enable separation, 10 ps reset-to-WEN)."),
+    Rule("SFQ016", "schedule-index-range", Severity.ERROR,
+         "A port schedule references a register outside the design's "
+         "geometry."),
+)
+
+RULES: dict[str, Rule] = {rule.rule_id: rule for rule in _CATALOG}
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(RULES))
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}") from None
+
+
+def make_issue(rule_id: str, obj: str, message: str, design: str = "",
+               severity: Severity | None = None) -> LintIssue:
+    """Build an issue from the catalog, optionally overriding severity."""
+    rule = get_rule(rule_id)
+    return LintIssue(
+        rule_id=rule.rule_id,
+        severity=rule.severity if severity is None else severity,
+        obj=obj,
+        message=message,
+        design=design,
+    )
+
+
+def catalog_text() -> str:
+    """``--list-rules`` output: one line per rule."""
+    lines = [f"{r.rule_id}  {str(r.severity):7s} {r.title:28s} {r.description}"
+             for r in _CATALOG]
+    return "\n".join(lines)

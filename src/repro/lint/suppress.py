@@ -1,0 +1,80 @@
+"""Inline lint suppressions.
+
+A netlist builder (or any module whose objects end up in a lint run) can
+silence a rule with a source comment::
+
+    self.loop_merger = engine.add(Merger("hp.wmrg0"))  # lint: disable=SFQ005
+
+Syntax: ``# lint: disable=<ID>[,<ID>...]``; each ID may carry an optional
+object-name glob in brackets to scope the suppression::
+
+    # lint: disable=SFQ003[hp.lb*],SFQ005
+
+Without a glob the rule is silenced for every object of the lint run that
+loaded the suppression.  Suppressed findings are not dropped - they move
+to the report's ``suppressed`` list so CI artifacts keep an audit trail.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import inspect
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.report import LintIssue
+
+_DIRECTIVE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_\[\]\*\?\.,\- ]+)")
+_ENTRY = re.compile(r"(?P<rule>[A-Z]+[0-9]+)(?:\[(?P<pattern>[^\]]+)\])?$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed directive entry: a rule ID plus an optional name glob."""
+
+    rule_id: str
+    pattern: str | None = None
+
+    def matches(self, issue: LintIssue) -> bool:
+        if issue.rule_id != self.rule_id:
+            return False
+        if self.pattern is None:
+            return True
+        return fnmatch.fnmatchcase(issue.obj, self.pattern)
+
+
+def parse_suppressions(text: str) -> list[Suppression]:
+    """Extract every ``# lint: disable=`` directive from source text."""
+    found: list[Suppression] = []
+    for match in _DIRECTIVE.finditer(text):
+        for raw_entry in match.group(1).split(","):
+            entry = raw_entry.strip()
+            if not entry:
+                continue
+            parsed = _ENTRY.match(entry)
+            if parsed is None:
+                continue
+            found.append(Suppression(parsed.group("rule"),
+                                     parsed.group("pattern")))
+    return found
+
+
+def suppressions_from_file(path: str | Path) -> list[Suppression]:
+    return parse_suppressions(Path(path).read_text(encoding="utf-8"))
+
+
+def suppressions_for(obj: object) -> list[Suppression]:
+    """Directives from the source module that defines ``obj``'s class.
+
+    This is how builder modules self-document expected findings: the
+    lint driver collects directives from the module of every netlist
+    object it analyses.
+    """
+    try:
+        source_file = inspect.getsourcefile(type(obj))
+    except TypeError:
+        return []
+    if source_file is None:
+        return []
+    return suppressions_from_file(source_file)

@@ -1,0 +1,64 @@
+"""Static checks over synthesised gate networks (SFQ013-SFQ014).
+
+The :class:`repro.synth.netlist.GateNetwork` IR allows logical fan-out
+(the synthesis pipeline charges the splitter trees afterwards), so the
+pulse-level fanout-1 rule does not apply here.  What *is* statically
+checkable: dead gates, and clocked gates whose fan-ins arrive from
+different pipeline levels - RSFQ gates consume exactly one pulse per
+input per clock, so unbalanced fan-in needs DRO buffer insertion (the
+path-balancing pass) before the network is realisable.
+"""
+
+from __future__ import annotations
+
+from repro.lint.report import LintIssue
+from repro.lint.rules import make_issue
+from repro.synth.netlist import CLOCKED_KINDS, GateKind, GateNetwork
+
+
+def _gate_label(network: GateNetwork, gate_id: int) -> str:
+    gate = network.gates[gate_id]
+    label = gate.name or f"g{gate.gate_id}"
+    return f"{network.name}.{label}"
+
+
+def check_dangling_gates(network: GateNetwork) -> list[LintIssue]:
+    """SFQ013: gates that drive nothing and are not primary outputs."""
+    issues: list[LintIssue] = []
+    fanouts = network.fanouts()
+    outputs = set(network.primary_outputs)
+    for gate in network.gates:
+        if gate.kind is GateKind.OUTPUT or gate.gate_id in outputs:
+            continue
+        if fanouts.get(gate.gate_id, 0) == 0:
+            issues.append(make_issue(
+                "SFQ013", _gate_label(network, gate.gate_id),
+                f"{gate.kind.value} gate drives nothing and is not a "
+                f"primary output", design=network.name))
+    return issues
+
+
+def check_fanin_balance(network: GateNetwork) -> list[LintIssue]:
+    """SFQ014: clocked gates with inputs from different logic levels."""
+    issues: list[LintIssue] = []
+    levels = network.levels()
+    for gate in network.gates:
+        if gate.kind not in CLOCKED_KINDS or len(gate.inputs) < 2:
+            continue
+        input_levels = [levels[source] for source in gate.inputs]
+        spread = max(input_levels) - min(input_levels)
+        if spread > 0:
+            issues.append(make_issue(
+                "SFQ014", _gate_label(network, gate.gate_id),
+                f"{gate.kind.value} fan-ins arrive from levels "
+                f"{sorted(input_levels)}; needs {spread} DRO balancing "
+                f"buffer(s)", design=network.name))
+    return issues
+
+
+def check_network(network: GateNetwork) -> list[LintIssue]:
+    """All gate-network rules."""
+    issues: list[LintIssue] = []
+    issues.extend(check_dangling_gates(network))
+    issues.extend(check_fanin_balance(network))
+    return issues

@@ -1,0 +1,203 @@
+"""Static pulse-timing analysis: arrival windows and race rules.
+
+The detector injects a virtual stimulus pulse at every *external* port at
+t=0 and propagates, per origin, the earliest and latest possible arrival
+along wires (JTL/PTL delays live on the edges) and internal arcs.  A node
+reached from one origin over several paths - e.g. the three pulses of an
+HC-CLK train - gets a conservative ``[min, max]`` arrival *window*.
+
+Races are only statically decidable where two pins *reconverge from the
+same origin*: their skew is then fixed by path delays, not by the test
+bench schedule.  Three rules consume the windows:
+
+* SFQ005 - both merger inputs hear one origin within the dead time,
+* SFQ008 - a clocked element's data and clock pins hear one origin with
+  windows closer than the setup/hold margin,
+* SFQ009 - a coincidence (DAND) gate whose inputs *only* hear one common
+  origin, always outside the hold window: it can never fire.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.lint.config import LintConfig
+from repro.lint.graph import CircuitGraph, PortRef
+from repro.lint.report import LintIssue
+from repro.lint.rules import make_issue
+
+
+@dataclass(frozen=True)
+class Window:
+    """Earliest/latest arrival of pulses from one origin at one pin."""
+
+    min_ps: float
+    max_ps: float
+
+    def merge(self, other: "Window") -> "Window":
+        return Window(min(self.min_ps, other.min_ps),
+                      max(self.max_ps, other.max_ps))
+
+    def shifted(self, delay_ps: float) -> "Window":
+        return Window(self.min_ps + delay_ps, self.max_ps + delay_ps)
+
+    def gap_to(self, other: "Window") -> float:
+        """Smallest separation between the two windows (<= 0 if they overlap)."""
+        return max(self.min_ps - other.max_ps, other.min_ps - self.max_ps)
+
+
+#: Per-pin arrival windows keyed by origin port.
+Arrivals = dict[PortRef, dict[PortRef, Window]]
+
+
+#: One propagation step: destination pin, delay, and whether arrival
+#: windows re-originate there (exclusive-routing outputs, see below).
+_Step = tuple[PortRef, float, bool]
+
+
+def _successors(graph: CircuitGraph) -> dict[PortRef, list[_Step]]:
+    succ: dict[PortRef, list[_Step]] = {}
+    for node in graph.nodes.values():
+        exclusive = bool(node.params.get("exclusive_routing", False))
+        for arc in node.arcs:
+            succ.setdefault(PortRef(node.name, arc.in_port), []).append(
+                (PortRef(node.name, arc.out_port), arc.delay_ps, exclusive))
+    for edge in graph.edges:
+        succ.setdefault(edge.src, []).append((edge.dst, edge.delay_ps, False))
+    return succ
+
+
+def propagate_arrivals(graph: CircuitGraph) -> Arrivals:
+    """Per-origin min/max arrival at every reachable pin.
+
+    Propagation is a relaxation over the pin graph in topological order
+    (Kahn); pins on propagation cycles - already flagged by SFQ006 - are
+    left unresolved rather than iterated to a fixpoint.
+
+    Nodes flagged ``exclusive_routing`` (the NDROC: a CLK pulse exits the
+    true *or* the complement output, never both) cut origin tracking:
+    each of their output pins becomes a fresh origin.  Two paths through
+    *different* outputs of one router are mutually exclusive in time and
+    must not be compared; two paths from the *same* output still share
+    the new origin and remain race-comparable.
+    """
+    succ = _successors(graph)
+    indegree: dict[PortRef, int] = {}
+    for ref, outs in succ.items():
+        indegree.setdefault(ref, 0)
+        for dst, _delay, _exclusive in outs:
+            indegree[dst] = indegree.get(dst, 0) + 1
+
+    arrivals: Arrivals = {}
+    for origin in graph.externals:
+        arrivals.setdefault(origin, {})[origin] = Window(0.0, 0.0)
+
+    queue = deque(ref for ref, deg in indegree.items() if deg == 0)
+    while queue:
+        ref = queue.popleft()
+        here = arrivals.get(ref, {})
+        for dst, delay, exclusive in succ.get(ref, []):
+            if here:
+                slot = arrivals.setdefault(dst, {})
+                if exclusive:
+                    slot[dst] = Window(0.0, 0.0)
+                else:
+                    for origin, window in here.items():
+                        moved = window.shifted(delay)
+                        slot[origin] = (moved if origin not in slot
+                                        else slot[origin].merge(moved))
+            indegree[dst] -= 1
+            if indegree[dst] == 0:
+                queue.append(dst)
+    return arrivals
+
+
+# ---------------------------------------------------------------------------
+# Race rules
+# ---------------------------------------------------------------------------
+
+
+def check_merger_exclusivity(graph: CircuitGraph,
+                             arrivals: Arrivals) -> list[LintIssue]:
+    """SFQ005: common-origin reconvergence inside the merger dead time."""
+    issues: list[LintIssue] = []
+    for node in graph.nodes.values():
+        if node.kind != "merger":
+            continue
+        dead = float(node.params.get("dead_time_ps", 0.0))
+        in0 = arrivals.get(PortRef(node.name, "in0"), {})
+        in1 = arrivals.get(PortRef(node.name, "in1"), {})
+        for origin in in0.keys() & in1.keys():
+            gap = in0[origin].gap_to(in1[origin])
+            if gap < dead:
+                issues.append(make_issue(
+                    "SFQ005", node.name,
+                    f"inputs reconverge from {origin} with {gap:.1f} ps "
+                    f"separation (< {dead:.1f} ps dead time); the later "
+                    f"pulse would be dissipated", design=graph.name))
+    return issues
+
+
+def check_clock_data_races(graph: CircuitGraph, arrivals: Arrivals,
+                           config: LintConfig) -> list[LintIssue]:
+    """SFQ008: data and clock pins of a clocked element race."""
+    issues: list[LintIssue] = []
+    for node in graph.nodes.values():
+        if not node.clock_ports or not node.data_ports:
+            continue
+        margin = max(config.race_margin_ps,
+                     float(node.params.get("min_spacing_ps", 0.0)))
+        for data_port in sorted(node.data_ports):
+            data = arrivals.get(PortRef(node.name, data_port), {})
+            if not data:
+                continue
+            for clock_port in sorted(node.clock_ports):
+                clock = arrivals.get(PortRef(node.name, clock_port), {})
+                for origin in data.keys() & clock.keys():
+                    gap = data[origin].gap_to(clock[origin])
+                    if gap < margin:
+                        issues.append(make_issue(
+                            "SFQ008", node.name,
+                            f"{data_port} and {clock_port} reconverge from "
+                            f"{origin} only {gap:.1f} ps apart "
+                            f"(< {margin:.1f} ps setup/hold margin)",
+                            design=graph.name))
+    return issues
+
+
+def check_coincidence(graph: CircuitGraph, arrivals: Arrivals) -> list[LintIssue]:
+    """SFQ009: a DAND whose inputs can never coincide."""
+    issues: list[LintIssue] = []
+    for node in graph.nodes.values():
+        if node.kind != "dand":
+            continue
+        hold = float(node.params.get("hold_window_ps", 0.0))
+        origins_a = arrivals.get(PortRef(node.name, "a"), {})
+        origins_b = arrivals.get(PortRef(node.name, "b"), {})
+        if not origins_a or not origins_b:
+            continue
+        if set(origins_a) != set(origins_b):
+            # Independently driven pins: coincidence is a scheduling
+            # question the static analysis cannot decide.
+            continue
+        worst = min(origins_a[o].gap_to(origins_b[o]) for o in origins_a)
+        if worst > hold:
+            issues.append(make_issue(
+                "SFQ009", node.name,
+                f"inputs share origin(s) with a fixed skew of at least "
+                f"{worst:.1f} ps (> {hold:.1f} ps hold window); the gate "
+                f"can never fire", design=graph.name))
+    return issues
+
+
+def run_timing_passes(graph: CircuitGraph,
+                      config: LintConfig | None = None) -> list[LintIssue]:
+    """All timing rules over one graph."""
+    cfg = config or LintConfig()
+    arrivals = propagate_arrivals(graph)
+    issues: list[LintIssue] = []
+    issues.extend(check_merger_exclusivity(graph, arrivals))
+    issues.extend(check_clock_data_races(graph, arrivals, cfg))
+    issues.extend(check_coincidence(graph, arrivals))
+    return issues

@@ -125,6 +125,14 @@ class Engine:
         except KeyError:
             raise NetlistError(f"no component named {name!r}") from None
 
+    def components(self) -> List[Component]:
+        """All registered components, in registration order.
+
+        Static analysis (``repro.lint``) walks this to lower the netlist
+        into its circuit-graph IR.
+        """
+        return list(self._components.values())
+
     @property
     def num_components(self) -> int:
         return len(self._components)

@@ -82,6 +82,10 @@ class HCClk:
                        delay_ps: float = 0.0) -> None:
         self._m2.connect("out", sink, sink_port, delay_ps)
 
+    def external_inputs(self) -> List[Node]:
+        """Stimulus entry pins for static analysis (``repro.lint``)."""
+        return [self.inp]
+
 
 class HCWrite:
     """Serialise a 2-bit datum into a 0-3 pulse train (Figure 10a).
@@ -124,6 +128,10 @@ class HCWrite:
                        delay_ps: float = 0.0) -> None:
         self._m2.connect("out", sink, sink_port, delay_ps)
 
+    def external_inputs(self) -> List[Node]:
+        """Stimulus entry pins for static analysis (``repro.lint``)."""
+        return [self.b0, self.b1]
+
 
 class HCRead:
     """Deserialise a 0-3 pulse train into 2 parallel bits (Figure 10c/d).
@@ -148,6 +156,10 @@ class HCRead:
     def connect_b1(self, sink: Component, sink_port: str,
                    delay_ps: float = 0.0) -> None:
         self.counter.connect("b1", sink, sink_port, delay_ps)
+
+    def external_inputs(self) -> List[Node]:
+        """Stimulus entry pins for static analysis (``repro.lint``)."""
+        return [self.inp, self.read, self.reset]
 
     @property
     def value(self) -> int:

@@ -66,10 +66,19 @@ class Merger(Component):
 
     When two pulses arrive within the dead time, only the earlier one
     propagates; the later pulse is dissipated through the escape junction.
+
+    Exactly simultaneous arrivals (within :attr:`SIMULTANEITY_EPS_PS`) are
+    resolved *deterministically* - ``in0`` takes priority regardless of
+    event-queue insertion order - and counted in
+    :attr:`simultaneous_arrivals`, so the static exclusivity rule
+    (``repro.lint`` SFQ005) and the simulated behaviour agree.
     """
 
     INPUTS = ("in0", "in1")
     OUTPUTS = ("out",)
+
+    #: Two pulses closer than this are treated as simultaneous.
+    SIMULTANEITY_EPS_PS = 1e-9
 
     def __init__(self, name: str, delay_ps: float = params.DELAY_PS["merger"],
                  dead_time_ps: float = 5.0) -> None:
@@ -78,17 +87,33 @@ class Merger(Component):
         self.dead_time_ps = dead_time_ps
         self._last_pulse_ps = -float("inf")
         self.dissipated = 0
+        self.simultaneous_arrivals = 0
+        #: Input pin of the pulse that won the most recent arbitration.
+        self.winner_port: str = ""
 
     def on_pulse(self, port: str, time_ps: float) -> None:
-        if time_ps - self._last_pulse_ps < self.dead_time_ps:
+        delta = time_ps - self._last_pulse_ps
+        if delta <= self.SIMULTANEITY_EPS_PS:
+            # A tie against the previously accepted pulse: the physical
+            # circuit has no defined order, so pick one deterministically
+            # (in0 beats in1) instead of trusting heap insertion order.
+            self.simultaneous_arrivals += 1
+            self.dissipated += 1
+            if port == "in0":
+                self.winner_port = port
+            return
+        if delta < self.dead_time_ps:
             self.dissipated += 1
             return
         self._last_pulse_ps = time_ps
+        self.winner_port = port
         self.emit("out", time_ps + self.delay_ps)
 
     def reset_state(self) -> None:
         self._last_pulse_ps = -float("inf")
         self.dissipated = 0
+        self.simultaneous_arrivals = 0
+        self.winner_port = ""
 
 
 class DAND(Component):

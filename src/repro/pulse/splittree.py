@@ -32,6 +32,8 @@ class SplitTree:
         self.name = name
         self.num_outputs = n
         self.splitter_count = 0
+        #: Maximum number of splitters on any input-to-output path.
+        self.depth = 0
         if n == 1:
             passthrough = engine.add(JTL(f"{name}.pass", delay_ps=0.0))
             self.inp: Node = (passthrough, "in")
@@ -40,23 +42,29 @@ class SplitTree:
         root = engine.add(Splitter(f"{name}.s0"))
         self.splitter_count = 1
         self.inp = (root, "in")
-        frontier: List[Node] = [(root, "out0"), (root, "out1")]
+        frontier: List[Tuple[Component, str, int]] = [
+            (root, "out0", 1), (root, "out1", 1)]
         index = 1
         while len(frontier) < n:
-            comp, port = frontier.pop(0)
+            comp, port, level = frontier.pop(0)
             splitter = engine.add(Splitter(f"{name}.s{index}"))
             index += 1
             self.splitter_count += 1
             comp.connect(port, splitter, "in")
-            frontier.append((splitter, "out0"))
-            frontier.append((splitter, "out1"))
-        self.outputs = frontier[:n]
+            frontier.append((splitter, "out0", level + 1))
+            frontier.append((splitter, "out1", level + 1))
+        self.outputs = [(comp, port) for comp, port, _level in frontier[:n]]
+        self.depth = max(level for _comp, _port, level in frontier[:n])
         # Any surplus frontier endpoints stay unconnected (dissipated).
 
     def connect_output(self, i: int, sink: Component, sink_port: str,
                        delay_ps: float = 0.0) -> None:
         comp, port = self.outputs[i]
         comp.connect(port, sink, sink_port, delay_ps)
+
+    def external_inputs(self) -> List[Node]:
+        """Stimulus entry pins when the tree root is driven externally."""
+        return [self.inp]
 
 
 class MergeTree:
@@ -73,6 +81,8 @@ class MergeTree:
         self.name = name
         self.num_inputs = n
         self.merger_count = 0
+        #: Maximum number of mergers on any input-to-output path.
+        self.depth = 0
         if n == 1:
             passthrough = engine.add(JTL(f"{name}.pass", delay_ps=0.0))
             self.inputs: List[Node] = [(passthrough, "in")]
@@ -83,15 +93,15 @@ class MergeTree:
         index = 0
         leaves: List[Node] = []
 
-        def build(count: int) -> Node:
+        def build(count: int) -> Tuple[Node, int]:
             nonlocal index
             if count == 1:
                 passthrough = engine.add(JTL(f"{self.name}.leaf{len(leaves)}",
                                              delay_ps=0.0))
                 leaves.append((passthrough, "in"))
-                return (passthrough, "out")
-            left = build((count + 1) // 2)
-            right = build(count // 2)
+                return (passthrough, "out"), 0
+            left, left_depth = build((count + 1) // 2)
+            right, right_depth = build(count // 2)
             merger = engine.add(Merger(f"{self.name}.m{index}",
                                        dead_time_ps=dead_time_ps))
             index += 1
@@ -100,12 +110,16 @@ class MergeTree:
             rcomp, rport = right
             lcomp.connect(lport, merger, "in0")
             rcomp.connect(rport, merger, "in1")
-            return (merger, "out")
+            return (merger, "out"), max(left_depth, right_depth) + 1
 
-        self.out = build(n)
+        self.out, self.depth = build(n)
         self.inputs = leaves
 
     def connect_input(self, i: int, source: Component, source_port: str,
                       delay_ps: float = 0.0) -> None:
         comp, port = self.inputs[i]
         source.connect(source_port, comp, port, delay_ps)
+
+    def external_inputs(self) -> List[Node]:
+        """Stimulus entry pins when the leaves are driven externally."""
+        return list(self.inputs)

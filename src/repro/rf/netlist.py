@@ -114,6 +114,15 @@ class PulseNdroRF:
         self._data_fan_delay = log2_int(n) * _SPL
         self._demux_delay = self.read_demux.depth * _NDROC
 
+    def external_inputs(self) -> List[tuple]:
+        """Stimulus entry pins for static analysis (``repro.lint``)."""
+        pins: List[tuple] = []
+        pins.extend(self.read_demux.external_inputs())
+        pins.extend(self.reset_demux.external_inputs())
+        pins.extend(self.write_demux.external_inputs())
+        pins.extend(tree.inp for tree in self.data_trees)
+        return pins
+
     # -- operations ----------------------------------------------------
 
     def schedule_read(self, address: int, t: float) -> float:
@@ -280,6 +289,18 @@ class PulseHiPerRF:
         self._reg_fan = log2_int(n) * _SPL
         self._merge = log2_int(n) * _MRG
         self._demux_delay = self.read_demux.depth * _NDROC
+
+    def external_inputs(self) -> List[tuple]:
+        """Stimulus entry pins for static analysis (``repro.lint``)."""
+        pins: List[tuple] = []
+        pins.extend(self.read_demux.external_inputs())
+        pins.extend(self.write_demux.external_inputs())
+        for hcw in self.hc_writes:
+            pins.extend(hcw.external_inputs())
+        pins.extend(tree.inp for tree in (
+            self.lb_set_tree, self.lb_reset_tree,
+            self.hcr_read_tree, self.hcr_reset_tree))
+        return pins
 
     # -- internal timing helpers ------------------------------------------
 

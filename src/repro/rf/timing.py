@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cells import params
-from repro.errors import TimingViolationError
+from repro.errors import ConfigError, TimingViolationError
 
 
 class Signal(enum.Enum):
@@ -67,6 +67,16 @@ class Instr:
     def __post_init__(self) -> None:
         if len(self.srcs) > 2:
             raise ValueError(f"at most two source registers, got {self.srcs}")
+        if self.dest is not None and self.dest < 0:
+            raise ConfigError(f"negative destination register {self.dest}")
+        for src in self.srcs:
+            if src < 0:
+                raise ConfigError(f"negative source register {src}")
+
+    def registers(self) -> Tuple[int, ...]:
+        """Every register this instruction touches (dest first)."""
+        regs = () if self.dest is None else (self.dest,)
+        return regs + self.srcs
 
 
 @dataclass
@@ -160,6 +170,28 @@ class PortSchedule:
         return "\n".join(lines)
 
 
+def _check_register_range(instrs: Sequence[Instr],
+                          num_registers: Optional[int],
+                          design: str) -> None:
+    """Reject instructions addressing registers the file does not have.
+
+    The NDROC-tree DEMUX silently misroutes an out-of-range address (the
+    enable pulse exits a wrong leaf), so the scheduler refuses to encode
+    one rather than generate a schedule that corrupts another register.
+    """
+    if num_registers is None:
+        return
+    if num_registers < 1:
+        raise ConfigError(f"{design}: num_registers must be >= 1, "
+                          f"got {num_registers}")
+    for i, instr in enumerate(instrs):
+        for reg in instr.registers():
+            if reg >= num_registers:
+                raise ConfigError(
+                    f"{design}: instruction {i} addresses r{reg} but the "
+                    f"register file has only {num_registers} registers")
+
+
 def _dedup_sources(srcs: Sequence[int]) -> List[int]:
     """Collapse Read-After-Read duplicates (R2 = R3 + R3 reads R3 once).
 
@@ -174,7 +206,8 @@ def _dedup_sources(srcs: Sequence[int]) -> List[int]:
     return unique
 
 
-def schedule_ndro(instrs: Sequence[Instr]) -> PortSchedule:
+def schedule_ndro(instrs: Sequence[Instr],
+                  num_registers: Optional[int] = None) -> PortSchedule:
     """Baseline NDRO RF schedule (Figure 8).
 
     Per instruction: RESET(dest) at cycle start, WEN(dest) 10 ps later,
@@ -182,7 +215,11 @@ def schedule_ndro(instrs: Sequence[Instr]) -> PortSchedule:
     cycle.  Because the single read port serves at most one read per
     cycle, two-source instructions issue every 2 cycles, single/zero
     source instructions every cycle.
+
+    ``num_registers``, when given, bounds the addressable register
+    indices; out-of-range instructions raise :class:`ConfigError`.
     """
+    _check_register_range(instrs, num_registers, "ndro_rf")
     schedule = PortSchedule("ndro_rf", params.RF_CYCLE_PS)
     cycle = 0
     for instr in instrs:
@@ -201,7 +238,8 @@ def schedule_ndro(instrs: Sequence[Instr]) -> PortSchedule:
     return schedule
 
 
-def schedule_hiperrf(instrs: Sequence[Instr]) -> PortSchedule:
+def schedule_hiperrf(instrs: Sequence[Instr],
+                     num_registers: Optional[int] = None) -> PortSchedule:
     """HiPerRF schedule (Figure 11): a fixed 3-cycle issue pattern.
 
     cycle 0: REN(dest) - destructive reset-read through the LoopBuffer
@@ -210,7 +248,11 @@ def schedule_hiperrf(instrs: Sequence[Instr]) -> PortSchedule:
 
     The write port in cycle ``i+3`` is free again: loopback writes use the
     cycles the static pattern reserves, eliminating dynamic contention.
+
+    ``num_registers``, when given, bounds the addressable register
+    indices; out-of-range instructions raise :class:`ConfigError`.
     """
+    _check_register_range(instrs, num_registers, "hiperrf")
     schedule = PortSchedule("hiperrf", params.RF_CYCLE_PS)
     cycle = 0
     for instr in instrs:
@@ -231,7 +273,8 @@ def schedule_hiperrf(instrs: Sequence[Instr]) -> PortSchedule:
     return schedule
 
 
-def schedule_dual_bank(instrs: Sequence[Instr]) -> PortSchedule:
+def schedule_dual_bank(instrs: Sequence[Instr],
+                       num_registers: Optional[int] = None) -> PortSchedule:
     """Dual-banked HiPerRF schedule (Figure 12).
 
     Registers are parity-split: odd registers in bank 0, even in bank 1
@@ -240,7 +283,11 @@ def schedule_dual_bank(instrs: Sequence[Instr]) -> PortSchedule:
     An instruction whose sources sit in different banks reads both in one
     cycle (2-cycle issue); same-bank sources serialise on one bank port
     (4-cycle issue).
+
+    ``num_registers``, when given, bounds the addressable register
+    indices; out-of-range instructions raise :class:`ConfigError`.
     """
+    _check_register_range(instrs, num_registers, "dual_bank_hiperrf")
     schedule = PortSchedule("dual_bank_hiperrf", params.RF_CYCLE_PS)
     cycle = 0
     for instr in instrs:

@@ -1,0 +1,202 @@
+"""Deliberately broken netlists must trip the right rules.
+
+Each fixture violates exactly one invariant; together they cover the
+graph-level rule IDs SFQ001-SFQ009.  Where the pulse engine itself
+refuses to build the illegal topology (fan-out, double-driving), the
+fixture constructs the IR graph directly - expressing violations is what
+the IR is for.
+"""
+
+from repro.lint import (
+    Arc,
+    CircuitGraph,
+    GraphNode,
+    LintConfig,
+    NodeClass,
+    PortRef,
+    graph_from_engine,
+    run_structural_passes,
+    run_timing_passes,
+)
+from repro.pulse import DAND, DRO, JTL, Engine, Merger, Splitter
+
+
+def _jtl_node(name):
+    return GraphNode(name, "jtl", NodeClass.INTERCONNECT,
+                     ("in",), ("out",), arcs=(Arc("in", "out", 2.0),))
+
+
+def _rule_ids(issues):
+    return {issue.rule_id for issue in issues}
+
+
+def test_sfq001_unsplit_fanout():
+    graph = CircuitGraph("fanout")
+    graph.add_node(_jtl_node("a"))
+    graph.add_node(_jtl_node("b"))
+    graph.add_node(_jtl_node("c"))
+    graph.add_edge(PortRef("a", "out"), PortRef("b", "in"))
+    graph.add_edge(PortRef("a", "out"), PortRef("c", "in"))
+    graph.mark_external(PortRef("a", "in"))
+    assert "SFQ001" in _rule_ids(run_structural_passes(graph))
+
+
+def test_sfq002_multiply_driven_input():
+    graph = CircuitGraph("shared")
+    graph.add_node(_jtl_node("a"))
+    graph.add_node(_jtl_node("b"))
+    graph.add_node(_jtl_node("c"))
+    graph.add_edge(PortRef("a", "out"), PortRef("c", "in"))
+    graph.add_edge(PortRef("b", "out"), PortRef("c", "in"))
+    graph.mark_external(PortRef("a", "in"))
+    graph.mark_external(PortRef("b", "in"))
+    assert "SFQ002" in _rule_ids(run_structural_passes(graph))
+
+
+def test_sfq003_dangling_logic_input_is_error():
+    engine = Engine()
+    feed = engine.add(JTL("feed", delay_ps=0.0))
+    gate = engine.add(DAND("gate"))
+    feed.connect("out", gate, "a")
+    # gate.b is neither wired nor external: the DAND can never fire.
+    graph = graph_from_engine(engine, "halfdand", [(feed, "in")])
+    issues = run_structural_passes(graph)
+    found = [i for i in issues if i.rule_id == "SFQ003"]
+    assert found and all(str(i.severity) == "error" for i in found)
+
+
+def test_sfq004_unclocked_storage():
+    engine = Engine()
+    feed = engine.add(JTL("feed", delay_ps=0.0))
+    cell = engine.add(DRO("cell"))
+    feed.connect("out", cell, "d")
+    graph = graph_from_engine(engine, "noclk", [(feed, "in")])
+    issues = run_structural_passes(graph)
+    assert any(i.rule_id == "SFQ004" and "cell.clk" in i.obj for i in issues)
+
+
+def test_sfq005_merger_reconvergence_inside_dead_time():
+    engine = Engine()
+    spl = engine.add(Splitter("spl"))
+    slow = engine.add(JTL("slow", delay_ps=2.0))
+    mrg = engine.add(Merger("mrg", dead_time_ps=5.0))
+    spl.connect("out0", mrg, "in0")
+    spl.connect("out1", slow, "in")
+    slow.connect("out", mrg, "in1")
+    graph = graph_from_engine(engine, "race", [(spl, "in")])
+    issues = run_timing_passes(graph)
+    assert any(i.rule_id == "SFQ005" and i.obj == "mrg" for i in issues)
+
+
+def test_sfq005_clean_when_skew_exceeds_dead_time():
+    engine = Engine()
+    spl = engine.add(Splitter("spl"))
+    slow = engine.add(JTL("slow", delay_ps=30.0))
+    mrg = engine.add(Merger("mrg", dead_time_ps=5.0))
+    spl.connect("out0", mrg, "in0")
+    spl.connect("out1", slow, "in")
+    slow.connect("out", mrg, "in1")
+    graph = graph_from_engine(engine, "ok", [(spl, "in")])
+    assert not run_timing_passes(graph)
+
+
+def test_sfq006_interconnect_ring():
+    engine = Engine()
+    ring = [engine.add(JTL(f"j{i}", delay_ps=3.0)) for i in range(3)]
+    ring[0].connect("out", ring[1], "in")
+    ring[1].connect("out", ring[2], "in")
+    ring[2].connect("out", ring[0], "in")
+    graph = graph_from_engine(engine, "ring")
+    issues = run_structural_passes(graph)
+    ring_issues = [i for i in issues if i.rule_id == "SFQ006"]
+    assert len(ring_issues) == 1
+    assert "cycle" in ring_issues[0].message
+
+
+def test_sfq006_not_triggered_by_storage_loop():
+    # Feedback through a DRO data pin is the HiPerRF loopback idiom; the
+    # stored fluxon waits for a strobe, so the loop cannot oscillate.
+    engine = Engine()
+    cell = engine.add(DRO("cell"))
+    back = engine.add(JTL("back", delay_ps=3.0))
+    cell.connect("q", back, "in")
+    back.connect("out", cell, "d")
+    graph = graph_from_engine(engine, "loopback", [(cell, "clk")])
+    assert not any(i.rule_id == "SFQ006"
+                   for i in run_structural_passes(graph))
+
+
+def test_sfq008_clock_data_race():
+    engine = Engine()
+    spl = engine.add(Splitter("spl"))
+    skew = engine.add(JTL("skew", delay_ps=1.0))
+    cell = engine.add(DRO("cell"))
+    spl.connect("out0", cell, "d")
+    spl.connect("out1", skew, "in")
+    skew.connect("out", cell, "clk")
+    graph = graph_from_engine(engine, "drace", [(spl, "in")])
+    issues = run_timing_passes(graph, LintConfig(race_margin_ps=5.0))
+    assert any(i.rule_id == "SFQ008" and i.obj == "cell" for i in issues)
+
+
+def test_sfq009_coincidence_unsatisfiable():
+    engine = Engine()
+    spl = engine.add(Splitter("spl"))
+    late = engine.add(JTL("late", delay_ps=50.0))
+    gate = engine.add(DAND("gate"))  # 10 ps hold window
+    spl.connect("out0", gate, "a")
+    spl.connect("out1", late, "in")
+    late.connect("out", gate, "b")
+    graph = graph_from_engine(engine, "nevereq", [(spl, "in")])
+    issues = run_timing_passes(graph)
+    assert any(i.rule_id == "SFQ009" and i.obj == "gate" for i in issues)
+
+
+def test_sfq009_skipped_for_independent_inputs():
+    # b has its own external driver: coincidence becomes a scheduling
+    # question the static analysis must not prejudge.
+    engine = Engine()
+    feed_a = engine.add(JTL("fa", delay_ps=0.0))
+    feed_b = engine.add(JTL("fb", delay_ps=50.0))
+    gate = engine.add(DAND("gate"))
+    feed_a.connect("out", gate, "a")
+    feed_b.connect("out", gate, "b")
+    graph = graph_from_engine(engine, "sched",
+                              [(feed_a, "in"), (feed_b, "in")])
+    assert not any(i.rule_id == "SFQ009"
+                   for i in run_timing_passes(graph))
+
+
+def test_fixture_suite_covers_at_least_five_rules():
+    """The acceptance bar: broken fixtures trip >= 5 distinct rule IDs."""
+    tripped = set()
+
+    graph = CircuitGraph("fan")
+    graph.add_node(_jtl_node("a"))
+    graph.add_node(_jtl_node("b"))
+    graph.add_node(_jtl_node("c"))
+    graph.add_edge(PortRef("a", "out"), PortRef("b", "in"))
+    graph.add_edge(PortRef("a", "out"), PortRef("c", "in"))
+    graph.add_edge(PortRef("b", "out"), PortRef("c", "in"))
+    graph.mark_external(PortRef("a", "in"))
+    tripped |= _rule_ids(run_structural_passes(graph))
+
+    engine = Engine()
+    spl = engine.add(Splitter("spl"))
+    near = engine.add(JTL("near", delay_ps=1.0))
+    mrg = engine.add(Merger("mrg", dead_time_ps=5.0))
+    cell = engine.add(DRO("cell"))
+    gate = engine.add(DAND("gate"))
+    far = engine.add(JTL("far", delay_ps=80.0))
+    spl.connect("out0", mrg, "in0")
+    spl.connect("out1", near, "in")
+    near.connect("out", mrg, "in1")
+    mrg.connect("out", cell, "d")
+    cell.connect("q", gate, "a")
+    far.connect("out", gate, "b")
+    # cell.clk and far.in left unwired and undeclared on purpose.
+    broken = graph_from_engine(engine, "kitchen", [(spl, "in")])
+    tripped |= _rule_ids(run_structural_passes(broken))
+    tripped |= _rule_ids(run_timing_passes(broken))
+
+    assert len(tripped) >= 5, sorted(tripped)

@@ -1,0 +1,90 @@
+"""Deck (SFQ010-SFQ012) and gate-network (SFQ013-SFQ014) rules."""
+
+from repro.josim.circuit import Circuit
+from repro.lint import check_deck, check_network
+from repro.synth.netlist import GateNetwork
+
+
+def _ids(issues):
+    return {issue.rule_id for issue in issues}
+
+
+def _biased_jtl_deck():
+    ckt = Circuit()
+    ckt.jj("J1", "n1", "gnd", critical_current_ua=115.0)
+    ckt.inductor("L1", "n1", "n2", inductance_ph=2.0)
+    ckt.jj("J2", "n2", "gnd", critical_current_ua=115.0)
+    ckt.bias("IB1", "n1")
+    ckt.bias("IB2", "n2")
+    return ckt
+
+
+def test_clean_deck_has_no_findings():
+    assert check_deck(_biased_jtl_deck(), "jtl") == []
+
+
+def test_sfq010_floating_node():
+    ckt = _biased_jtl_deck()
+    ckt.inductor("L9", "n2", "nowhere", inductance_ph=2.0)
+    issues = check_deck(ckt, "jtl")
+    assert "SFQ010" in _ids(issues)
+    assert any(i.obj == "nowhere" for i in issues)
+
+
+def test_sfq011_shorted_element():
+    ckt = _biased_jtl_deck()
+    # The element constructor rejects pos == neg, so emulate a deck that
+    # decayed after construction (e.g. node merging gone wrong).
+    ckt.elements[1].neg = ckt.elements[1].pos
+    issues = check_deck(ckt, "jtl")
+    assert any(i.rule_id == "SFQ011" and i.obj == "L1" for i in issues)
+
+
+def test_sfq012_unbiased_junctions():
+    ckt = Circuit()
+    ckt.jj("J1", "n1", "gnd", critical_current_ua=115.0)
+    ckt.inductor("L1", "n1", "gnd", inductance_ph=2.0)
+    issues = check_deck(ckt, "cold")
+    assert "SFQ012" in _ids(issues)
+
+
+def _tiny_network():
+    net = GateNetwork("tiny")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    g = net.add_and(a, b, "g")
+    net.add_output(g, "y")
+    return net
+
+
+def test_clean_network_has_no_findings():
+    assert check_network(_tiny_network()) == []
+
+
+def test_sfq013_dangling_gate():
+    net = _tiny_network()
+    net.add_xor(net.primary_inputs[0], net.primary_inputs[1], "dead")
+    issues = check_network(net)
+    assert any(i.rule_id == "SFQ013" and "dead" in i.obj for i in issues)
+
+
+def test_sfq014_unbalanced_fanin():
+    net = GateNetwork("skewed")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    deep = net.add_and(a, b, "deep")          # level 1
+    top = net.add_or(deep, a, "top")          # inputs at levels 1 and 0
+    net.add_output(top, "y")
+    issues = check_network(net)
+    assert any(i.rule_id == "SFQ014" and "top" in i.obj for i in issues)
+
+
+def test_balanced_network_after_buffering_is_clean():
+    net = GateNetwork("balanced")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    deep = net.add_and(a, b, "deep")
+    pad = net.add_buf(a, "pad")               # DRO balancing buffer
+    top = net.add_or(deep, pad, "top")
+    net.add_output(top, "y")
+    assert check_network(net) == []

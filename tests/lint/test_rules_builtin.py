@@ -1,0 +1,93 @@
+"""Tier-1 gate: every built-in design must lint clean.
+
+This is the same invocation CI runs (``python -m repro.lint``); if a
+netlist builder change introduces a structural or timing violation,
+these tests fail before any simulation-level test notices.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    BUILTIN_DESIGNS,
+    RULES,
+    LintReport,
+    Severity,
+    lint_all,
+    lint_design,
+    make_issue,
+)
+from repro.lint.cli import main
+from repro.lint.rules import catalog_text
+
+
+@pytest.mark.parametrize("name", BUILTIN_DESIGNS)
+def test_builtin_design_lints_clean(name):
+    report = lint_design(name)
+    assert report.errors == [], report.render(verbose=True)
+    assert report.warnings == [], report.render(verbose=True)
+    assert report.analysed, "driver must record what it analysed"
+
+
+def test_lint_all_merges_every_design():
+    report = lint_all()
+    assert report.errors == []
+    joined = " ".join(report.analysed)
+    for name in BUILTIN_DESIGNS:
+        assert name in joined
+
+
+def test_cli_default_invocation_passes():
+    assert main([]) == 0
+
+
+def test_cli_json_output_parses(capsys):
+    assert main(["--design", "ndro_rf", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["errors"] == 0
+    assert payload["issues"] == []
+    assert any("ndro_rf" in entry for entry in payload["analysed"])
+
+
+def test_cli_list_rules_covers_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+def test_catalog_ids_are_contiguous_and_stable():
+    ids = sorted(RULES)
+    assert ids[0] == "SFQ001"
+    numbers = [int(rule_id[3:]) for rule_id in ids]
+    assert numbers == list(range(1, len(ids) + 1))
+    assert len(ids) >= 16
+
+
+def test_catalog_text_lists_every_rule():
+    text = catalog_text()
+    assert len(text.splitlines()) == len(RULES)
+
+
+def test_severity_ordering_gates_reports():
+    assert Severity.ERROR > Severity.WARNING > Severity.INFO
+    assert Severity.parse("Error") is Severity.ERROR
+    with pytest.raises(ValueError):
+        Severity.parse("fatal")
+    report = LintReport()
+    assert report.worst_severity() is None
+    report.add(make_issue("SFQ003", "x.in", "dangling"))
+    assert report.worst_severity() is Severity.WARNING
+    report.add(make_issue("SFQ001", "x.out", "fanout"))
+    assert report.worst_severity() is Severity.ERROR
+
+
+def test_render_mentions_rule_and_location():
+    report = LintReport()
+    report.add(make_issue("SFQ001", "rf.spl.out0", "drives 2 wires",
+                          design="demo"))
+    text = report.render()
+    assert "SFQ001" in text
+    assert "demo::rf.spl.out0" in text
+    assert "1 error(s)" in text

@@ -1,0 +1,50 @@
+"""Inline ``# lint: disable=`` directive parsing and report filtering."""
+
+from repro.lint import LintReport, Suppression, make_issue, parse_suppressions
+from repro.lint.suppress import suppressions_from_file
+
+
+def test_parse_single_directive():
+    found = parse_suppressions("x = 1  # lint: disable=SFQ005\n")
+    assert found == [Suppression("SFQ005", None)]
+
+
+def test_parse_multiple_entries_and_globs():
+    text = "# lint: disable=SFQ003[hp.lb*],SFQ005, SFQ007\n"
+    found = parse_suppressions(text)
+    assert Suppression("SFQ003", "hp.lb*") in found
+    assert Suppression("SFQ005", None) in found
+    assert Suppression("SFQ007", None) in found
+
+
+def test_parse_ignores_malformed_entries():
+    assert parse_suppressions("# lint: disable=banana\n") == []
+    assert parse_suppressions("# nothing here\n") == []
+
+
+def test_glob_scopes_the_suppression():
+    scoped = Suppression("SFQ003", "hp.lb*")
+    assert scoped.matches(make_issue("SFQ003", "hp.lb3", "m"))
+    assert not scoped.matches(make_issue("SFQ003", "hp.out0", "m"))
+    assert not scoped.matches(make_issue("SFQ005", "hp.lb3", "m"))
+
+
+def test_apply_suppressions_keeps_audit_trail():
+    report = LintReport()
+    report.add(make_issue("SFQ005", "hp.wmrg0", "expected reconvergence"))
+    report.add(make_issue("SFQ001", "hp.spl.out0", "real bug"))
+    report.apply_suppressions([Suppression("SFQ005", None)])
+    assert [i.rule_id for i in report.issues] == ["SFQ001"]
+    assert [i.rule_id for i in report.suppressed] == ["SFQ005"]
+    # The rendered summary still accounts for the suppressed finding.
+    assert "1 suppressed" in report.render()
+
+
+def test_suppressions_from_file(tmp_path):
+    module = tmp_path / "builder.py"
+    module.write_text(
+        "# a builder module\n"
+        "merger = None  # lint: disable=SFQ005[demo.*]\n",
+        encoding="utf-8")
+    found = suppressions_from_file(module)
+    assert found == [Suppression("SFQ005", "demo.*")]

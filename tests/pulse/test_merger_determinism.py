@@ -1,0 +1,70 @@
+"""Merger arbitration of exactly simultaneous pulses must be deterministic.
+
+The physical confluence buffer has no defined winner for two pulses in
+the same instant; the model must not let event-queue insertion order
+decide instead.  Policy: exactly one output pulse, ``in0`` wins the
+attribution, and the tie is counted so test benches can detect it.
+"""
+
+from repro.pulse import Engine, Merger, Sink
+
+
+def _run_tie(first_port, second_port):
+    engine = Engine()
+    merger = engine.add(Merger("m", dead_time_ps=5.0))
+    sink = engine.add(Sink("s"))
+    merger.connect("out", sink, "in")
+    engine.inject(merger, first_port, 100.0)
+    engine.inject(merger, second_port, 100.0)
+    engine.run()
+    return merger, sink
+
+
+def test_simultaneous_pulses_emit_exactly_once():
+    merger, sink = _run_tie("in0", "in1")
+    assert sink.count == 1
+    assert merger.dissipated == 1
+    assert merger.simultaneous_arrivals == 1
+
+
+def test_in0_wins_regardless_of_delivery_order():
+    for order in (("in0", "in1"), ("in1", "in0")):
+        merger, sink = _run_tie(*order)
+        assert merger.winner_port == "in0", order
+        assert sink.count == 1
+        assert merger.simultaneous_arrivals == 1
+
+
+def test_distinct_pulses_inside_dead_time_keep_first_winner():
+    engine = Engine()
+    merger = engine.add(Merger("m", dead_time_ps=5.0))
+    sink = engine.add(Sink("s"))
+    merger.connect("out", sink, "in")
+    engine.inject(merger, "in1", 100.0)
+    engine.inject(merger, "in0", 102.0)  # inside dead time, not a tie
+    engine.run()
+    assert sink.count == 1
+    assert merger.winner_port == "in1"
+    assert merger.dissipated == 1
+    assert merger.simultaneous_arrivals == 0
+
+
+def test_well_separated_pulses_both_pass():
+    engine = Engine()
+    merger = engine.add(Merger("m", dead_time_ps=5.0))
+    sink = engine.add(Sink("s"))
+    merger.connect("out", sink, "in")
+    engine.inject(merger, "in1", 100.0)
+    engine.inject(merger, "in0", 120.0)
+    engine.run()
+    assert sink.count == 2
+    assert merger.winner_port == "in0"
+    assert merger.dissipated == 0
+
+
+def test_reset_state_clears_arbitration_bookkeeping():
+    merger, _sink = _run_tie("in0", "in1")
+    merger.reset_state()
+    assert merger.winner_port == ""
+    assert merger.simultaneous_arrivals == 0
+    assert merger.dissipated == 0

@@ -1,0 +1,95 @@
+"""Splitter/merger tree scaling: depth, element count, census, lint.
+
+The paper's port structures are nothing but these trees at various
+fan-outs, so the builders must stay correct from the degenerate n=1 case
+through non-power-of-two widths up to the 64-leaf trees a 32x32 register
+file needs.
+"""
+
+import math
+
+import pytest
+
+from repro.cells import get_cell
+from repro.lint import graph_from_engine, run_structural_passes, run_timing_passes
+from repro.pulse import Engine, MergeTree, Sink, SplitTree
+from repro.pulse.splittree import NetlistError
+
+FANOUTS = (1, 2, 5, 64)
+
+
+def _expected_depth(n):
+    return math.ceil(math.log2(n)) if n > 1 else 0
+
+
+@pytest.mark.parametrize("n", FANOUTS)
+def test_split_tree_shape(n):
+    engine = Engine()
+    tree = SplitTree(engine, "t", n)
+    assert tree.num_outputs == n
+    assert len(tree.outputs) == n
+    assert tree.splitter_count == (n - 1 if n > 1 else 0)
+    assert tree.depth == _expected_depth(n)
+
+
+@pytest.mark.parametrize("n", FANOUTS)
+def test_split_tree_delivers_one_pulse_per_leaf(n):
+    engine = Engine()
+    tree = SplitTree(engine, "t", n)
+    sinks = [engine.add(Sink(f"s{i}")) for i in range(n)]
+    for i, sink in enumerate(sinks):
+        tree.connect_output(i, sink, "in")
+    comp, port = tree.inp
+    engine.inject(comp, port, 0.0)
+    engine.run()
+    assert all(sink.count == 1 for sink in sinks)
+
+
+@pytest.mark.parametrize("n", FANOUTS)
+def test_merge_tree_shape(n):
+    engine = Engine()
+    tree = MergeTree(engine, "m", n)
+    assert tree.num_inputs == n
+    assert len(tree.inputs) == n
+    assert tree.merger_count == (n - 1 if n > 1 else 0)
+    assert tree.depth == _expected_depth(n)
+
+
+@pytest.mark.parametrize("n", FANOUTS)
+def test_tree_jj_census_matches_cell_library(n):
+    engine = Engine()
+    split = SplitTree(engine, "t", n)
+    merge = MergeTree(engine, "m", n)
+    split_jj = split.splitter_count * get_cell("splitter").jj_count
+    merge_jj = merge.merger_count * get_cell("merger").jj_count
+    if n > 1:
+        assert split_jj == (n - 1) * get_cell("splitter").jj_count
+        assert merge_jj == (n - 1) * get_cell("merger").jj_count
+    else:
+        assert split_jj == merge_jj == 0
+
+
+@pytest.mark.parametrize("n", FANOUTS)
+def test_split_tree_lints_clean(n):
+    engine = Engine()
+    tree = SplitTree(engine, "t", n)
+    graph = graph_from_engine(engine, f"split{n}", tree.external_inputs())
+    assert not run_structural_passes(graph)
+    assert not run_timing_passes(graph)
+
+
+@pytest.mark.parametrize("n", FANOUTS)
+def test_merge_tree_lints_clean(n):
+    engine = Engine()
+    tree = MergeTree(engine, "m", n)
+    graph = graph_from_engine(engine, f"merge{n}", tree.external_inputs())
+    assert not run_structural_passes(graph)
+    assert not run_timing_passes(graph)
+
+
+def test_zero_width_trees_are_rejected():
+    engine = Engine()
+    with pytest.raises(NetlistError):
+        SplitTree(engine, "t", 0)
+    with pytest.raises(NetlistError):
+        MergeTree(engine, "m", 0)

@@ -1,0 +1,76 @@
+"""Register-index validation in the port schedulers (SFQ016 satellite)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.lint import check_schedule
+from repro.rf import RFGeometry
+from repro.rf.timing import (
+    Instr,
+    schedule_dual_bank,
+    schedule_hiperrf,
+    schedule_ndro,
+)
+
+SCHEDULERS = (schedule_ndro, schedule_hiperrf, schedule_dual_bank)
+
+
+def test_instr_rejects_negative_registers():
+    with pytest.raises(ConfigError):
+        Instr(dest=-1, srcs=(0,))
+    with pytest.raises(ConfigError):
+        Instr(dest=0, srcs=(1, -2))
+
+
+def test_instr_still_rejects_three_sources():
+    with pytest.raises(ValueError):
+        Instr(dest=0, srcs=(1, 2, 3))
+
+
+def test_instr_registers_lists_dest_first():
+    assert Instr(dest=5, srcs=(1, 2)).registers() == (5, 1, 2)
+    assert Instr(dest=None, srcs=(7,)).registers() == (7,)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_out_of_range_dest_raises(scheduler):
+    with pytest.raises(ConfigError, match="r8"):
+        scheduler([Instr(dest=8, srcs=(0, 1))], num_registers=8)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_out_of_range_source_raises(scheduler):
+    with pytest.raises(ConfigError, match="r12"):
+        scheduler([Instr(dest=0, srcs=(1, 12))], num_registers=8)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_in_range_stream_schedules_and_validates(scheduler):
+    instrs = [Instr(dest=1, srcs=(2, 3)), Instr(dest=7, srcs=(1,))]
+    schedule = scheduler(instrs, num_registers=8)
+    schedule.validate()
+    assert schedule.total_cycles() >= 2
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_unbounded_call_stays_backward_compatible(scheduler):
+    # Callers that never pass num_registers keep the old behaviour.
+    schedule = scheduler([Instr(dest=100, srcs=(200,))])
+    assert schedule.events
+
+
+def test_bad_num_registers_rejected():
+    with pytest.raises(ConfigError, match="num_registers"):
+        schedule_ndro([Instr(dest=0)], num_registers=0)
+
+
+@pytest.mark.parametrize("name",
+                         ("ndro_rf", "hiperrf", "dual_bank_hiperrf"))
+def test_lint_schedule_checks_are_clean_for_builtins(name):
+    assert check_schedule(name, RFGeometry(8, 8)) == []
+
+
+def test_lint_schedule_flags_small_geometry():
+    # The sample stream touches r3; a 2-register file cannot encode it.
+    issues = check_schedule("hiperrf", RFGeometry(2, 8))
+    assert any(i.rule_id == "SFQ016" for i in issues)
