@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-josim experiments examples quick all lint-netlists
+.PHONY: install test bench bench-josim bench-pulse experiments examples quick all lint-netlists
 
 install:
 	pip install -e .
@@ -20,6 +20,13 @@ bench:
 bench-josim:
 	pytest benchmarks/bench_josim.py --benchmark-only \
 		--benchmark-json=BENCH_josim.json
+
+# Tracks the compiled pulse-engine backend against the reference event
+# loop (DRO column, HC-DRO/LoopBuffer traffic, 32x32 op mix) plus the
+# build-once netlist cache: writes BENCH_pulse.json.
+bench-pulse:
+	PYTHONPATH=src pytest benchmarks/bench_pulse_engine.py --benchmark-only \
+		--benchmark-json=BENCH_pulse.json
 
 experiments:
 	hiperrf-experiments all

@@ -17,6 +17,7 @@ schedules of :mod:`repro.rf.timing`:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple
 
 from repro.cpu.config import CoreConfig
@@ -93,35 +94,10 @@ class RFTimingModel:
         """
         config = config or CoreConfig()
         geometry = geometry or RFGeometry(32, 32)
-        design = _design_for(name, geometry)
-        if include_wire_delays:
-            delays = wire_aware_delays(design)
-            readout_ps = delays.readout_delay_ps
-            loopback_ps = delays.loopback_delay_ps
-        else:
-            readout_ps = design.readout_delay_ps()
-            loopback = design.loopback_path()
-            loopback_ps = loopback.delay_ps() if loopback is not None else None
-        # The access ports advance in 53 ps RF cycles ("each read or write
-        # operation takes two [gate] cycles"), so the readout latency the
-        # pipeline observes is quantized in whole port cycles.
-        import math
-
-        from repro.cells import params as cell_params
-
-        readout_port_cycles = math.ceil(
-            readout_ps / cell_params.RF_CYCLE_PS - 1e-9)
-        readout = readout_port_cycles * config.rf_cycle_gates
-        loopback_cycles = 0
-        if loopback_ps is not None:
-            loopback_cycles = config.ps_to_gate_cycles(loopback_ps)
-        return cls(
-            name=name,
-            readout_cycles=readout,
-            loopback_cycles=loopback_cycles,
-            supports_forwarding=(name == "ndro_rf"),
-            rf_cycle_gates=config.rf_cycle_gates,
-        )
+        # Every argument is hashable (name + two frozen dataclasses), the
+        # result is itself frozen, and the sweeps construct the same
+        # handful of models thousands of times - memoise.
+        return _timing_model(name, config, geometry, include_wire_delays)
 
     # -- static schedule ---------------------------------------------------
 
@@ -185,3 +161,44 @@ class RFTimingModel:
         if not self.has_loopback:
             return 0
         return 2 * self.rf_cycle_gates + self.loopback_cycles
+
+
+@lru_cache(maxsize=None)
+def _timing_model(name: str, config: CoreConfig, geometry: RFGeometry,
+                  include_wire_delays: bool) -> RFTimingModel:
+    """Memoised :meth:`RFTimingModel.for_design` body.
+
+    The CPI sweeps replay every workload against every design, building
+    the same model thousands of times; the arguments are frozen
+    dataclasses and the result is frozen, so one shared instance per
+    distinct configuration is safe.
+    """
+    design = _design_for(name, geometry)
+    if include_wire_delays:
+        delays = wire_aware_delays(design)
+        readout_ps = delays.readout_delay_ps
+        loopback_ps = delays.loopback_delay_ps
+    else:
+        readout_ps = design.readout_delay_ps()
+        loopback = design.loopback_path()
+        loopback_ps = loopback.delay_ps() if loopback is not None else None
+    # The access ports advance in 53 ps RF cycles ("each read or write
+    # operation takes two [gate] cycles"), so the readout latency the
+    # pipeline observes is quantized in whole port cycles.
+    import math
+
+    from repro.cells import params as cell_params
+
+    readout_port_cycles = math.ceil(
+        readout_ps / cell_params.RF_CYCLE_PS - 1e-9)
+    readout = readout_port_cycles * config.rf_cycle_gates
+    loopback_cycles = 0
+    if loopback_ps is not None:
+        loopback_cycles = config.ps_to_gate_cycles(loopback_ps)
+    return RFTimingModel(
+        name=name,
+        readout_cycles=readout,
+        loopback_cycles=loopback_cycles,
+        supports_forwarding=(name == "ndro_rf"),
+        rf_cycle_gates=config.rf_cycle_gates,
+    )

@@ -17,15 +17,19 @@ DESIGN.md calls out three load-bearing choices; each is ablated here:
 from __future__ import annotations
 
 import statistics
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.cpu import CoreConfig
 from repro.cpu.pipeline import GateLevelPipeline
 from repro.cpu.rf_model import RFTimingModel
+from repro.experiments.parallel import CacheLike, cached_map
 from repro.isa import Executor, assemble
 from repro.rf import HiPerRF, NdroRegisterFile, RFGeometry
 from repro.rf.alternatives import SingleBitLoopbackRF
 from repro.workloads import all_workloads
+
+_POLICY_DESIGNS = ("ndro_rf", "dual_bank_hiperrf_ideal", "dual_bank_hiperrf",
+                   "dual_bank_hiperrf_worst", "hiperrf")
 
 
 def dual_bit_ablation(geometry: RFGeometry | None = None) -> Dict[str, float]:
@@ -45,24 +49,40 @@ def dual_bit_ablation(geometry: RFGeometry | None = None) -> Dict[str, float]:
     }
 
 
-def bank_policy_ablation(scale: float = 0.6,
-                         max_instructions: int = 300_000) -> Dict[str, float]:
-    """Average CPI overhead for ideal / parity / worst bank policies."""
+def _bank_policy_workload(point: Tuple[str, float, int]) -> Dict[str, float]:
+    """One workload's CPI under every bank policy (worker-process body)."""
+    from repro.workloads import get_workload
+
+    name, scale, max_instructions = point
     config = CoreConfig()
-    traces = []
-    for workload in all_workloads():
-        executor = Executor(assemble(workload.build(scale)))
-        traces.append(list(executor.trace(max_instructions=max_instructions)))
+    executor = Executor(assemble(get_workload(name).build(scale)))
+    ops = list(executor.trace(max_instructions=max_instructions))
+    cpis = {}
+    for design in _POLICY_DESIGNS:
+        rf = RFTimingModel.for_design(design, config)
+        pipeline = GateLevelPipeline(rf, config)
+        for op in ops:
+            pipeline.feed(op)
+        cpis[design] = pipeline.result().cpi
+    return cpis
+
+
+def bank_policy_ablation(scale: float = 0.6,
+                         max_instructions: int = 300_000,
+                         workers: Optional[int] = None,
+                         cache: CacheLike = None) -> Dict[str, float]:
+    """Average CPI overhead for ideal / parity / worst bank policies.
+
+    Each workload is trace-replayed through all five policies in one
+    worker; workloads fan out over :mod:`repro.experiments.parallel`.
+    """
+    points = [(workload.name, scale, max_instructions)
+              for workload in all_workloads()]
+    rows = cached_map("ablations-bank-policy-v1", _bank_policy_workload,
+                      points, workers=workers, cache=cache)
 
     def mean_cpi(design: str) -> float:
-        rf = RFTimingModel.for_design(design, config)
-        cpis = []
-        for ops in traces:
-            pipeline = GateLevelPipeline(rf, config)
-            for op in ops:
-                pipeline.feed(op)
-            cpis.append(pipeline.result().cpi)
-        return statistics.mean(cpis)
+        return statistics.mean(row[design] for row in rows)
 
     baseline = mean_cpi("ndro_rf")
     result = {"baseline_cpi": baseline}

@@ -4,18 +4,25 @@ Runs the full workload suite (riscv-tests kernels plus the synthetic
 SPEC 2006 stand-ins) through the functional executor once per workload
 and replays the retirement stream through the gate-level pipeline for
 each register file design, exactly as Section VI-B describes.
+
+Workloads are independent, so they fan out over a process pool
+(:mod:`repro.experiments.parallel`); per-workload results are cached on
+disk when a :class:`~repro.experiments.parallel.ResultCache` is
+available, so a rerun after an interrupted sweep only simulates what is
+missing.
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cpu import CoreConfig, simulate_program
 from repro.cpu.rf_model import RF_DESIGN_NAMES
 from repro.errors import ExecutionError
 from repro.experiments import paper_data
+from repro.experiments.parallel import CacheLike, cached_map
 from repro.isa import assemble
 from repro.workloads import PASS_EXIT_CODE, get_workload
 
@@ -45,29 +52,49 @@ class Figure14Result:
         return statistics.mean(self.baseline_cpi.values())
 
 
+_Point = Tuple[str, float, Tuple[str, ...], Optional[CoreConfig], int]
+
+
+def _run_workload(point: _Point) -> Dict[str, object]:
+    """One workload's CPI study: runs in a worker process."""
+    name, scale, designs, config, max_instructions = point
+    workload = get_workload(name)
+    program = assemble(workload.build(scale))
+    reports = simulate_program(program, designs, name, config=config,
+                               max_instructions=max_instructions)
+    baseline = reports["ndro_rf"]
+    if baseline.exit_code != PASS_EXIT_CODE:
+        raise ExecutionError(
+            f"{name}: self-check failed (exit {baseline.exit_code})")
+    return {
+        "baseline_cpi": baseline.cpi,
+        "instructions": baseline.instructions,
+        "overhead_percent": {
+            design: 100.0 * (reports[design].cpi / baseline.cpi - 1.0)
+            for design in designs if design != "ndro_rf"},
+    }
+
+
 def run(scale: float = 1.0, designs: Sequence[str] = RF_DESIGN_NAMES,
         config: CoreConfig | None = None,
-        max_instructions: int = 400_000) -> Figure14Result:
+        max_instructions: int = 400_000,
+        workers: Optional[int] = None,
+        cache: CacheLike = None) -> Figure14Result:
     """Run the Figure 14 sweep at the given problem-size scale."""
+    designs = tuple(designs)
     result = Figure14Result(
         overhead_percent={d: {} for d in designs if d != "ndro_rf"})
-    for workload in (get_workload(name) for name in FIGURE14_WORKLOADS):
-        program = assemble(workload.build(scale))
-        reports = simulate_program(program, designs, workload.name,
-                                   config=config,
-                                   max_instructions=max_instructions)
-        baseline = reports["ndro_rf"]
-        if baseline.exit_code != PASS_EXIT_CODE:
-            raise ExecutionError(
-                f"{workload.name}: self-check failed "
-                f"(exit {baseline.exit_code})")
-        result.baseline_cpi[workload.name] = baseline.cpi
-        result.instructions[workload.name] = baseline.instructions
-        for design in designs:
-            if design == "ndro_rf":
-                continue
-            overhead = 100.0 * (reports[design].cpi / baseline.cpi - 1.0)
-            result.overhead_percent[design][workload.name] = overhead
+    points: list = [(name, scale, designs, config, max_instructions)
+                    for name in FIGURE14_WORKLOADS]
+    keys = [(name, scale, list(designs), config or CoreConfig(),
+             max_instructions) for name in FIGURE14_WORKLOADS]
+    rows = cached_map("figure14-v1", _run_workload, points, keys=keys,
+                      workers=workers, cache=cache)
+    for name, row in zip(FIGURE14_WORKLOADS, rows):
+        result.baseline_cpi[name] = float(row["baseline_cpi"])  # type: ignore[arg-type]
+        result.instructions[name] = int(row["instructions"])  # type: ignore[call-overload]
+        for design, overhead in row["overhead_percent"].items():  # type: ignore[attr-defined]
+            result.overhead_percent[design][name] = overhead
     return result
 
 

@@ -11,14 +11,20 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.experiments import paper_data
+from repro.experiments.parallel import CacheLike, cached_call
 from repro.experiments.report import ComparisonRow, format_table
 from repro.rf import HiPerRF, RFGeometry, placed_loopback_report
 from repro.rf.wiring import place_loopback_segments
 
 
-def run(cell_pitch_um: float = 75.0) -> Dict[str, float]:
-    design = HiPerRF(RFGeometry(32, 32))
-    return placed_loopback_report(design, cell_pitch_um=cell_pitch_um)
+def run(cell_pitch_um: float = 75.0,
+        cache: CacheLike = None) -> Dict[str, float]:
+    def compute() -> Dict[str, float]:
+        design = HiPerRF(RFGeometry(32, 32))
+        return placed_loopback_report(design, cell_pitch_um=cell_pitch_um)
+
+    return cached_call("figure15-v1", {"cell_pitch_um": cell_pitch_um},
+                       compute, cache=cache)
 
 
 def render(result: Dict[str, float] | None = None) -> str:

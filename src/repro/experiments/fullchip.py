@@ -6,11 +6,12 @@ from typing import Dict
 
 from repro.chip import chip_budget, full_chip_comparison
 from repro.experiments import paper_data
+from repro.experiments.parallel import CacheLike, cached_call
 from repro.experiments.report import ComparisonRow, format_table
 
 
-def run() -> Dict[str, float]:
-    return full_chip_comparison()
+def run(cache: CacheLike = None) -> Dict[str, float]:
+    return cached_call("fullchip-v1", {}, full_chip_comparison, cache=cache)
 
 
 def render(result: Dict[str, float] | None = None) -> str:

@@ -1,0 +1,208 @@
+"""Process-parallel experiment fan-out with on-disk result caching.
+
+The paper's evaluation artifacts are dominated by embarrassingly
+parallel sweeps: one CPI run per workload (Figure 14), one analytic
+model per geometry (scaling), one transient simulation per operating
+point (margins).  :mod:`repro.josim.sweep` grew the first
+worker-pool/run-cache implementation for the analog studies; this
+module generalises that machinery so every experiment shares it:
+
+* :func:`resolve_workers` / :func:`parallel_map` - the pool-or-serial
+  executor (moved here from ``repro.josim.sweep``, which re-exports
+  them for compatibility).
+* :class:`ResultCache` - an on-disk JSON store keyed by
+  ``(namespace, key)``.  The namespace identifies the experiment *and
+  its result-format version* (bump the suffix when the semantics of a
+  result change - that is the invalidation mechanism); the key encodes
+  every input that can change the result.
+* :func:`cached_call` - memoise one expensive call through a cache.
+* :func:`cached_map` - the combination: look up each point, fan the
+  misses out over a process pool, store what came back, and return
+  results in input order.  This is ``repro.josim.sweep.run_configs``
+  generalised to arbitrary functions and persistent storage.
+
+Caching is opt-in: with no cache instance and no ``REPRO_CACHE_DIR``
+environment variable, every call computes.  Results must be JSON
+serialisable (the experiments return dicts/lists of primitives).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, TypeVar, Union
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+#: Environment variable enabling the default on-disk result cache.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: argument, then env var, then cpu count."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR)
+        if env is not None:
+            try:
+                workers = int(env)
+            except ValueError:
+                workers = None
+        if workers is None:
+            workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def parallel_map(fn: Callable[[T], R], points: Sequence[T],
+                 workers: Optional[int] = None) -> List[R]:
+    """Apply ``fn`` to every point, in parallel when it pays off.
+
+    Results come back in input order.  Serial execution is used when
+    only one worker resolves, fewer than two points exist, or the
+    process pool cannot be spawned (sandboxes, missing semaphores);
+    exceptions raised by ``fn`` itself always propagate.
+    """
+    items = list(points)
+    count = resolve_workers(workers)
+    if count <= 1 or len(items) <= 1:
+        return [fn(p) for p in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(count, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, BrokenProcessPool, ImportError):
+        return [fn(p) for p in items]
+
+
+def stable_key(value: Any) -> str:
+    """Deterministic short digest of a JSON-serialisable key value."""
+    encoded = json.dumps(value, sort_keys=True, separators=(",", ":"),
+                         default=_key_fallback)
+    return hashlib.sha256(encoded.encode()).hexdigest()[:24]
+
+
+def _key_fallback(value: Any) -> Any:
+    """Key encoding for frozen dataclasses and other simple objects."""
+    if hasattr(value, "__dataclass_fields__"):
+        return {"__class__": type(value).__name__, **vars(value)}
+    raise TypeError(f"cache key element {value!r} is not serialisable")
+
+
+class ResultCache:
+    """On-disk JSON result store: one file per ``(namespace, key)``.
+
+    Layout: ``<root>/<namespace>/<digest>.json`` holding ``{"key": ...,
+    "value": ...}``.  The recorded key guards against digest collisions
+    and makes the cache inspectable.  Corrupt or unreadable entries are
+    treated as misses and overwritten.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultCache"]:
+        """The default cache, or ``None`` when ``REPRO_CACHE_DIR`` is unset."""
+        root = os.environ.get(CACHE_ENV_VAR)
+        return cls(root) if root else None
+
+    def _path(self, namespace: str, key: Any) -> Path:
+        return self.root / namespace / f"{stable_key(key)}.json"
+
+    def get(self, namespace: str, key: Any) -> Optional[Any]:
+        path = self._path(namespace, key)
+        try:
+            with path.open() as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("key") != json.loads(
+                json.dumps(key, default=_key_fallback)):
+            self.misses += 1  # digest collision: recompute
+            return None
+        self.hits += 1
+        return entry["value"]
+
+    def put(self, namespace: str, key: Any, value: Any) -> None:
+        path = self._path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("w") as handle:
+            json.dump({"key": json.loads(
+                json.dumps(key, default=_key_fallback)),
+                "value": value}, handle)
+        tmp.replace(path)  # atomic publish; readers never see partial JSON
+
+
+CacheLike = Optional[Union[ResultCache, str, Path]]
+
+
+def _coerce_cache(cache: CacheLike) -> Optional[ResultCache]:
+    if cache is None:
+        return ResultCache.from_env()
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def cached_call(namespace: str, key: Any, fn: Callable[[], R],
+                cache: CacheLike = None) -> R:
+    """Return ``fn()``, memoised on disk when a cache is available."""
+    store = _coerce_cache(cache)
+    if store is None:
+        return fn()
+    found = store.get(namespace, key)
+    if found is not None:
+        return found  # type: ignore[return-value]
+    value = fn()
+    store.put(namespace, key, value)
+    return value
+
+
+def cached_map(namespace: str, fn: Callable[[T], R], points: Sequence[T],
+               keys: Optional[Sequence[Any]] = None,
+               workers: Optional[int] = None,
+               cache: CacheLike = None) -> List[R]:
+    """Fan ``fn`` out over the uncached points; return results in order.
+
+    ``keys`` supplies the cache key per point (defaults to the point
+    itself, which must then be JSON-serialisable).  Already-cached
+    points never reach the pool, duplicates are computed once, and the
+    returned list matches ``points`` element-for-element.
+    """
+    items = list(points)
+    key_list = list(keys) if keys is not None else items
+    if len(key_list) != len(items):
+        raise ValueError(f"{len(key_list)} keys for {len(items)} points")
+    store = _coerce_cache(cache)
+    if store is None:
+        return parallel_map(fn, items, workers=workers)
+    results: List[Optional[R]] = [None] * len(items)
+    pending: List[int] = []
+    pending_digests = set()
+    for index, key in enumerate(key_list):
+        found = store.get(namespace, key)
+        if found is not None:
+            results[index] = found
+        else:
+            digest = stable_key(key)
+            if digest not in pending_digests:
+                pending_digests.add(digest)
+                pending.append(index)
+    computed = parallel_map(fn, [items[i] for i in pending], workers=workers)
+    for index, value in zip(pending, computed):
+        store.put(namespace, key_list[index], value)
+    # Re-read every remaining slot from the cache so duplicate points
+    # (second and later occurrences were skipped above) resolve too.
+    for index, slot in enumerate(results):
+        if slot is None:
+            results[index] = store.get(namespace, key_list[index])
+    return results  # type: ignore[return-value]

@@ -14,33 +14,38 @@ three ratios.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
+from repro.experiments.parallel import CacheLike, cached_map
 from repro.rf import DualBankHiPerRF, HiPerRF, NdroRegisterFile, RFGeometry
 
 SWEEP = [(4, 4), (8, 8), (16, 16), (32, 32), (64, 32), (128, 64), (256, 64)]
 
 
-def run() -> List[Dict[str, float]]:
-    rows = []
-    for num_registers, width in SWEEP:
-        geometry = RFGeometry(num_registers, width)
-        baseline = NdroRegisterFile(geometry)
-        hiperrf = HiPerRF(geometry)
-        dual = DualBankHiPerRF(geometry)
-        rows.append({
-            "num_registers": float(num_registers),
-            "width_bits": float(width),
-            "jj_ratio": hiperrf.jj_count() / baseline.jj_count(),
-            "power_ratio": (hiperrf.static_power_uw()
-                            / baseline.static_power_uw()),
-            "delay_ratio": (hiperrf.readout_delay_ps()
-                            / baseline.readout_delay_ps()),
-            "dual_jj_ratio": dual.jj_count() / baseline.jj_count(),
-            "dual_delay_ratio": (dual.readout_delay_ps()
-                                 / baseline.readout_delay_ps()),
-        })
-    return rows
+def _scaling_row(point: Tuple[int, int]) -> Dict[str, float]:
+    num_registers, width = point
+    geometry = RFGeometry(num_registers, width)
+    baseline = NdroRegisterFile(geometry)
+    hiperrf = HiPerRF(geometry)
+    dual = DualBankHiPerRF(geometry)
+    return {
+        "num_registers": float(num_registers),
+        "width_bits": float(width),
+        "jj_ratio": hiperrf.jj_count() / baseline.jj_count(),
+        "power_ratio": (hiperrf.static_power_uw()
+                        / baseline.static_power_uw()),
+        "delay_ratio": (hiperrf.readout_delay_ps()
+                        / baseline.readout_delay_ps()),
+        "dual_jj_ratio": dual.jj_count() / baseline.jj_count(),
+        "dual_delay_ratio": (dual.readout_delay_ps()
+                             / baseline.readout_delay_ps()),
+    }
+
+
+def run(workers: Optional[int] = None,
+        cache: CacheLike = None) -> List[Dict[str, float]]:
+    return cached_map("scaling-v1", _scaling_row, SWEEP,
+                      workers=workers, cache=cache)
 
 
 def render(rows: List[Dict[str, float]] | None = None) -> str:

@@ -20,15 +20,23 @@ provides the shared driver used by :mod:`repro.josim.margins` and the
 
 Worker count resolution: an explicit ``workers`` argument wins, then
 the ``REPRO_SWEEP_WORKERS`` environment variable, then ``os.cpu_count()``.
+
+The executor machinery that started here has been generalised into
+:mod:`repro.experiments.parallel` (which adds on-disk result caching);
+``resolve_workers`` and ``sweep_map`` are re-exported from there so
+existing analog-study callers keep working unchanged.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Dict, List, Optional, Sequence, TypeVar
+
+from repro.experiments.parallel import (  # noqa: F401  (re-exports)
+    WORKERS_ENV_VAR,
+    parallel_map as sweep_map,
+    resolve_workers,
+)
 
 from repro.josim.cells import (
     RECOMMENDED_J2_BIAS_UA,
@@ -37,9 +45,6 @@ from repro.josim.cells import (
     RECOMMENDED_WRITE_PULSE_UA,
     build_hcdro_cell,
 )
-
-#: Environment variable overriding the default worker count.
-WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -126,40 +131,6 @@ def simulate_hcdro(config: HCDROConfig) -> HCDROSummary:
         output_pulses=report.output_pulses)
     _RUN_CACHE[config] = summary
     return summary
-
-
-def resolve_workers(workers: Optional[int] = None) -> int:
-    """Effective worker count: argument, then env var, then cpu count."""
-    if workers is None:
-        env = os.environ.get(WORKERS_ENV_VAR)
-        if env is not None:
-            try:
-                workers = int(env)
-            except ValueError:
-                workers = None
-        if workers is None:
-            workers = os.cpu_count() or 1
-    return max(1, workers)
-
-
-def sweep_map(fn: Callable[[T], R], points: Sequence[T],
-              workers: Optional[int] = None) -> List[R]:
-    """Apply ``fn`` to every point, in parallel when it pays off.
-
-    Results come back in input order.  Serial execution is used when
-    only one worker resolves, fewer than two points exist, or the
-    process pool cannot be spawned (sandboxes, missing semaphores);
-    exceptions raised by ``fn`` itself always propagate.
-    """
-    points = list(points)
-    count = resolve_workers(workers)
-    if count <= 1 or len(points) <= 1:
-        return [fn(p) for p in points]
-    try:
-        with ProcessPoolExecutor(max_workers=min(count, len(points))) as pool:
-            return list(pool.map(fn, points))
-    except (OSError, BrokenProcessPool, ImportError):
-        return [fn(p) for p in points]
 
 
 def run_configs(configs: Sequence[HCDROConfig],

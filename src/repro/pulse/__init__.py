@@ -19,6 +19,8 @@ circuits and Figure 6(c)'s NDROC tree DEMUX from primitives, so the
 structural census and the functional simulation share one topology.
 """
 
+from repro.pulse.cache import CompiledNetlistCache, build_once
+from repro.pulse.compiled import CompiledEngine, PulseSnapshot
 from repro.pulse.engine import Component, Engine, Wire
 from repro.pulse.monitor import Probe
 from repro.pulse.primitives import DAND, JTL, PTL, Merger, Sink, Splitter
@@ -29,6 +31,8 @@ from repro.pulse.demux import NdrocDemux
 from repro.pulse.splittree import MergeTree, SplitTree
 
 __all__ = [
+    "CompiledEngine",
+    "CompiledNetlistCache",
     "Component",
     "DAND",
     "DRO",
@@ -46,6 +50,8 @@ __all__ = [
     "PTL",
     "Probe",
     "PulseCounter",
+    "PulseSnapshot",
+    "build_once",
     "Sink",
     "SplitTree",
     "Splitter",

@@ -1,0 +1,100 @@
+"""Build-once cache for compiled pulse netlists.
+
+Elaborating a pulse netlist is expensive: a 32x32 HiPerRF register file
+instantiates thousands of components and wires before the first pulse is
+delivered.  Benchmarks, sweeps and tests that need a *fresh* register
+file for every run were paying that cost each time even though the
+topology never changes - only the state does.
+
+This module keeps one compiled instance per build key.  The first
+request builds the netlist, compiles it (:meth:`repro.pulse.engine.
+Engine.compile`) and captures a pristine :class:`~repro.pulse.compiled.
+PulseSnapshot`; every later request restores that snapshot, which is an
+O(state) array copy instead of an O(netlist) re-elaboration.
+
+Keys are plain hashable tuples chosen by the caller; the convention used
+by :mod:`repro.rf.netlist` is ``(class name, *geometry fields, op
+period, strict_timing)`` so that any parameter that changes the topology
+or the engine semantics changes the key.  Entries are never invalidated
+implicitly - a cache outlives the netlists it stores by design - so
+callers that mutate a cached netlist's *structure* (never its state)
+must :func:`clear` first.
+
+The cache hands out the *same* engine/handle pair on every hit, reset to
+its post-build state.  Callers therefore must not interleave two users
+of one key; that is the natural usage in benchmarks and sweeps, where a
+run finishes before the next begins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+from repro.pulse.compiled import PulseSnapshot
+from repro.pulse.engine import Engine
+
+#: A builder returns the freshly elaborated engine plus an arbitrary
+#: handle (typically the driver object wrapping the netlist).
+Builder = Callable[[], Tuple[Engine, Any]]
+
+
+class CompiledNetlistCache:
+    """Maps build keys to (engine, handle, pristine snapshot) entries."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Hashable, Tuple[Engine, Any, PulseSnapshot]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def build_once(self, key: Hashable, builder: Builder) -> Tuple[Engine, Any]:
+        """Return a compiled ``(engine, handle)`` for ``key``.
+
+        On a miss, ``builder()`` elaborates the netlist; the result is
+        compiled, snapshotted pristine, and memoised.  On a hit, the
+        stored instance is restored to that pristine snapshot (state,
+        event queue, clock and delivered-count all rewind) and returned.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            engine, handle, pristine = entry
+            compiled = engine.compiled
+            assert compiled is not None  # entries are always compiled
+            compiled.restore(pristine)
+            return engine, handle
+        self.misses += 1
+        engine, handle = builder()
+        compiled = engine.compile()
+        pristine = compiled.snapshot()
+        self._entries[key] = (engine, handle, pristine)
+        return engine, handle
+
+    def clear(self) -> None:
+        """Drop every entry (and reset the hit/miss counters)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries),
+                "hits": self.hits, "misses": self.misses}
+
+
+#: Process-wide default cache used by the ``build_cached`` factories.
+DEFAULT_CACHE = CompiledNetlistCache()
+
+
+def build_once(key: Hashable, builder: Builder) -> Tuple[Engine, Any]:
+    """Module-level convenience over :data:`DEFAULT_CACHE`."""
+    return DEFAULT_CACHE.build_once(key, builder)
+
+
+def clear() -> None:
+    """Clear :data:`DEFAULT_CACHE` (tests and benchmarks)."""
+    DEFAULT_CACHE.clear()

@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import NetlistError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pulse.compiled import CompiledEngine
 
 
 class Wire:
@@ -104,15 +107,24 @@ class Engine:
         #: which is what the physical circuit would typically do.
         self.strict_timing = strict_timing
         self.now_ps = 0.0
+        #: Optional pulse trace: set to a list to record one
+        #: ``(time_ps, component_name, port)`` tuple per delivered pulse.
+        #: Both backends honour it, so traces are directly comparable.
+        self.trace: Optional[List[Tuple[float, str, str]]] = None
         self._queue: List[Tuple[float, int, Component, str]] = []
         self._seq = itertools.count()
         self._components: Dict[str, Component] = {}
         self._delivered = 0
+        self._compiled: Optional["CompiledEngine"] = None
 
     # -- registration ----------------------------------------------------
 
     def add(self, component: Component) -> Component:
         """Register a component (names must be unique within an engine)."""
+        if self._compiled is not None:
+            raise NetlistError(
+                f"cannot add {component.name!r}: netlist is frozen once "
+                "compile() has been called")
         if component.name in self._components:
             raise NetlistError(f"duplicate component name {component.name!r}")
         component.engine = self
@@ -137,10 +149,36 @@ class Engine:
     def num_components(self) -> int:
         return len(self._components)
 
+    # -- compilation -------------------------------------------------------
+
+    def compile(self) -> "CompiledEngine":
+        """Lower this netlist into the flat-array compiled backend.
+
+        The first call freezes the netlist (no further :meth:`add`) and
+        installs the compiled backend in place: ``schedule``/``run``/
+        ``reset_all_state`` transparently delegate from then on, so
+        existing drivers keep working unchanged.  Returns the
+        :class:`repro.pulse.compiled.CompiledEngine`, which additionally
+        offers ``snapshot()``/``restore()`` for O(state) resets.
+        """
+        if self._compiled is None:
+            from repro.pulse.compiled import CompiledEngine
+
+            self._compiled = CompiledEngine(self)
+        return self._compiled
+
+    @property
+    def compiled(self) -> Optional["CompiledEngine"]:
+        """The installed compiled backend, or ``None`` before compile()."""
+        return self._compiled
+
     # -- event processing --------------------------------------------------
 
     def schedule(self, component: Component, port: str, time_ps: float) -> None:
         """Enqueue a pulse arriving at ``component.port`` at ``time_ps``."""
+        if self._compiled is not None:
+            self._compiled.schedule(component, port, time_ps)
+            return
         if time_ps < self.now_ps - 1e-9:
             raise SimulationError(
                 f"cannot schedule a pulse in the past: t={time_ps} < now={self.now_ps}")
@@ -158,27 +196,39 @@ class Engine:
         """Deliver pulses in time order until the queue drains or ``until_ps``.
 
         Returns the number of pulses delivered.  ``max_events`` guards
-        against oscillating netlists.
+        against oscillating netlists: delivering exactly ``max_events``
+        pulses is fine, needing a further one raises.  ``total_delivered``
+        and ``now_ps`` stay consistent even when a cell raises mid-run.
         """
+        if self._compiled is not None:
+            return self._compiled.run(until_ps=until_ps, max_events=max_events)
         delivered = 0
-        while self._queue:
-            time_ps, _seq, component, port = self._queue[0]
-            if time_ps > until_ps:
-                break
-            heapq.heappop(self._queue)
-            self.now_ps = time_ps
-            component.on_pulse(port, time_ps)
-            delivered += 1
-            if delivered > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; oscillating netlist?")
-        self._delivered += delivered
-        if not self._queue and until_ps != float("inf"):
+        queue = self._queue
+        trace = self.trace
+        try:
+            while queue:
+                time_ps, _seq, component, port = queue[0]
+                if time_ps > until_ps:
+                    break
+                if delivered >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; oscillating netlist?")
+                heapq.heappop(queue)
+                self.now_ps = time_ps
+                if trace is not None:
+                    trace.append((time_ps, component.name, port))
+                component.on_pulse(port, time_ps)
+                delivered += 1
+        finally:
+            self._delivered += delivered
+        if not queue and until_ps != float("inf"):
             self.now_ps = until_ps
         return delivered
 
     @property
     def pending_events(self) -> int:
+        if self._compiled is not None:
+            return self._compiled.pending_events
         return len(self._queue)
 
     @property
@@ -187,5 +237,8 @@ class Engine:
 
     def reset_all_state(self) -> None:
         """Reset every registered component to its power-on state."""
+        if self._compiled is not None:
+            self._compiled.reset_all_state()
+            return
         for component in self._components.values():
             component.reset_state()

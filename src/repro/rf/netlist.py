@@ -15,7 +15,7 @@ and write-data coincidence.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.cells import params
 from repro.errors import ConfigError
@@ -34,6 +34,9 @@ from repro.pulse import (
 )
 from repro.rf.geometry import RFGeometry, log2_int
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.pulse.cache import CompiledNetlistCache
+
 _SPL = params.DELAY_PS["splitter"]
 _MRG = params.DELAY_PS["merger"]
 _NDROC = params.NDROC_PROPAGATION_PS
@@ -45,7 +48,40 @@ _HC_FIRST = _SPL + 2 * _MRG
 _HCW_FIRST = 2 * _MRG
 
 
-class PulseNdroRF:
+class _CachedBuildMixin:
+    """Build-once construction through :mod:`repro.pulse.cache`.
+
+    ``build_cached`` returns a *shared*, compiled instance: the first
+    call elaborates the netlist, later calls with the same key restore
+    the pristine snapshot (state, queue and clock rewind) instead of
+    re-elaborating.  Callers must finish with the instance before
+    requesting the same key again.
+    """
+
+    @classmethod
+    def build_key(cls, geometry: RFGeometry, op_period_ps: float,
+                  strict_timing: bool = True) -> Tuple[object, ...]:
+        """Hashable identity of one build: topology + engine semantics."""
+        return (cls.__name__, geometry, op_period_ps, strict_timing)
+
+    @classmethod
+    def build_cached(cls, geometry: RFGeometry, op_period_ps: float,
+                     strict_timing: bool = True,
+                     cache: Optional["CompiledNetlistCache"] = None):
+        from repro.pulse.cache import DEFAULT_CACHE
+
+        store = DEFAULT_CACHE if cache is None else cache
+
+        def builder() -> Tuple[Engine, object]:
+            engine = Engine(strict_timing=strict_timing)
+            return engine, cls(engine, geometry, op_period_ps)  # type: ignore[call-arg]
+
+        _engine, rf = store.build_once(
+            cls.build_key(geometry, op_period_ps, strict_timing), builder)
+        return rf
+
+
+class PulseNdroRF(_CachedBuildMixin):
     """Pulse-level model of the baseline NDRO register file (Figure 4)."""
 
     def __init__(self, engine: Engine, geometry: RFGeometry,
@@ -176,7 +212,7 @@ class PulseNdroRF:
         return value
 
 
-class PulseHiPerRF:
+class PulseHiPerRF(_CachedBuildMixin):
     """Pulse-level model of HiPerRF (Figure 9) with a live loopback path."""
 
     def __init__(self, engine: Engine, geometry: RFGeometry,
@@ -430,6 +466,37 @@ class PulseDualBankHiPerRF:
         bank_geometry = geometry.halved()
         self.banks = [_BankShim(bank_geometry, op_period_ps) for _ in range(2)]
         self.op_period_ps = op_period_ps
+
+    @classmethod
+    def build_key(cls, geometry: RFGeometry, op_period_ps: float = 600.0,
+                  bank: int = 0) -> Tuple[object, ...]:
+        """Per-bank key: the two banks are independent netlists."""
+        return (cls.__name__, geometry, op_period_ps, bank)
+
+    @classmethod
+    def build_cached(cls, geometry: RFGeometry, op_period_ps: float = 600.0,
+                     cache: Optional["CompiledNetlistCache"] = None
+                     ) -> "PulseDualBankHiPerRF":
+        """Build-once variant: each bank goes through the netlist cache."""
+        from repro.pulse.cache import DEFAULT_CACHE
+
+        store = DEFAULT_CACHE if cache is None else cache
+        if geometry.num_registers < 4:
+            raise ConfigError("dual-bank model needs >= 4 registers")
+        self = cls.__new__(cls)
+        self.geometry = geometry
+        self.op_period_ps = op_period_ps
+        bank_geometry = geometry.halved()
+        banks = []
+        for index in range(2):
+            def builder(g: RFGeometry = bank_geometry) -> Tuple[Engine, object]:
+                shim = _BankShim(g, op_period_ps)
+                return shim.engine, shim
+            _engine, shim = store.build_once(
+                cls.build_key(geometry, op_period_ps, index), builder)
+            banks.append(shim)
+        self.banks = banks
+        return self
 
     @staticmethod
     def _locate(register: int) -> tuple[int, int]:

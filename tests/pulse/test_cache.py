@@ -1,0 +1,107 @@
+"""Tests for the build-once compiled netlist cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pulse import Engine, Probe
+from repro.pulse.cache import CompiledNetlistCache
+from repro.rf.geometry import RFGeometry
+from repro.rf.netlist import PulseDualBankHiPerRF, PulseHiPerRF, PulseNdroRF
+
+
+@pytest.fixture
+def cache():
+    return CompiledNetlistCache()
+
+
+def _probe_builder():
+    engine = Engine()
+    probe = engine.add(Probe("p"))
+    return engine, probe
+
+
+class TestBuildOnce:
+    def test_miss_builds_and_compiles(self, cache):
+        engine, probe = cache.build_once("k", _probe_builder)
+        assert engine.compiled is not None
+        assert probe.engine is engine
+        assert cache.stats() == {"entries": 1, "hits": 0, "misses": 1}
+
+    def test_hit_returns_same_instance_reset(self, cache):
+        engine, probe = cache.build_once("k", _probe_builder)
+        engine.schedule(probe, "in", 5.0)
+        engine.run()
+        assert probe.count == 1 and engine.now_ps == 5.0
+
+        engine2, probe2 = cache.build_once("k", _probe_builder)
+        assert engine2 is engine and probe2 is probe
+        assert probe2.count == 0
+        assert engine2.now_ps == 0.0
+        assert engine2.total_delivered == 0
+        assert engine2.pending_events == 0
+        assert cache.hits == 1
+
+    def test_hit_discards_pending_events(self, cache):
+        engine, probe = cache.build_once("k", _probe_builder)
+        engine.schedule(probe, "in", 99.0)  # never run: still queued
+        engine2, _ = cache.build_once("k", _probe_builder)
+        assert engine2.pending_events == 0
+
+    def test_distinct_keys_distinct_instances(self, cache):
+        engine_a, _ = cache.build_once("a", _probe_builder)
+        engine_b, _ = cache.build_once("b", _probe_builder)
+        assert engine_a is not engine_b
+        assert len(cache) == 2 and "a" in cache and "b" in cache
+
+    def test_clear_forgets_everything(self, cache):
+        cache.build_once("k", _probe_builder)
+        cache.clear()
+        assert len(cache) == 0
+        engine, _ = cache.build_once("k", _probe_builder)
+        assert cache.stats() == {"entries": 1, "hits": 0, "misses": 1}
+        assert engine.compiled is not None
+
+
+class TestCachedFactories:
+    def test_hiperrf_roundtrip_after_reuse(self, cache):
+        geometry = RFGeometry(8, 8)
+        rf = PulseHiPerRF.build_cached(geometry, 600.0, cache=cache)
+        done = rf.write_word(2, 0xC3, 50.0)
+        assert rf.read_word(2, done + 50.0) == 0xC3
+
+        again = PulseHiPerRF.build_cached(geometry, 600.0, cache=cache)
+        assert again is rf
+        assert again.stored_word(2) == 0  # pristine state
+        done = again.write_word(2, 0x3C, 50.0)
+        assert again.read_word(2, done + 50.0) == 0x3C
+        assert cache.stats()["misses"] == 1
+
+    def test_key_separates_topology_and_semantics(self, cache):
+        small = PulseNdroRF.build_cached(RFGeometry(4, 4), 400.0, cache=cache)
+        large = PulseNdroRF.build_cached(RFGeometry(8, 8), 400.0, cache=cache)
+        lenient = PulseNdroRF.build_cached(
+            RFGeometry(4, 4), 400.0, strict_timing=False, cache=cache)
+        assert small is not large and small is not lenient
+        assert not lenient.engine.strict_timing
+        assert cache.stats() == {"entries": 3, "hits": 0, "misses": 3}
+
+    def test_build_key_is_stable_and_distinct(self):
+        key = PulseHiPerRF.build_key(RFGeometry(8, 8), 600.0)
+        assert key == PulseHiPerRF.build_key(RFGeometry(8, 8), 600.0)
+        assert key != PulseHiPerRF.build_key(RFGeometry(8, 8), 400.0)
+        assert key != PulseNdroRF.build_key(RFGeometry(8, 8), 600.0)
+        assert hash(key)  # usable as a dict key
+
+    def test_dual_bank_banks_cached_separately(self, cache):
+        geometry = RFGeometry(8, 8)
+        dual = PulseDualBankHiPerRF.build_cached(geometry, cache=cache)
+        assert dual.banks[0] is not dual.banks[1]
+        done = dual.write_word(5, 0x1D, 50.0)
+        assert dual.read_word(5, done + 50.0) == 0x1D
+
+        again = PulseDualBankHiPerRF.build_cached(geometry, cache=cache)
+        assert again.banks[0] is dual.banks[0]
+        assert again.stored_word(5) == 0
+        assert cache.stats()["misses"] == 2  # one per bank
+        assert cache.stats()["hits"] == 2

@@ -1,0 +1,288 @@
+"""Reference-vs-compiled backend equivalence.
+
+Every test drives the *identical* stimulus through a freshly built
+reference engine and a compiled one and requires bit-identical
+observables: the full pulse trace (time, component, port - which pins
+down delivery *order*, not just content), final component state, the
+delivered-event count and the simulation clock.  This is the contract
+that lets ``Engine.compile()`` be dropped into any existing driver.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TimingViolationError
+from repro.pulse import JTL, Engine, HCDRO, Probe
+from repro.pulse.demux import NdrocDemux
+from repro.rf.geometry import RFGeometry
+from repro.rf.netlist import PulseHiPerRF
+
+
+def run_mirrored(build, stimulate, strict_timing: bool = True):
+    """Run one scenario on both backends and compare all observables.
+
+    ``build(engine)`` constructs the netlist and returns a handle;
+    ``stimulate(engine, handle)`` drives it and returns whatever the
+    scenario wants compared.  Returns the reference outcome.
+    """
+    outcomes = []
+    for compiled in (False, True):
+        engine = Engine(strict_timing=strict_timing)
+        handle = build(engine)
+        engine.trace = []
+        if compiled:
+            engine.compile()
+        error = None
+        try:
+            result = stimulate(engine, handle)
+        except Exception as exc:  # noqa: BLE001 - compared, not hidden
+            error = (type(exc).__name__, str(exc))
+            result = None
+        outcomes.append({
+            "result": result,
+            "error": error,
+            "trace": list(engine.trace),
+            "delivered": engine.total_delivered,
+            "now_ps": engine.now_ps,
+        })
+    reference, compiled_outcome = outcomes
+    assert compiled_outcome["error"] == reference["error"]
+    assert compiled_outcome["result"] == reference["result"]
+    assert compiled_outcome["delivered"] == reference["delivered"]
+    assert compiled_outcome["now_ps"] == reference["now_ps"]
+    assert compiled_outcome["trace"] == reference["trace"]
+    return reference
+
+
+class TestJTLChains:
+    def test_long_chain_preserves_times(self):
+        def build(engine):
+            stages = [engine.add(JTL(f"j{i}", delay_ps=1.5 + 0.25 * (i % 3)))
+                      for i in range(50)]
+            for a, b in zip(stages, stages[1:]):
+                a.connect("out", b, "in", delay_ps=0.5)
+            probe = engine.add(Probe("end"))
+            stages[-1].connect("out", probe, "in")
+            return stages[0], probe
+
+        def stimulate(engine, handle):
+            head, probe = handle
+            for t in (10.0, 11.0, 250.0, 251.5):
+                engine.schedule(head, "in", t)
+            engine.run()
+            return tuple(probe.times_ps)
+
+        outcome = run_mirrored(build, stimulate)
+        assert len(outcome["result"]) == 4
+
+    def test_simultaneous_fan_in_order(self):
+        """Two chains converging on one probe at the same instant must
+        deliver in schedule order on both backends."""
+        def build(engine):
+            a = engine.add(JTL("a", delay_ps=4.0))
+            b = engine.add(JTL("b", delay_ps=4.0))
+            probe = engine.add(Probe("p"))
+            sink = engine.add(Probe("q"))
+            a.connect("out", probe, "in")
+            b.connect("out", sink, "in")
+            return a, b
+
+        def stimulate(engine, handle):
+            a, b = handle
+            engine.schedule(b, "in", 1.0)
+            engine.schedule(a, "in", 1.0)
+            return engine.run()
+
+        run_mirrored(build, stimulate)
+
+
+class TestDemuxTrees:
+    def test_select_fire_cycles(self):
+        def build(engine):
+            demux = NdrocDemux(engine, "dx", 8)
+            probes = []
+            for leaf in range(8):
+                probe = engine.add(Probe(f"leaf{leaf}"))
+                comp, port = demux.leaf(leaf)
+                comp.connect(port, probe, "in")
+                probes.append(probe)
+            return demux, probes
+
+        def stimulate(engine, handle):
+            demux, probes = handle
+            t = 50.0
+            for address in (0, 5, 3, 7, 5):
+                demux.apply_select(address, t)
+                demux.fire(t + 30.0)
+                demux.apply_reset(t + 120.0)
+                t += 200.0
+            engine.run()
+            return tuple(tuple(p.times_ps) for p in probes)
+
+        outcome = run_mirrored(build, stimulate)
+        counts = [len(times) for times in outcome["result"]]
+        assert counts[5] == 2 and sum(counts) == 5
+
+
+class TestHCDROStorage:
+    def test_multi_fluxon_store_and_drain(self):
+        def build(engine):
+            cell = engine.add(HCDRO("hc"))
+            probe = engine.add(Probe("out"))
+            cell.connect("q", probe, "in", delay_ps=1.0)
+            return cell, probe
+
+        def stimulate(engine, handle):
+            cell, probe = handle
+            spacing = cell.min_pulse_spacing_ps
+            t = 10.0
+            for _ in range(3):
+                engine.schedule(cell, "d", t)
+                t += spacing
+            for _ in range(4):  # one read more than stored
+                engine.schedule(cell, "clk", t)
+                t += spacing
+            engine.run()
+            return cell.fluxons, cell.dissipated, tuple(probe.times_ps)
+
+        outcome = run_mirrored(build, stimulate)
+        fluxons, _, times = outcome["result"]
+        assert fluxons == 0 and len(times) == 3
+
+    def test_strict_timing_violation_identical(self):
+        """A spacing violation must raise the same error, after the same
+        number of delivered events, on both backends."""
+        def build(engine):
+            return engine.add(HCDRO("hc"))
+
+        def stimulate(engine, cell):
+            engine.schedule(cell, "d", 10.0)
+            engine.schedule(cell, "d", 11.0)  # far too close
+            engine.run()
+
+        outcome = run_mirrored(build, stimulate)
+        name, message = outcome["error"]
+        assert name == TimingViolationError.__name__
+        assert "1.00 ps apart" in message
+        assert outcome["delivered"] == 1  # the raising pulse is not counted
+
+    def test_lenient_mode_dissipates_identically(self):
+        def build(engine):
+            return engine.add(HCDRO("hc"))
+
+        def stimulate(engine, cell):
+            engine.schedule(cell, "d", 10.0)
+            engine.schedule(cell, "d", 11.0)
+            engine.run()
+            return cell.fluxons, cell.dissipated
+
+        outcome = run_mirrored(build, stimulate, strict_timing=False)
+        assert outcome["result"] == (1, 1)
+
+
+class TestFullRegisterFile:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_op_mix(self, seed):
+        """Property-style: a random read/write mix over an 8x8 HiPerRF
+        (HC-DRO cells, LoopBuffer loopback, DEMUX ports, DAND write
+        coincidence) is trace-identical across backends."""
+        def build(engine):
+            return PulseHiPerRF(engine, RFGeometry(8, 8))
+
+        def stimulate(engine, rf):
+            rng = random.Random(seed)
+            t = engine.now_ps + 50.0
+            vals = {}
+            observed = []
+            for _ in range(10):
+                if vals and rng.random() < 0.5:
+                    addr = rng.choice(sorted(vals))
+                    value = rf.read_word(addr, t)
+                    assert value == vals[addr]
+                    observed.append(("r", addr, value))
+                else:
+                    addr = rng.randrange(8)
+                    vals[addr] = rng.getrandbits(8)
+                    rf.write_word(addr, vals[addr], t)
+                    observed.append(("w", addr, vals[addr]))
+                t = engine.now_ps + 50.0
+            stored = tuple(rf.stored_word(a) for a in sorted(vals))
+            return tuple(observed), stored
+
+        outcome = run_mirrored(build, stimulate)
+        assert outcome["trace"], "op mix must generate traffic"
+
+    def test_max_events_interrupt_identical(self):
+        """Hitting the event budget mid-flight leaves both backends in
+        the same (delivered, now) state with the same error."""
+        def build(engine):
+            return PulseHiPerRF(engine, RFGeometry(4, 4))
+
+        def stimulate(engine, rf):
+            rf.schedule_write(2, 0xA, 50.0)
+            engine.run(max_events=100)
+
+        outcome = run_mirrored(build, stimulate)
+        assert outcome["error"][0] == "SimulationError"
+        assert outcome["delivered"] == 100
+
+
+class TestSnapshotRestore:
+    def test_restore_replays_identically(self):
+        engine = Engine(strict_timing=True)
+        rf = PulseHiPerRF(engine, RFGeometry(4, 4))
+        compiled = engine.compile()
+        engine.trace = []
+
+        done = rf.write_word(1, 0x7, 50.0)
+        snap = compiled.snapshot()
+        trace_mark = len(engine.trace)
+
+        assert rf.read_word(1, done + 50.0) == 0x7
+        first_tail = engine.trace[trace_mark:]
+        assert rf.stored_word(1) == 0x7  # loopback restored the value
+
+        compiled.restore(snap)
+        del engine.trace[trace_mark:]
+        assert rf.stored_word(1) == 0x7
+        assert rf.read_word(1, done + 50.0) == 0x7
+        assert engine.trace[trace_mark:] == first_tail
+
+    def test_pristine_restore_matches_fresh_build(self):
+        def build():
+            engine = Engine(strict_timing=True)
+            return PulseHiPerRF(engine, RFGeometry(4, 4))
+
+        def exercise(rf):
+            rf.write_word(3, 0x5, 50.0)
+            rf.engine.trace = []
+            value = rf.read_word(3, rf.engine.now_ps + 50.0)
+            return value, list(rf.engine.trace)
+
+        rf = build()
+        compiled = rf.engine.compile()
+        pristine = compiled.snapshot()
+        first = exercise(rf)
+        compiled.restore(pristine)
+        assert rf.engine.total_delivered == 0
+        assert rf.stored_word(3) == 0
+        second = exercise(rf)
+        assert first == second
+
+
+class TestLintViews:
+    def test_compiled_netlist_still_lints(self):
+        """``repro.lint`` lowers through components(); compiling must
+        not change what it sees."""
+        from repro.lint.graph import graph_from_engine
+
+        engine = Engine(strict_timing=True)
+        rf = PulseHiPerRF(engine, RFGeometry(4, 4))
+        before = graph_from_engine(engine, "hiperrf", rf.external_inputs())
+        engine.compile()
+        after = graph_from_engine(engine, "hiperrf", rf.external_inputs())
+        assert sorted(before.nodes) == sorted(after.nodes)
+        assert len(after.nodes) == engine.num_components

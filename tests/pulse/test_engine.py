@@ -103,6 +103,38 @@ class TestEventOrdering:
         with pytest.raises(SimulationError, match="events"):
             engine.run(max_events=100)
 
+    def test_exactly_max_events_is_legal(self, engine):
+        """Delivering exactly ``max_events`` pulses must not raise; the
+        guard fires only when an (N+1)-th delivery would be needed."""
+        probe = engine.add(Probe("p"))
+        for t in range(5):
+            engine.schedule(probe, "in", float(t))
+        assert engine.run(max_events=5) == 5
+        for t in range(6):
+            engine.schedule(probe, "in", 10.0 + t)
+        with pytest.raises(SimulationError, match="exceeded 5 events"):
+            engine.run(max_events=5)
+        assert probe.count == 10  # 5 + the 5 delivered before the raise
+
+    def test_state_consistent_after_mid_run_error(self, engine):
+        """A cell raising mid-run must leave ``total_delivered`` and
+        ``now_ps`` reflecting the pulses actually delivered."""
+        class Exploding(Probe):
+            def on_pulse(self, port, time_ps):
+                if time_ps >= 30.0:
+                    raise RuntimeError("boom")
+                super().on_pulse(port, time_ps)
+
+        bomb = engine.add(Exploding("bomb"))
+        for t in (10.0, 20.0, 30.0, 40.0):
+            engine.schedule(bomb, "in", t)
+        with pytest.raises(RuntimeError):
+            engine.run()
+        assert engine.total_delivered == 2
+        assert engine.now_ps == 30.0
+        # The engine stays usable: the remaining pulse is still queued.
+        assert engine.pending_events == 1
+
     def test_total_delivered_accumulates(self, engine):
         probe = engine.add(Probe("p"))
         engine.schedule(probe, "in", 1.0)
