@@ -67,6 +67,14 @@ def parallel_map(fn: Callable[[T], R], points: Sequence[T],
     only one worker resolves, fewer than two points exist, or the
     process pool cannot be spawned (sandboxes, missing semaphores);
     exceptions raised by ``fn`` itself always propagate.
+
+    The serial path is a hard contract, not an optimisation: when the
+    resolved worker count is 1 (explicit argument,
+    ``REPRO_SWEEP_WORKERS=1``, or a 1-CPU host) no
+    ``ProcessPoolExecutor`` is ever constructed, so single-core
+    machines never pay pool spawn/pickle overhead for a sweep that
+    would run serially anyway.  ``tests/josim/test_sweep.py`` guards
+    this with a pool-spawn tripwire.
     """
     items = list(points)
     count = resolve_workers(workers)

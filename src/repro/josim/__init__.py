@@ -29,7 +29,12 @@ from repro.josim.elements import (
     Resistor,
 )
 from repro.josim.circuit import Circuit
-from repro.josim.solver import TransientResult, TransientSolver
+from repro.josim.solver import (
+    BatchedTransientSolver,
+    TransientResult,
+    TransientSolver,
+    topology_signature,
+)
 from repro.josim.fluxon import junction_fluxons, loop_fluxons
 from repro.josim.cells import (
     build_dro_cell,
@@ -41,10 +46,13 @@ from repro.josim.sweep import (
     HCDROSummary,
     run_configs,
     simulate_hcdro,
+    simulate_hcdro_batch,
     sweep_map,
+    topology_key,
 )
 
 __all__ = [
+    "BatchedTransientSolver",
     "BiasCurrent",
     "Capacitor",
     "Circuit",
@@ -63,5 +71,8 @@ __all__ = [
     "loop_fluxons",
     "run_configs",
     "simulate_hcdro",
+    "simulate_hcdro_batch",
     "sweep_map",
+    "topology_key",
+    "topology_signature",
 ]

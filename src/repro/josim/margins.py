@@ -8,9 +8,14 @@ where the cell still behaves perfectly (stores exactly ``min(w, 3)``
 fluxons, pops exactly one per clock, empty reads silent).
 
 All sweeps are dispatched through :mod:`repro.josim.sweep`: operating
-points fan out across worker processes and repeated testbench
-configurations (e.g. the shared nominal point of a row/column sweep)
-are simulated once thanks to the keyed run-cache.
+points are grouped by topology (write/read counts and timestep) and
+each group runs as one lane-parallel batched transient — on a 1-CPU
+host the whole grid executes in-process through the batched solver;
+with more workers, whole batches fan out across processes.  Repeated
+testbench configurations (e.g. the shared nominal point of a
+row/column sweep) are simulated once thanks to the keyed run-cache.
+The API here is unchanged by the batched backend: callers still hand
+over grids of scales and get :class:`MarginPoint` verdicts back.
 """
 
 from __future__ import annotations

@@ -1,6 +1,6 @@
 """Trapezoidal transient solver with a Newton iteration per timestep.
 
-Two assembly backends share one Newton driver:
+Three assembly tiers share one set of physics:
 
 * **compiled** (default): at construction the circuit is compiled into
   per-class NumPy stamp structures — junction gather/scatter matrices,
@@ -12,15 +12,29 @@ Two assembly backends share one Newton driver:
   residual, one ``sin``/``cos`` pass over all junctions, two small
   scatter matvecs, and a direct LAPACK ``gesv`` solve — instead of a
   Python walk over the element list.
+* **batched** (:class:`BatchedTransientSolver`): B circuits sharing one
+  :func:`topology_signature` are stacked into lane-major state arrays
+  (``phi``/``v``/``a`` of shape ``(B, n)``) with a ``(B, n, n)``
+  Jacobian.  The structural matrices (incidence, unit-valued sin/cos
+  scatter patterns, source scatter) depend only on the topology and are
+  compiled once per signature; per-lane parameters (``Ic``, bias, pulse
+  amplitudes) are lane data.  One Python-level timestep loop advances
+  every lane: one batched ``sin``/``cos`` pass, one batched residual
+  matmul, per-lane convergence masks with lane freezing (converged
+  lanes drop out of further solves), a batched ``numpy.linalg.solve``
+  over the still-active sub-batch, and lane retirement for uneven
+  stimulus durations.  Per-lane trajectories match the compiled scalar
+  backend to ~1e-9.
 * **reference** (``reference=True``): the original per-element assembly,
   kept as the independently-auditable ground truth.  The equivalence
-  tests drive both backends through the same decks and assert the
+  tests drive all backends through the same decks and assert the
   trajectories agree to ~1e-9.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -500,3 +514,455 @@ class TransientSolver:
                 velocities[row, 1:] = v
                 row += 1
         return times, phases, velocities
+
+
+# ---------------------------------------------------------------------------
+# Batched lane-parallel backend
+# ---------------------------------------------------------------------------
+
+#: Topology signature -> shared structural matrices; topologies are few
+#: (one per cell family), so the cache is left unbounded.
+_STRUCTURE_CACHE: Dict[tuple, "_BatchedStructure"] = {}
+
+
+def topology_signature(circuit: Circuit) -> tuple:
+    """Hashable description of a circuit's *topology*.
+
+    Two circuits with equal signatures have the same node count and the
+    same ordered element list (class + node connectivity); only their
+    element parameters (critical currents, inductances, bias levels,
+    pulse amplitudes/timings) may differ.  Such circuits can be stacked
+    into one :class:`BatchedTransientSolver` batch — this is the
+    grouping contract used by :func:`repro.josim.sweep.run_configs`.
+    """
+    return (circuit.num_nodes,
+            tuple((type(element).__name__, element.pos, element.neg)
+                  for element in circuit.elements))
+
+
+def clear_structure_cache() -> None:
+    """Drop the per-topology structural matrices (mainly for tests)."""
+    _STRUCTURE_CACHE.clear()
+
+
+class _BatchedStructure:
+    """Structural (parameter-free) matrices for one topology signature.
+
+    Everything here depends only on :func:`topology_signature` — the
+    junction incidence matrix, the unit-valued sin/cos scatter patterns
+    (per-lane critical currents are applied as lane data at run time),
+    the source scatter matrix, and the element index lists used to
+    gather per-lane parameter vectors — so one instance is compiled per
+    signature and shared by every batch (and every timestep).
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        n = circuit.num_nodes
+        self.n = n
+        groups = circuit.partition()
+        elements = circuit.elements
+        index_of = {id(e): i for i, e in enumerate(elements)}
+
+        def indices(cls) -> List[int]:
+            return [index_of[id(e)] for e in groups.get(cls, [])]
+
+        self.jj_idx = indices(JosephsonJunction)
+        self.ind_idx = indices(Inductor)
+        self.res_idx = indices(Resistor)
+        self.cap_idx = indices(Capacitor)
+        self.bias_idx = indices(BiasCurrent)
+        self.pulse_idx = indices(PulseCurrent)
+        self.nodes = [(elements[i].pos, elements[i].neg)
+                      for i in range(len(elements))]
+
+        # Junction gather/scatter structure (values of +-1; the signed
+        # per-lane critical currents multiply in at run time).
+        k = len(self.jj_idx)
+        self.num_jj = k
+        incidence = np.zeros((k, n))
+        r_sin = np.zeros((n, k))
+        jc = np.zeros((n * n, k))
+        for col, ei in enumerate(self.jj_idx):
+            p, q = self.nodes[ei]
+            if p > 0:
+                incidence[col, p - 1] = 1.0
+                r_sin[p - 1, col] += 1.0
+                jc[(p - 1) * n + (p - 1), col] += 1.0
+                if q > 0:
+                    jc[(p - 1) * n + (q - 1), col] -= 1.0
+            if q > 0:
+                incidence[col, q - 1] = -1.0
+                r_sin[q - 1, col] -= 1.0
+                jc[(q - 1) * n + (q - 1), col] += 1.0
+                if p > 0:
+                    jc[(q - 1) * n + (p - 1), col] -= 1.0
+        self.incidence_t = incidence.T.copy()       # (n, k): dphi = phi @ this
+        self.r_sin_t = r_sin.T.copy()               # (k, n)
+        self.jc_t = jc.T.copy()                     # (k, n*n)
+
+        # Source scatter (injection INTO pos is a negative outflow).
+        src_idx = self.bias_idx + self.pulse_idx
+        scatter = np.zeros((n, len(src_idx)))
+        for col, ei in enumerate(src_idx):
+            p, q = self.nodes[ei]
+            if p > 0:
+                scatter[p - 1, col] = -1.0
+            if q > 0:
+                scatter[q - 1, col] = 1.0
+        self.src_scatter_t = scatter.T.copy()       # (num_src, n)
+
+
+def _stamp_lanes(matrix: np.ndarray, pos: int, neg: int,
+                 values: np.ndarray) -> None:
+    """Stamp per-lane conductance-like values into a (B, n, n) matrix."""
+    if pos > 0:
+        matrix[:, pos - 1, pos - 1] += values
+        if neg > 0:
+            matrix[:, pos - 1, neg - 1] -= values
+    if neg > 0:
+        matrix[:, neg - 1, neg - 1] += values
+        if pos > 0:
+            matrix[:, neg - 1, pos - 1] -= values
+
+
+class _BatchedStamps:
+    """Per-batch lane parameter arrays over a shared `_BatchedStructure`.
+
+    The same residual split as `_CompiledStamps`, lane-major::
+
+        F_b(phi_b) = J_lin[b] @ phi_b + step_const_b
+                     + ((Ic_b * sin(phi_b @ D.T)) @ R_struct)
+
+    with ``J_lin`` of shape ``(B, n, n)`` assembled from per-lane values
+    at the structural stamp positions, and the Jacobian update the flat
+    batched matmul ``J.ravel() = J_lin.ravel() + (Ic*cos) @ JC_struct``.
+    """
+
+    def __init__(self, circuits: Sequence[Circuit], h: float,
+                 structure: _BatchedStructure) -> None:
+        self.struct = structure
+        n = structure.n
+        batch = len(circuits)
+        self.batch = batch
+        dv = 2.0 / h
+        da = 4.0 / (h * h)
+
+        def lane_values(idx: List[int], attr) -> np.ndarray:
+            return np.array([[attr(ckt.elements[i]) for i in idx]
+                             for ckt in circuits])
+
+        a_phi = np.zeros((batch, n, n))
+        a_v = np.zeros((batch, n, n))
+        a_a = np.zeros((batch, n, n))
+        jj_g = lane_values(structure.jj_idx,
+                           lambda e: KAPPA * e.conductance)
+        jj_c = lane_values(structure.jj_idx,
+                           lambda e: KAPPA * e.capacitance)
+        for col, ei in enumerate(structure.jj_idx):
+            p, q = structure.nodes[ei]
+            _stamp_lanes(a_v, p, q, jj_g[:, col])
+            _stamp_lanes(a_a, p, q, jj_c[:, col])
+        inv_l = lane_values(structure.ind_idx, lambda e: e.inv_l)
+        for col, ei in enumerate(structure.ind_idx):
+            p, q = structure.nodes[ei]
+            _stamp_lanes(a_phi, p, q, inv_l[:, col])
+        res_g = lane_values(structure.res_idx,
+                            lambda e: KAPPA * e.conductance)
+        for col, ei in enumerate(structure.res_idx):
+            p, q = structure.nodes[ei]
+            _stamp_lanes(a_v, p, q, res_g[:, col])
+        cap_c = lane_values(structure.cap_idx,
+                            lambda e: KAPPA * e.capacitance_ff)
+        for col, ei in enumerate(structure.cap_idx):
+            p, q = structure.nodes[ei]
+            _stamp_lanes(a_a, p, q, cap_c[:, col])
+
+        self.a_v = a_v
+        self.a_a = a_a
+        self.j_lin = a_phi + dv * a_v + da * a_a
+        self.j_lin_flat = self.j_lin.reshape(batch, n * n)
+
+        self.ic = lane_values(structure.jj_idx,
+                              lambda e: e.critical_current_ua)
+
+        self.bias_cur = lane_values(structure.bias_idx,
+                                    lambda e: e.current_ua)
+        self.bias_ramp = lane_values(structure.bias_idx,
+                                     lambda e: e.ramp_ps)
+        self.pulse_start = lane_values(structure.pulse_idx,
+                                       lambda e: e.start_ps)
+        self.pulse_amp = lane_values(structure.pulse_idx,
+                                     lambda e: e.amplitude_ua)
+        self.pulse_width = lane_values(structure.pulse_idx,
+                                       lambda e: e.width_ps)
+
+    def _source_values(self, t) -> np.ndarray:
+        """Per-source injected currents: shape ``t.shape + (B, num_src)``."""
+        t = np.asarray(t, dtype=float)
+        tt = t[..., None, None]  # broadcast over (B, num_src) lane arrays
+        columns = []
+        if self.bias_cur.size:
+            ramp = self.bias_ramp
+            denom = np.where(ramp > 0, ramp, 1.0)
+            columns.append(np.where(
+                (ramp <= 0) | (tt >= ramp),
+                self.bias_cur,
+                np.where(tt <= 0, 0.0, self.bias_cur * tt / denom)))
+        if self.pulse_amp.size:
+            x = (tt - self.pulse_start) / self.pulse_width
+            columns.append(np.where(
+                (x >= 0.0) & (x <= 1.0),
+                self.pulse_amp * 0.5 * (1.0 - np.cos(2.0 * np.pi * x)),
+                0.0))
+        if not columns:
+            return np.zeros(t.shape + (self.batch, 0))
+        return np.concatenate(columns, axis=-1)
+
+    def source_residual(self, t) -> np.ndarray:
+        """Signed residual source contribution: ``t.shape + (B, n)``."""
+        return self._source_values(t) @ self.struct.src_scatter_t
+
+
+class BatchedTransientSolver:
+    """Lane-parallel transient solver for same-topology circuit batches.
+
+    Stacks ``B`` circuits sharing one :func:`topology_signature` into
+    lane-major state arrays and advances all of them through one
+    Python-level timestep loop; the Newton iteration is fully vectorized
+    across lanes, converged lanes freeze out of further solves, and
+    lanes with shorter stimulus programs retire early (``run`` takes
+    per-lane durations).  Per-lane trajectories match
+    :class:`TransientSolver`'s compiled path to ~1e-9 — the scalar
+    backend is the equivalence oracle.
+
+    ``labels`` names lanes in :class:`SimulationError` messages (e.g.
+    the sweep layer passes the lane's ``HCDROConfig`` repr) so a failing
+    batch identifies the culprit configuration, not just the timestamp.
+    """
+
+    def __init__(self, circuits: Sequence[Circuit],
+                 timestep_ps: float = 0.05, newton_tol_ua: float = 1e-6,
+                 max_newton_iter: int = 60,
+                 labels: Optional[Sequence[str]] = None) -> None:
+        circuits = list(circuits)
+        if not circuits:
+            raise SimulationError("empty batch")
+        if timestep_ps <= 0:
+            raise SimulationError("timestep must be positive")
+        signatures = []
+        for lane, circuit in enumerate(circuits):
+            circuit.validate()
+            signatures.append(topology_signature(circuit))
+            if signatures[lane] != signatures[0]:
+                raise SimulationError(
+                    f"lane {lane} does not share the batch topology "
+                    f"signature; group circuits with "
+                    f"repro.josim.solver.topology_signature before "
+                    f"batching")
+        if labels is not None and len(labels) != len(circuits):
+            raise SimulationError(
+                f"{len(labels)} labels for {len(circuits)} lanes")
+        self.circuits = circuits
+        self.labels = list(labels) if labels is not None else [
+            f"lane {i}" for i in range(len(circuits))]
+        self.h = timestep_ps
+        self.tol = newton_tol_ua
+        self.max_iter = max_newton_iter
+        self.signature = signatures[0]
+        self._n = circuits[0].num_nodes
+        self._compile()
+
+    def _compile(self) -> None:
+        structure = _STRUCTURE_CACHE.get(self.signature)
+        if structure is None:
+            structure = _BatchedStructure(self.circuits[0])
+            _STRUCTURE_CACHE[self.signature] = structure
+        self._stamps = _BatchedStamps(self.circuits, self.h, structure)
+        self._compiled_element_counts = [
+            len(c.elements) for c in self.circuits]
+
+    def _lane_error(self, lane: int, what: str, t: float) -> SimulationError:
+        return SimulationError(
+            f"lane {lane} ({self.labels[lane]}): {what} at t={t:.3f} ps")
+
+    # -- main entry --------------------------------------------------------
+
+    def run(self, durations_ps, record_every: int = 1,
+            ) -> List[TransientResult]:
+        """Integrate every lane and return one result per lane.
+
+        ``durations_ps`` is a scalar (all lanes) or a per-lane sequence;
+        lanes whose duration ends early retire from the step loop.  The
+        recording contract matches :meth:`TransientSolver.run` per lane
+        (every ``record_every``-th step plus the lane's final step).
+        """
+        batch = len(self.circuits)
+        durations = np.broadcast_to(
+            np.asarray(durations_ps, dtype=float), (batch,))
+        if np.any(durations <= 0):
+            raise SimulationError("duration must be positive")
+        if record_every < 1:
+            raise SimulationError("record_every must be >= 1")
+        if self._compiled_element_counts != [
+                len(c.elements) for c in self.circuits]:
+            self._compile()  # a circuit grew since construction
+        steps = np.array([int(round(float(d) / self.h)) for d in durations])
+        times, phases, velocities, rows = self._run_batched(
+            steps, record_every)
+        results = []
+        for lane in range(batch):
+            upto = rows[lane]
+            results.append(TransientResult(
+                circuit=self.circuits[lane],
+                times_ps=times[lane, :upto].copy(),
+                phases=phases[lane, :upto].copy(),
+                velocities=velocities[lane, :upto].copy()))
+        return results
+
+    def _record_plan(self, steps: np.ndarray, record_every: int):
+        """Lane-major recording buffers sized for the longest lane."""
+        num_rec = [s // record_every + 1 + (1 if s % record_every else 0)
+                   for s in steps]
+        max_rows = max(num_rec)
+        batch = len(steps)
+        times = np.zeros((batch, max_rows))
+        phases = np.zeros((batch, max_rows, self._n + 1))
+        velocities = np.zeros((batch, max_rows, self._n + 1))
+        return times, phases, velocities
+
+    def _run_batched(self, steps: np.ndarray, record_every: int):
+        stamps = self._stamps
+        struct = stamps.struct
+        n = self._n
+        h = self.h
+        tol = self.tol
+        max_iter = self.max_iter
+        batch = len(self.circuits)
+        c1 = 2.0 / h
+        c2 = 4.0 / (h * h)
+        c3 = 4.0 / h
+        phi = np.zeros((batch, n))
+        v = np.zeros((batch, n))
+        a = np.zeros((batch, n))
+        times, phases, velocities = self._record_plan(steps, record_every)
+        rows = np.ones(batch, dtype=int)  # row 0 is the t=0 state
+
+        j_lin = stamps.j_lin
+        j_lin_flat = stamps.j_lin_flat
+        a_v = stamps.a_v
+        a_a = stamps.a_a
+        ic = stamps.ic
+        incidence_t = struct.incidence_t
+        r_sin_t = struct.r_sin_t
+        jc_t = struct.jc_t
+
+        max_steps = int(steps.max())
+        # Whole-transient source table, lane-major; falls back to
+        # per-step evaluation for very long or very wide batches.
+        if max_steps * batch * max(n, 1) <= _SOURCE_TABLE_LIMIT:
+            source_rows = stamps.source_residual(
+                h * np.arange(1, max_steps + 1))
+        else:
+            source_rows = None
+
+        all_lanes = np.arange(batch)
+        min_steps = int(steps.min())
+
+        for step in range(1, max_steps + 1):
+            t = step * h
+            # Lane retirement: while every lane is still running, index
+            # with a slice so the per-step "gathers" are views, not
+            # copies; afterwards fall back to fancy indexing.
+            if step <= min_steps:
+                active = all_lanes
+                gather = slice(None)
+            else:
+                active = np.nonzero(steps >= step)[0]
+                gather = active
+            phi_act = phi[gather]
+            v_act = v[gather]
+            a_act = a[gather]
+            hist = (a_v[gather] @ (c1 * phi_act + v_act)[..., None])[..., 0]
+            step_const = -hist - (
+                a_a[gather] @ (c2 * phi_act + c3 * v_act + a_act)[..., None]
+            )[..., 0]
+            if source_rows is not None:
+                step_const += source_rows[step - 1, gather]
+            else:
+                step_const += stamps.source_residual(t)[gather]
+            j_lin_act = j_lin[gather]
+            j_lin_flat_act = j_lin_flat[gather]
+            ic_act = ic[gather]
+
+            trial = phi_act.copy()  # previous solution is the predictor
+            work = np.arange(len(active))  # lanes still iterating
+            norms = np.zeros(len(active))
+            for _ in range(max_iter):
+                sub = trial[work]
+                dphi = sub @ incidence_t
+                residual = (j_lin_act[work] @ sub[..., None])[..., 0]
+                residual += step_const[work]
+                residual += (ic_act[work] * np.sin(dphi)) @ r_sin_t
+                sub_norms = np.abs(residual).max(axis=1)
+                norms[work] = sub_norms
+                converged = sub_norms < tol
+                if converged.any():
+                    # Lane freezing: converged lanes keep their trial
+                    # phases and drop out of further Newton solves.
+                    keep = ~converged
+                    work = work[keep]
+                    if work.size == 0:
+                        break
+                    residual = residual[keep]
+                    dphi = dphi[keep]
+                jac = (j_lin_flat_act[work]
+                       + (ic_act[work] * np.cos(dphi)) @ jc_t)
+                jac = jac.reshape(-1, n, n)
+                try:
+                    update = np.linalg.solve(
+                        jac, residual[..., None])[..., 0]
+                except np.linalg.LinAlgError as exc:
+                    lane = self._singular_lane(jac, residual, active[work])
+                    raise self._lane_error(
+                        lane, "singular Jacobian", t) from exc
+                # Damped Newton keeps 2pi phase slips stable (per lane).
+                max_step = np.abs(update).max(axis=1)
+                over = max_step > 1.0
+                if over.any():
+                    update[over] /= max_step[over, None]
+                trial[work] -= update
+            if work.size:
+                lane = int(active[work[0]])
+                raise SimulationError(
+                    f"lane {lane} ({self.labels[lane]}): Newton failed "
+                    f"to converge at t={t:.3f} ps "
+                    f"(residual {norms[work[0]]:.3e} uA)")
+            v_new = 2.0 / h * (trial - phi_act) - v_act
+            a_new = 4.0 / (h * h) * (trial - phi_act) - 4.0 / h * v_act - a_act
+            phi[gather] = trial
+            v[gather] = v_new
+            a[gather] = a_new
+            record = (step % record_every == 0) | (steps[active] == step)
+            selected = active[record]
+            if selected.size:
+                at = rows[selected]
+                times[selected, at] = t
+                phases[selected, at, 1:] = phi[selected]
+                velocities[selected, at, 1:] = v[selected]
+                rows[selected] = at + 1
+        return times, phases, velocities, rows
+
+    @staticmethod
+    def _singular_lane(jacobians: np.ndarray, residuals: np.ndarray,
+                       lanes: np.ndarray) -> int:
+        """Identify which lane of a failed stacked solve is singular."""
+        for pos, lane in enumerate(lanes):
+            if not np.isfinite(jacobians[pos]).all():
+                return int(lane)
+            try:
+                solution = np.linalg.solve(jacobians[pos], residuals[pos])
+            except np.linalg.LinAlgError:
+                return int(lane)
+            if not np.isfinite(solution).all():
+                return int(lane)
+        return int(lanes[0])

@@ -1,4 +1,4 @@
-"""Parallel sweep engine for analog cell-margin studies.
+"""Parallel + batched sweep engine for analog cell-margin studies.
 
 Margin maps and cell studies are embarrassingly parallel: each
 operating point is an independent transient simulation.  This module
@@ -10,16 +10,36 @@ provides the shared driver used by :mod:`repro.josim.margins` and the
   and picklable for worker processes.
 * :func:`simulate_hcdro` — run one configuration and reduce it to a
   :class:`HCDROSummary` (the full waveform stays in the worker).
-* :func:`run_configs` — simulate many configurations with a
-  ``ProcessPoolExecutor``, deterministic result ordering, a
-  process-global run-cache so repeated identical configurations are
-  simulated once, and a graceful serial fallback when no pool can be
-  spawned (or only one worker is requested).
+* :func:`simulate_hcdro_batch` — run many *same-topology*
+  configurations as lanes of one batched transient
+  (:class:`~repro.josim.solver.BatchedTransientSolver`).
+* :func:`run_configs` — simulate many configurations with deterministic
+  result ordering and an LRU-bounded process-global run-cache.  Pending
+  configurations are grouped by :func:`topology_key` (write count, read
+  count, timestep — the config-level proxy for
+  :func:`repro.josim.solver.topology_signature`) and each group runs as
+  one batched transient.  With more than one resolved worker, whole
+  batches fan out across a ``ProcessPoolExecutor``; when
+  :func:`resolve_workers` yields 1 (e.g. a 1-CPU host or
+  ``REPRO_SWEEP_WORKERS=1``) everything runs in-process — no pool is
+  ever spawned, so single-CPU machines never pay pool startup for
+  nothing.
 * :func:`sweep_map` — the same parallel/serial machinery for arbitrary
   picklable functions.
 
 Worker count resolution: an explicit ``workers`` argument wins, then
 the ``REPRO_SWEEP_WORKERS`` environment variable, then ``os.cpu_count()``.
+
+Batching is controlled by ``REPRO_JOSIM_BATCH``: unset (default) caps
+batches at 64 lanes, a positive integer overrides the cap, and ``0`` or
+``off`` disables batching entirely (every config goes through the
+scalar solver — the equivalence oracle, and the baseline the batched
+benchmark compares against).
+
+The run-cache is bounded: ``REPRO_JOSIM_CACHE_SIZE`` caps the number of
+retained summaries (default 4096, least-recently-used eviction; ``0``
+or a negative value removes the bound) so long grid studies on small
+machines don't grow memory without limit.
 
 The executor machinery that started here has been generalised into
 :mod:`repro.experiments.parallel` (which adds on-disk result caching);
@@ -29,8 +49,10 @@ existing analog-study callers keep working unchanged.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, TypeVar
+from typing import List, Optional, Sequence, Tuple, TypeVar
 
 from repro.experiments.parallel import (  # noqa: F401  (re-exports)
     WORKERS_ENV_VAR,
@@ -48,6 +70,15 @@ from repro.josim.cells import (
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Environment variable bounding the run-cache (entries; <=0 unbounds it).
+CACHE_SIZE_ENV_VAR = "REPRO_JOSIM_CACHE_SIZE"
+_DEFAULT_CACHE_SIZE = 4096
+
+#: Environment variable controlling batched dispatch: unset -> default
+#: lane cap, positive integer -> that cap, 0/"off" -> scalar solver only.
+BATCH_ENV_VAR = "REPRO_JOSIM_BATCH"
+_DEFAULT_BATCH_LANES = 64
 
 
 @dataclass(frozen=True)
@@ -92,9 +123,47 @@ class HCDROSummary:
                 and self.stored_at_end == 0)
 
 
-#: Process-global run-cache; worker processes fill their own copy, the
-#: parent re-stores returned summaries so later sweeps hit locally.
-_RUN_CACHE: Dict[HCDROConfig, HCDROSummary] = {}
+def topology_key(config: HCDROConfig) -> Tuple[int, int, float]:
+    """Config-level proxy for the batch topology signature.
+
+    Two configs with equal keys build cells with identical netlist
+    structure (same pulse-element counts) at the same timestep, so they
+    can run as lanes of one batched transient.  Amplitudes, bias,
+    spacing and settle time are per-lane data and deliberately absent.
+    """
+    return (config.writes, config.reads, config.timestep_ps)
+
+
+#: Process-global LRU run-cache; worker processes fill their own copy,
+#: the parent re-stores returned summaries so later sweeps hit locally.
+_RUN_CACHE: "OrderedDict[HCDROConfig, HCDROSummary]" = OrderedDict()
+
+
+def _cache_capacity() -> int:
+    """Configured cache bound; <=0 disables the bound."""
+    env = os.environ.get(CACHE_SIZE_ENV_VAR)
+    if env is not None:
+        try:
+            return int(env)
+        except ValueError:
+            pass
+    return _DEFAULT_CACHE_SIZE
+
+
+def _cache_get(config: HCDROConfig) -> Optional[HCDROSummary]:
+    summary = _RUN_CACHE.get(config)
+    if summary is not None:
+        _RUN_CACHE.move_to_end(config)
+    return summary
+
+
+def _cache_put(config: HCDROConfig, summary: HCDROSummary) -> None:
+    _RUN_CACHE[config] = summary
+    _RUN_CACHE.move_to_end(config)
+    capacity = _cache_capacity()
+    if capacity > 0:
+        while len(_RUN_CACHE) > capacity:
+            _RUN_CACHE.popitem(last=False)
 
 
 def clear_run_cache() -> None:
@@ -106,9 +175,23 @@ def run_cache_size() -> int:
     return len(_RUN_CACHE)
 
 
+def batch_lane_limit() -> int:
+    """Max lanes per batched transient; 0 disables batched dispatch."""
+    env = os.environ.get(BATCH_ENV_VAR)
+    if env is not None:
+        lowered = env.strip().lower()
+        if lowered in ("off", "false", "no"):
+            return 0
+        try:
+            return max(0, int(lowered))
+        except ValueError:
+            pass
+    return _DEFAULT_BATCH_LANES
+
+
 def simulate_hcdro(config: HCDROConfig) -> HCDROSummary:
     """Simulate one configuration, consulting the run-cache first."""
-    cached = _RUN_CACHE.get(config)
+    cached = _cache_get(config)
     if cached is not None:
         return cached
     # Imported here so a bare ``import repro.josim.sweep`` stays cheap
@@ -129,8 +212,55 @@ def simulate_hcdro(config: HCDROConfig) -> HCDROSummary:
         stored_after_writes=report.stored_after_writes,
         stored_at_end=report.stored_at_end,
         output_pulses=report.output_pulses)
-    _RUN_CACHE[config] = summary
+    _cache_put(config, summary)
     return summary
+
+
+def simulate_hcdro_batch(
+        configs: Sequence[HCDROConfig]) -> List[HCDROSummary]:
+    """Simulate same-topology configurations as one batched transient.
+
+    The caller is responsible for grouping by :func:`topology_key`
+    (``run_configs`` does); a lane that fails raises
+    :class:`~repro.errors.SimulationError` naming its index and config.
+    """
+    from repro.josim.testbench import run_hcdro_batch
+
+    configs = list(configs)
+    reports = run_hcdro_batch(configs)
+    return [HCDROSummary(
+        config=config,
+        stored_after_writes=report.stored_after_writes,
+        stored_at_end=report.stored_at_end,
+        output_pulses=report.output_pulses)
+        for config, report in zip(configs, reports)]
+
+
+def _simulate_group(group: List[HCDROConfig]) -> List[HCDROSummary]:
+    """Worker entry: one batch (or a scalar run for singleton groups)."""
+    if len(group) == 1:
+        return [simulate_hcdro(group[0])]
+    return simulate_hcdro_batch(group)
+
+
+def _group_pending(pending: Sequence[HCDROConfig]) -> List[List[HCDROConfig]]:
+    """Split pending configs into dispatch units.
+
+    Same-topology configs batch together (up to the configured lane
+    cap, preserving first-seen order); with batching disabled every
+    config is its own scalar dispatch unit.
+    """
+    lane_cap = batch_lane_limit()
+    if lane_cap <= 0:
+        return [[config] for config in pending]
+    by_key: "OrderedDict[tuple, List[HCDROConfig]]" = OrderedDict()
+    for config in pending:
+        by_key.setdefault(topology_key(config), []).append(config)
+    groups: List[List[HCDROConfig]] = []
+    for lanes in by_key.values():
+        for start in range(0, len(lanes), lane_cap):
+            groups.append(lanes[start:start + lane_cap])
+    return groups
 
 
 def run_configs(configs: Sequence[HCDROConfig],
@@ -139,15 +269,33 @@ def run_configs(configs: Sequence[HCDROConfig],
 
     Duplicate configurations (and configurations already in the
     run-cache) are simulated exactly once; the returned list matches
-    ``configs`` element-for-element regardless of worker scheduling.
+    ``configs`` element-for-element regardless of worker scheduling or
+    cache eviction.  Pending work is grouped by :func:`topology_key`
+    and each group runs as one lane-parallel batched transient; when
+    only one worker resolves, batches run in-process (no pool spawn).
     """
     configs = list(configs)
+    results = {}
     pending: List[HCDROConfig] = []
     seen = set()
     for config in configs:
-        if config not in _RUN_CACHE and config not in seen:
-            seen.add(config)
+        if config in seen:
+            continue
+        seen.add(config)
+        cached = _cache_get(config)
+        if cached is not None:
+            results[config] = cached
+        else:
             pending.append(config)
-    for summary in sweep_map(simulate_hcdro, pending, workers=workers):
-        _RUN_CACHE[summary.config] = summary
-    return [_RUN_CACHE[config] for config in configs]
+    groups = _group_pending(pending)
+    if resolve_workers(workers) <= 1 or len(groups) <= 1:
+        # 1-CPU dispatch rule: never pay ProcessPoolExecutor startup
+        # when there is nothing to fan out over.
+        computed = [_simulate_group(group) for group in groups]
+    else:
+        computed = sweep_map(_simulate_group, groups, workers=workers)
+    for summaries in computed:
+        for summary in summaries:
+            _cache_put(summary.config, summary)
+            results[summary.config] = summary
+    return [results[config] for config in configs]

@@ -159,6 +159,53 @@ class TestRecording:
             TransientSolver(ckt, timestep_ps=0.05).run(1.0, record_every=0)
 
 
+class TestSourceTableFallback:
+    """`_run_compiled` precomputes a (steps x nodes) source table unless
+    the run is too long (`_SOURCE_TABLE_LIMIT`); the per-step fallback
+    must produce the same trajectories."""
+
+    def _deck(self):
+        ckt = Circuit()
+        ckt.inductor("LIN", "in", "a", inductance_ph=2.0)
+        ckt.jj("J1", "a", "gnd", critical_current_ua=100.0)
+        ckt.bias("IB", "a", current_ua=70.0, ramp_ps=5.0)
+        ckt.pulse("PIN", "in", start_ps=10.0, amplitude_ua=500.0,
+                  width_ps=4.0)
+        return ckt
+
+    def test_fallback_matches_table_path(self, monkeypatch):
+        import repro.josim.solver as solver_mod
+
+        table = TransientSolver(self._deck(), timestep_ps=0.05).run(60.0)
+        monkeypatch.setattr(solver_mod, "_SOURCE_TABLE_LIMIT", 0)
+        fallback = TransientSolver(self._deck(), timestep_ps=0.05).run(60.0)
+        max_dphi = float(np.max(np.abs(table.phases - fallback.phases)))
+        assert max_dphi <= 1e-12, f"max |dphi| = {max_dphi:.3e}"
+        max_dv = float(np.max(np.abs(
+            table.velocities - fallback.velocities)))
+        assert max_dv <= 1e-9
+
+    def test_limit_actually_gates_the_table(self, monkeypatch):
+        """Guard that the monkeypatched limit really selects the
+        fallback branch (so the equality above is not table-vs-table)."""
+        import repro.josim.solver as solver_mod
+
+        calls = []
+        original = solver_mod._CompiledStamps.source_vector
+
+        def counting(self, t):
+            calls.append(t)
+            return original(self, t)
+
+        monkeypatch.setattr(solver_mod._CompiledStamps, "source_vector",
+                            counting)
+        TransientSolver(self._deck(), timestep_ps=0.05).run(5.0)
+        assert not calls  # table path: no per-step calls
+        monkeypatch.setattr(solver_mod, "_SOURCE_TABLE_LIMIT", 0)
+        TransientSolver(self._deck(), timestep_ps=0.05).run(5.0)
+        assert len(calls) == 100  # one per step
+
+
 class TestTestbenchSingleUse:
     def test_second_run_rejected(self):
         from repro.josim.testbench import HCDROTestbench
