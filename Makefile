@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-josim bench-pulse experiments examples quick all lint-netlists
+.PHONY: install test bench bench-josim bench-pulse bench-cpu experiments examples quick all lint-netlists
 
 install:
 	pip install -e .
@@ -27,6 +27,13 @@ bench-josim:
 bench-pulse:
 	PYTHONPATH=src pytest benchmarks/bench_pulse_engine.py --benchmark-only \
 		--benchmark-json=BENCH_pulse.json
+
+# Tracks the compiled op-tape CPU tier against the reference pipeline
+# on the multi-design Figure 14 sweep (trace cache warm): writes
+# BENCH_cpu.json, including the enforced >= 3x sweep speedup.
+bench-cpu:
+	PYTHONPATH=src pytest benchmarks/bench_cpu.py --benchmark-only \
+		--benchmark-json=BENCH_cpu.json
 
 experiments:
 	hiperrf-experiments all

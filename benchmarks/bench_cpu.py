@@ -1,0 +1,112 @@
+"""Benchmark the compiled op-tape CPU tier against the reference pipeline.
+
+The headline measurement is the multi-design Figure 14 sweep - every
+workload across every register file design in one process - run two
+ways (``make bench-cpu`` writes BENCH_cpu.json):
+
+* **reference**: the pre-tape pipeline - one functional pass per
+  workload, then :class:`~repro.cpu.pipeline.GateLevelPipeline` fed
+  op-by-op for each design,
+* **compiled warm**: op tapes served from a warm on-disk
+  :class:`~repro.cpu.TraceCache` (no functional pass) and replayed
+  through :func:`repro.cpu.replay_tape`'s table-driven loop.
+
+``test_cpu_sweep_speedup_summary`` asserts the >= 3x acceptance bar and
+that both tiers return integer-identical reports.  The CI smoke job
+relaxes the floor (shared runners are noisy) via
+``REPRO_BENCH_CPU_MIN_SPEEDUP`` and runs one timing rep
+(``REPRO_BENCH_REPS=1``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.cpu import TraceCache, simulate_program
+from repro.cpu.rf_model import RF_DESIGN_NAMES
+from repro.experiments.figure14 import FIGURE14_WORKLOADS
+from repro.isa import assemble
+from repro.workloads import get_workload
+
+SCALE = 1.0
+MAX_INSTRUCTIONS = 400_000
+
+MIN_CPU_SPEEDUP = float(os.environ.get("REPRO_BENCH_CPU_MIN_SPEEDUP", "3.0"))
+TIMING_REPS = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+
+
+@pytest.fixture(scope="module")
+def programs():
+    """Assembled once: assembly time is not part of either tier."""
+    return {name: assemble(get_workload(name).build(SCALE))
+            for name in FIGURE14_WORKLOADS}
+
+
+def _sweep(programs, tier, trace_cache=None):
+    return {name: simulate_program(program, RF_DESIGN_NAMES, name,
+                                   max_instructions=MAX_INSTRUCTIONS,
+                                   trace_cache=trace_cache, tier=tier)
+            for name, program in programs.items()}
+
+
+def _sweep_key(reports):
+    """Every integer the equivalence contract covers, per workload/design."""
+    return {name: {design: (r.instructions, r.total_cycles, r.cpi,
+                            r.stall_cycles, r.exit_code)
+                   for design, r in designs.items()}
+            for name, designs in reports.items()}
+
+
+def _best_of(fn, reps: int = TIMING_REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_figure14_sweep_reference(benchmark, programs):
+    reports = benchmark.pedantic(
+        lambda: _sweep(programs, tier="reference"),
+        rounds=TIMING_REPS, iterations=1)
+    benchmark.extra_info["instructions"] = sum(
+        r["ndro_rf"].instructions for r in reports.values())
+
+
+def test_figure14_sweep_compiled_warm(benchmark, programs, tmp_path):
+    cache = TraceCache(tmp_path)
+    _sweep(programs, tier="compiled", trace_cache=cache)  # warm the tapes
+    reports = benchmark.pedantic(
+        lambda: _sweep(programs, tier="compiled", trace_cache=cache),
+        rounds=TIMING_REPS, iterations=1)
+    assert cache.misses == len(FIGURE14_WORKLOADS)  # cold pass only
+    benchmark.extra_info["instructions"] = sum(
+        r["ndro_rf"].instructions for r in reports.values())
+
+
+def test_cpu_sweep_speedup_summary(benchmark, programs, tmp_path):
+    """Record (and enforce) the warm-cache compiled sweep speedup."""
+    cache = TraceCache(tmp_path)
+    compiled_reports = _sweep(programs, tier="compiled", trace_cache=cache)
+    reference_reports = _sweep(programs, tier="reference")
+    assert _sweep_key(compiled_reports) == _sweep_key(reference_reports)
+
+    t_compiled = _best_of(
+        lambda: _sweep(programs, tier="compiled", trace_cache=cache))
+    t_reference = _best_of(lambda: _sweep(programs, tier="reference"))
+    speedup = t_reference / t_compiled
+
+    benchmark.extra_info["workloads"] = len(FIGURE14_WORKLOADS)
+    benchmark.extra_info["designs"] = len(RF_DESIGN_NAMES)
+    benchmark.extra_info["instructions"] = sum(
+        r["ndro_rf"].instructions for r in reference_reports.values())
+    benchmark.extra_info["reference_s"] = t_reference
+    benchmark.extra_info["compiled_warm_s"] = t_compiled
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= MIN_CPU_SPEEDUP, (
+        f"compiled CPU sweep speedup {speedup:.2f}x < {MIN_CPU_SPEEDUP:g}x")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -10,14 +10,22 @@ stages deep and each register file port operation spans two gate cycles
 * :class:`RFTimingModel` - per-design register file timing derived from
   the analytic models in :mod:`repro.rf` (readout cycles, loopback
   cycles, static issue schedule, forwarding capability),
-* :class:`GateLevelPipeline` - the timing engine consuming the
-  functional executor's retirement stream,
+* :class:`GateLevelPipeline` - the reference timing engine consuming the
+  functional executor's retirement stream (and the equivalence oracle
+  for the compiled tier),
+* :class:`OpTape` / :mod:`repro.cpu.compiled` - the retirement stream
+  lowered once into packed arrays and replayed per design with
+  precomputed timing tables (``REPRO_CPU_COMPILED`` selects the tier),
+* :class:`TraceCache` - on-disk tape store keyed by program digest, so
+  reruns of the CPI sweeps skip the functional pass,
 * :class:`CpuSimulator` - program in, :class:`CpiReport` out.
 """
 
 from repro.cpu.config import CoreConfig
 from repro.cpu.rf_model import RF_DESIGN_NAMES, RFTimingModel
 from repro.cpu.pipeline import GateLevelPipeline, StallBreakdown
+from repro.cpu.optape import OpTape, TraceCache, tape_for_program
+from repro.cpu.compiled import replay, replay_tape
 from repro.cpu.stats import CpiReport
 from repro.cpu.simulator import CpuSimulator, simulate_program
 
@@ -26,8 +34,13 @@ __all__ = [
     "CpiReport",
     "CpuSimulator",
     "GateLevelPipeline",
+    "OpTape",
     "RFTimingModel",
     "RF_DESIGN_NAMES",
     "StallBreakdown",
+    "TraceCache",
+    "replay",
+    "replay_tape",
     "simulate_program",
+    "tape_for_program",
 ]

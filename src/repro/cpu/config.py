@@ -32,6 +32,9 @@ class CoreConfig:
     #: Whether not-taken branches flow through without penalty (the
     #: front end fetches fall-through speculatively).
     fall_through_speculation: bool = True
+    #: Architectural register count: bounds every register index the
+    #: timing engines track (RV32I's 32 by default).
+    num_registers: int = 32
 
     def __post_init__(self) -> None:
         for name in ("fetch_depth", "decode_depth", "execute_depth",
@@ -40,6 +43,8 @@ class CoreConfig:
                 raise ConfigError(f"{name} must be non-negative")
         if self.gate_cycle_ps <= 0:
             raise ConfigError("gate_cycle_ps must be positive")
+        if self.num_registers < 1:
+            raise ConfigError("num_registers must be >= 1")
 
     @property
     def branch_redirect_penalty(self) -> int:

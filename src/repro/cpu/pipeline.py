@@ -19,10 +19,11 @@ CPI overheads can be decomposed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.cpu.config import CoreConfig
 from repro.cpu.rf_model import RFTimingModel
+from repro.errors import ExecutionError
 from repro.isa.executor import ExecutedOp
 
 
@@ -76,9 +77,10 @@ class GateLevelPipeline:
         self.config = config or CoreConfig()
         self.memory_model = memory_model
         # Per-register availability (gate cycle at which a read may start)
-        # and the cause that set it ("raw" or "loopback").
-        self._ready_at: Dict[int, int] = {}
-        self._ready_reason: Dict[int, str] = {}
+        # and whether the loopback (rather than a write-back) set it -
+        # fixed-size arrays indexed by architectural register number.
+        self._ready_at: List[int] = [0] * self.config.num_registers
+        self._ready_loopback: List[bool] = [False] * self.config.num_registers
         self._next_issue_ok = 0
         self._front_end_ready = 0
         self._stalls = StallBreakdown()
@@ -89,12 +91,25 @@ class GateLevelPipeline:
 
     # -- per-instruction timing -------------------------------------------
 
+    def _check_register(self, index: int) -> int:
+        """Validate one architectural register index against the config."""
+        if not 0 <= index < self.config.num_registers:
+            raise ExecutionError(
+                f"register index {index} out of range for a "
+                f"{self.config.num_registers}-register file")
+        return index
+
     def feed(self, op: ExecutedOp) -> int:
         """Account one retired instruction; returns its issue cycle."""
         config = self.config
         rf = self.rf
         sources = tuple(dict.fromkeys(op.sources))  # RAR dedup, order kept
+        for src in sources:
+            self._check_register(src)
+        if op.destination is not None:
+            self._check_register(op.destination)
         slots = rf.read_slots_gates(sources)
+        issue_gap = rf.issue_gap_gates(sources, op.destination)
 
         # Constraint 1: the RF ports free up per the static schedule.
         t_port = self._next_issue_ok
@@ -106,12 +121,12 @@ class GateLevelPipeline:
         # slot offsets are port-occupancy bookkeeping, so reads are
         # anchored at issue here.
         t_dep = 0
-        dep_reason = "raw"
+        dep_loopback = False
         for src in sources:
-            ready = self._ready_at.get(src, 0)
+            ready = self._ready_at[src]
             if ready > t_dep:
                 t_dep = ready
-                dep_reason = self._ready_reason.get(src, "raw")
+                dep_loopback = self._ready_loopback[src]
 
         t_issue = max(t_port, t_front, t_dep)
 
@@ -119,22 +134,22 @@ class GateLevelPipeline:
         if t_issue > t_port:
             lost = t_issue - t_port
             if t_dep >= t_front:
-                if dep_reason == "loopback":
+                if dep_loopback:
                     self._stalls.loopback += lost
                 else:
                     self._stalls.raw += lost
             else:
                 self._stalls.branch += lost
-        self._stalls.port += rf.issue_gap_gates(sources, op.destination)
+        self._stalls.port += issue_gap
 
         # Reads happen; loopback keeps each read register busy until the
         # recycled value has landed back in its cells (Section IV-D).
         if rf.has_loopback:
             busy_until = t_issue + rf.loopback_busy_gates()
             for src in sources:
-                if busy_until > self._ready_at.get(src, 0):
+                if busy_until > self._ready_at[src]:
                     self._ready_at[src] = busy_until
-                    self._ready_reason[src] = "loopback"
+                    self._ready_loopback[src] = True
 
         # Operand arrival -> execute -> write-back.  A same-bank source
         # pair serialises its second read two RF cycles later (Figure 12);
@@ -160,15 +175,14 @@ class GateLevelPipeline:
         if op.destination is not None:
             visible = writeback + rf.write_visible_extra_gates()
             self._ready_at[op.destination] = visible
-            self._ready_reason[op.destination] = "raw"
+            self._ready_loopback[op.destination] = False
 
         if op.branch_taken or (op.instr.is_branch
                                and not config.fall_through_speculation):
             self._front_end_ready = exec_done + config.branch_redirect_penalty
             self._branches_taken += 1
 
-        self._next_issue_ok = t_issue + rf.issue_gap_gates(
-            sources, op.destination)
+        self._next_issue_ok = t_issue + issue_gap
         self._instructions += 1
         self._last_completion = max(self._last_completion, writeback)
         return t_issue

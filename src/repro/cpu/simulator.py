@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence
 
+from repro.cpu.compiled import replay
 from repro.cpu.config import CoreConfig
+from repro.cpu.optape import OpTape, TraceCacheLike, tape_for_program
 from repro.cpu.pipeline import GateLevelPipeline
 from repro.cpu.rf_model import RF_DESIGN_NAMES, RFTimingModel
 from repro.cpu.stats import CpiReport
@@ -21,6 +23,11 @@ class CpuSimulator:
     timing.  (The paper's simulator does both in one pass; splitting them
     is equivalent for an in-order core because the instruction stream
     does not depend on timing.)
+
+    ``run_program``/``run_trace`` always use the reference pipeline (the
+    equivalence oracle); ``run_tape`` and :func:`simulate_program` go
+    through the active replay tier (compiled unless ``REPRO_CPU_COMPILED``
+    turns it off).
     """
 
     def __init__(self, design: str = "ndro_rf",
@@ -53,35 +60,59 @@ class CpuSimulator:
         return self.run_program(assemble(source), workload_name, **kwargs)
 
     def run_trace(self, ops: Iterable[ExecutedOp],
-                  workload_name: str = "trace") -> CpiReport:
-        """Time a pre-recorded retirement stream (used by Figure 14 sweeps)."""
+                  workload_name: str = "trace",
+                  max_instructions: int = 2_000_000) -> CpiReport:
+        """Time a pre-recorded retirement stream.
+
+        Enforces the same instruction cap ``run_program`` applies to a
+        live functional pass: a trace longer than ``max_instructions``
+        raises :class:`~repro.errors.ExecutionError`, so pre-recorded
+        replays cannot silently diverge from the figure sweeps' contract.
+        """
         pipeline = GateLevelPipeline(self.rf, self.config)
+        fed = 0
         for op in ops:
+            if fed >= max_instructions:
+                raise ExecutionError(
+                    f"{workload_name}: trace exceeds the "
+                    f"{max_instructions}-instruction limit")
             pipeline.feed(op)
+            fed += 1
         return CpiReport.from_result(workload_name, pipeline.result())
+
+    def run_tape(self, tape: OpTape, workload_name: str = "tape",
+                 tier: Optional[str] = None) -> CpiReport:
+        """Replay a lowered op tape on the active tier."""
+        result = replay(tape, self.rf, self.config, tier=tier)
+        return CpiReport.from_result(workload_name, result,
+                                     exit_code=tape.exit_code)
 
 
 def simulate_program(program: Program, designs: Sequence[str] = RF_DESIGN_NAMES,
                      workload_name: str = "program",
                      config: Optional[CoreConfig] = None,
-                     max_instructions: int = 2_000_000) -> Dict[str, CpiReport]:
-    """Run one program across several designs, reusing one functional pass."""
-    executor = Executor(program)
-    ops = list(executor.trace(max_instructions=max_instructions))
-    if executor.halt_reason is HaltReason.INSTRUCTION_LIMIT:
-        raise ExecutionError(
-            f"{workload_name}: hit the {max_instructions}-instruction limit")
+                     max_instructions: int = 2_000_000,
+                     trace_cache: TraceCacheLike = None,
+                     tier: Optional[str] = None) -> Dict[str, CpiReport]:
+    """Run one program across several designs, reusing one op tape.
+
+    The functional pass is lowered once into an
+    :class:`~repro.cpu.optape.OpTape` and replayed per design - only the
+    per-design timing tables change between replays.  ``trace_cache``
+    (a :class:`~repro.cpu.optape.TraceCache`, a directory path, or
+    ``None`` for ``REPRO_CACHE_DIR``) persists the tape, so a rerun - or
+    the same sweep over additional designs - skips the functional pass
+    entirely.  ``tier`` forces the replay tier; ``None`` follows
+    ``REPRO_CPU_COMPILED``.
+    """
+    config = config or CoreConfig()
+    tape = tape_for_program(program, max_instructions=max_instructions,
+                            num_registers=config.num_registers,
+                            cache=trace_cache, workload_name=workload_name)
     reports: Dict[str, CpiReport] = {}
     for design in designs:
-        simulator = CpuSimulator(design, config)
-        report = simulator.run_trace(ops, workload_name)
-        reports[design] = CpiReport(
-            workload=report.workload,
-            design=report.design,
-            instructions=report.instructions,
-            total_cycles=report.total_cycles,
-            cpi=report.cpi,
-            stall_cycles=report.stall_cycles,
-            exit_code=executor.exit_code,
-        )
+        rf = RFTimingModel.for_design(design, config)
+        result = replay(tape, rf, config, tier=tier)
+        reports[design] = CpiReport.from_result(workload_name, result,
+                                                exit_code=tape.exit_code)
     return reports

@@ -19,11 +19,10 @@ from __future__ import annotations
 import statistics
 from typing import Dict, Optional, Tuple
 
-from repro.cpu import CoreConfig
-from repro.cpu.pipeline import GateLevelPipeline
+from repro.cpu import CoreConfig, replay, tape_for_program
 from repro.cpu.rf_model import RFTimingModel
 from repro.experiments.parallel import CacheLike, cached_map
-from repro.isa import Executor, assemble
+from repro.isa import assemble
 from repro.rf import HiPerRF, NdroRegisterFile, RFGeometry
 from repro.rf.alternatives import SingleBitLoopbackRF
 from repro.workloads import all_workloads
@@ -55,15 +54,14 @@ def _bank_policy_workload(point: Tuple[str, float, int]) -> Dict[str, float]:
 
     name, scale, max_instructions = point
     config = CoreConfig()
-    executor = Executor(assemble(get_workload(name).build(scale)))
-    ops = list(executor.trace(max_instructions=max_instructions))
+    tape = tape_for_program(assemble(get_workload(name).build(scale)),
+                            max_instructions=max_instructions,
+                            num_registers=config.num_registers,
+                            workload_name=name, strict=False)
     cpis = {}
     for design in _POLICY_DESIGNS:
         rf = RFTimingModel.for_design(design, config)
-        pipeline = GateLevelPipeline(rf, config)
-        for op in ops:
-            pipeline.feed(op)
-        cpis[design] = pipeline.result().cpi
+        cpis[design] = replay(tape, rf, config).cpi
     return cpis
 
 

@@ -14,8 +14,8 @@ from __future__ import annotations
 import statistics
 from typing import Dict, List
 
-from repro.cpu import CoreConfig, GateLevelPipeline, RFTimingModel
-from repro.isa import Executor, assemble
+from repro.cpu import CoreConfig, RFTimingModel, replay, tape_for_program
+from repro.isa import assemble
 from repro.rf import HiPerRF, NdroRegisterFile, RFGeometry
 from repro.rf.multibank import MultiBankHiPerRF
 from repro.workloads import all_workloads
@@ -30,20 +30,18 @@ def run(scale: float = 0.6,
     single = HiPerRF(geometry)
 
     config = CoreConfig()
-    traces = []
+    tapes = []
     for workload in all_workloads():
-        executor = Executor(assemble(workload.build(scale)))
-        traces.append(list(executor.trace(max_instructions=max_instructions)))
+        tapes.append(tape_for_program(
+            assemble(workload.build(scale)),
+            max_instructions=max_instructions,
+            num_registers=config.num_registers,
+            workload_name=workload.name, strict=False))
 
     def mean_cpi(design_name: str) -> float:
         rf = RFTimingModel.for_design(design_name, config)
-        cpis = []
-        for ops in traces:
-            pipeline = GateLevelPipeline(rf, config)
-            for op in ops:
-                pipeline.feed(op)
-            cpis.append(pipeline.result().cpi)
-        return statistics.mean(cpis)
+        return statistics.mean(
+            replay(tape, rf, config).cpi for tape in tapes)
 
     base_cpi = mean_cpi("ndro_rf")
     rows: List[Dict[str, float]] = []

@@ -9,7 +9,10 @@ Workloads are independent, so they fan out over a process pool
 (:mod:`repro.experiments.parallel`); per-workload results are cached on
 disk when a :class:`~repro.experiments.parallel.ResultCache` is
 available, so a rerun after an interrupted sweep only simulates what is
-missing.
+missing.  Each worker also persists its functional pass as an op tape
+(:class:`repro.cpu.TraceCache`, same cache root), so re-sweeping with
+more designs or a changed result-cache namespace replays cached tapes
+through the compiled tier instead of re-executing the programs.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from repro.cpu import CoreConfig, simulate_program
 from repro.cpu.rf_model import RF_DESIGN_NAMES
 from repro.errors import ExecutionError
 from repro.experiments import paper_data
-from repro.experiments.parallel import CacheLike, cached_map
+from repro.experiments.parallel import CacheLike, ResultCache, cached_map
 from repro.isa import assemble
 from repro.workloads import PASS_EXIT_CODE, get_workload
 
@@ -52,16 +55,31 @@ class Figure14Result:
         return statistics.mean(self.baseline_cpi.values())
 
 
-_Point = Tuple[str, float, Tuple[str, ...], Optional[CoreConfig], int]
+_Point = Tuple[str, float, Tuple[str, ...], Optional[CoreConfig], int,
+               Optional[str]]
+
+
+def _trace_root(cache: CacheLike) -> Optional[str]:
+    """Directory for the worker's op-tape cache (shared with results).
+
+    ``None`` lets the worker fall back to ``REPRO_CACHE_DIR``, matching
+    :class:`~repro.experiments.parallel.ResultCache` resolution.
+    """
+    if cache is None:
+        return None
+    if isinstance(cache, ResultCache):
+        return str(cache.root)
+    return str(cache)
 
 
 def _run_workload(point: _Point) -> Dict[str, object]:
     """One workload's CPI study: runs in a worker process."""
-    name, scale, designs, config, max_instructions = point
+    name, scale, designs, config, max_instructions, trace_root = point
     workload = get_workload(name)
     program = assemble(workload.build(scale))
     reports = simulate_program(program, designs, name, config=config,
-                               max_instructions=max_instructions)
+                               max_instructions=max_instructions,
+                               trace_cache=trace_root)
     baseline = reports["ndro_rf"]
     if baseline.exit_code != PASS_EXIT_CODE:
         raise ExecutionError(
@@ -84,7 +102,8 @@ def run(scale: float = 1.0, designs: Sequence[str] = RF_DESIGN_NAMES,
     designs = tuple(designs)
     result = Figure14Result(
         overhead_percent={d: {} for d in designs if d != "ndro_rf"})
-    points: list = [(name, scale, designs, config, max_instructions)
+    points: list = [(name, scale, designs, config, max_instructions,
+                     _trace_root(cache))
                     for name in FIGURE14_WORKLOADS]
     keys = [(name, scale, list(designs), config or CoreConfig(),
              max_instructions) for name in FIGURE14_WORKLOADS]

@@ -12,8 +12,8 @@ from __future__ import annotations
 import statistics
 from typing import Callable, Dict
 
-from repro.cpu import CoreConfig, GateLevelPipeline, RFTimingModel
-from repro.isa import Executor, assemble
+from repro.cpu import CoreConfig, RFTimingModel, replay, tape_for_program
+from repro.isa import assemble
 from repro.mem import DirectMappedCache, FlatMemory
 from repro.workloads import all_workloads
 
@@ -27,23 +27,23 @@ MEMORY_CONFIGS: Dict[str, Callable[[], object]] = {
 
 def run(scale: float = 0.6,
         max_instructions: int = 300_000) -> Dict[str, Dict[str, float]]:
-    traces = []
-    for workload in all_workloads():
-        executor = Executor(assemble(workload.build(scale)))
-        traces.append(list(executor.trace(max_instructions=max_instructions)))
     config = CoreConfig()
+    tapes = []
+    for workload in all_workloads():
+        tapes.append(tape_for_program(
+            assemble(workload.build(scale)),
+            max_instructions=max_instructions,
+            num_registers=config.num_registers,
+            workload_name=workload.name, strict=False))
 
     result: Dict[str, Dict[str, float]] = {}
     for mem_name, factory in MEMORY_CONFIGS.items():
         cpis: Dict[str, list] = {"ndro_rf": [], "hiperrf": []}
         for design in cpis:
             rf = RFTimingModel.for_design(design, config)
-            for ops in traces:
-                pipeline = GateLevelPipeline(rf, config,
-                                             memory_model=factory())
-                for op in ops:
-                    pipeline.feed(op)
-                cpis[design].append(pipeline.result().cpi)
+            for tape in tapes:
+                cpis[design].append(
+                    replay(tape, rf, config, memory_model=factory()).cpi)
         base = statistics.mean(cpis["ndro_rf"])
         hiper = statistics.mean(cpis["hiperrf"])
         result[mem_name] = {

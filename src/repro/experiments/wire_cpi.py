@@ -4,6 +4,10 @@ The paper includes PTL wire delays (Table IV) and argues the resulting
 readout-latency growth moves CPI "at most 1%".  This experiment runs the
 Figure 14 sweep twice - with Table III delays and with the wire-aware
 Table IV delays - and reports the per-design CPI shift.
+
+Each workload is lowered once into an op tape (cached on disk under
+``REPRO_CACHE_DIR`` when set) and replayed through the active
+:func:`repro.cpu.replay` tier for every design/wire combination.
 """
 
 from __future__ import annotations
@@ -11,10 +15,9 @@ from __future__ import annotations
 import statistics
 from typing import Dict
 
-from repro.cpu import CoreConfig
-from repro.cpu.pipeline import GateLevelPipeline
+from repro.cpu import CoreConfig, replay, tape_for_program
 from repro.cpu.rf_model import RF_DESIGN_NAMES, RFTimingModel
-from repro.isa import Executor, assemble
+from repro.isa import assemble
 from repro.workloads import all_workloads
 
 
@@ -22,11 +25,13 @@ def run(scale: float = 0.6,
         max_instructions: int = 300_000) -> Dict[str, Dict[str, float]]:
     """Returns per-design mean CPI without and with wire delays."""
     config = CoreConfig()
-    traces = {}
+    tapes = {}
     for workload in all_workloads():
-        executor = Executor(assemble(workload.build(scale)))
-        traces[workload.name] = list(
-            executor.trace(max_instructions=max_instructions))
+        tapes[workload.name] = tape_for_program(
+            assemble(workload.build(scale)),
+            max_instructions=max_instructions,
+            num_registers=config.num_registers,
+            workload_name=workload.name, strict=False)
 
     result: Dict[str, Dict[str, float]] = {}
     for design in RF_DESIGN_NAMES:
@@ -34,11 +39,8 @@ def run(scale: float = 0.6,
         for include_wires in (False, True):
             rf = RFTimingModel.for_design(
                 design, config, include_wire_delays=include_wires)
-            for ops in traces.values():
-                pipeline = GateLevelPipeline(rf, config)
-                for op in ops:
-                    pipeline.feed(op)
-                cpis[include_wires].append(pipeline.result().cpi)
+            for tape in tapes.values():
+                cpis[include_wires].append(replay(tape, rf, config).cpi)
         dry = statistics.mean(cpis[False])
         wet = statistics.mean(cpis[True])
         result[design] = {

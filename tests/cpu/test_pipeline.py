@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cpu import CoreConfig, GateLevelPipeline, RFTimingModel
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ExecutionError
 from repro.isa import Instruction
 from repro.isa.executor import ExecutedOp
 
@@ -38,6 +38,25 @@ class TestConfig:
         assert config.ps_to_gate_cycles(28.0) == 1
         assert config.ps_to_gate_cycles(29.0) == 2
         assert config.ps_to_gate_cycles(177.5) == 7
+
+
+class TestRegisterFileBounds:
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(ExecutionError, match="out of range"):
+            pipeline("ndro_rf").feed(op(rd=1, srcs=(32,)))
+
+    def test_out_of_range_destination_rejected(self):
+        with pytest.raises(ExecutionError, match="out of range"):
+            pipeline("ndro_rf").feed(op(rd=40, srcs=()))
+
+    def test_wider_register_file_accepted(self):
+        pipe = pipeline("ndro_rf", num_registers=64)
+        pipe.feed(op(rd=40, srcs=()))
+        assert pipe.result().instructions == 1
+
+    def test_zero_register_config_rejected(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(num_registers=0)
 
 
 class TestIndependentStream:

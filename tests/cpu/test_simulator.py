@@ -5,7 +5,7 @@ import pytest
 from repro.cpu import CoreConfig, CpuSimulator, simulate_program
 from repro.cpu.stats import CpiReport, cpi_overhead_percent, geometric_mean
 from repro.errors import ExecutionError
-from repro.isa import assemble
+from repro.isa import Executor, assemble
 
 SIMPLE = """
 _start:
@@ -50,6 +50,24 @@ class TestCpuSimulator:
         assert reports["dual_bank_hiperrf_ideal"].cpi <= \
             reports["dual_bank_hiperrf"].cpi
         assert reports["dual_bank_hiperrf"].cpi <= reports["hiperrf"].cpi
+
+    def test_run_trace_enforces_instruction_cap(self):
+        ops = list(Executor(assemble(SIMPLE)).trace(max_instructions=10_000))
+        sim = CpuSimulator("ndro_rf")
+        report = sim.run_trace(ops, "simple", max_instructions=len(ops))
+        assert report.instructions == len(ops)
+        with pytest.raises(ExecutionError, match="limit"):
+            sim.run_trace(ops, "simple", max_instructions=len(ops) - 1)
+
+    def test_tiers_agree(self):
+        program = assemble(SIMPLE)
+        compiled = simulate_program(program, tier="compiled")
+        reference = simulate_program(program, tier="reference")
+        for design in compiled:
+            assert compiled[design].total_cycles == \
+                reference[design].total_cycles
+            assert compiled[design].stall_cycles == \
+                reference[design].stall_cycles
 
     def test_custom_config(self):
         fast = CpuSimulator("ndro_rf", CoreConfig(execute_depth=4))
