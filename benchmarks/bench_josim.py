@@ -7,6 +7,8 @@ on record so the speedup trajectory stays visible in BENCH_josim.json
 times the lane-parallel batched backend against the scalar compiled
 path on a full 5x5 margin grid (x3 write counts = 75 lanes) and
 enforces the single-worker speedup bar.
+``test_megabatch_monte_carlo_yield`` scales the same testbench through
+the chunked Monte Carlo tier and records lanes/sec at each batch size.
 """
 
 import os
@@ -27,6 +29,15 @@ GRID_SCALES = (0.90, 0.95, 1.00, 1.05, 1.10)
 MIN_BATCH_SPEEDUP = float(
     os.environ.get("REPRO_BENCH_BATCH_MIN_SPEEDUP", "3.0"))
 TIMING_REPS = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+
+#: Mega-batch Monte Carlo scenario: lanes/sec at each batch size.  The
+#: committed BENCH_josim.json runs the full ladder; CI smoke caps it
+#: via REPRO_BENCH_MEGABATCH_MAX_LANES and relaxes the speedup floor.
+MEGABATCH_SIZES = (75, 1_000, 10_000, 50_000)
+MEGABATCH_MAX_LANES = int(
+    os.environ.get("REPRO_BENCH_MEGABATCH_MAX_LANES", "50000"))
+MIN_MEGABATCH_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_MEGABATCH_MIN_SPEEDUP", "10.0"))
 
 
 def _best_of(fn, reps: int = TIMING_REPS) -> float:
@@ -126,6 +137,71 @@ def test_batched_margin_grid_speedup(benchmark):
     assert speedup >= MIN_BATCH_SPEEDUP, (
         f"batched margin-grid speedup {speedup:.2f}x "
         f"< {MIN_BATCH_SPEEDUP:g}x")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_megabatch_monte_carlo_yield(benchmark):
+    """Mega-batch Monte Carlo lanes/sec vs the scalar solver.
+
+    Every lane is one full HC-DRO margin-testbench program (3 writes,
+    4 reads) with sampled Ic/L/bias process spreads, evaluated on one
+    worker through the chunked block-diagonal batched tier (peak
+    memory bounded by ``REPRO_JOSIM_CHUNK``, never a ``(B, n, n)``
+    dense stack across the whole batch).  The scalar baseline runs the
+    identical sampled lanes through ``TransientSolver`` one by one;
+    the recorded floor is batched-vs-scalar lanes/sec at the largest
+    batch size.
+    """
+    from repro.josim.montecarlo import (
+        YieldConfig,
+        _build_lane,
+        hcdro_parameter_specs,
+        run_lanes,
+        sample_multipliers,
+    )
+    from repro.josim.solver import TransientSolver
+
+    seed = 20260808
+    specs = hcdro_parameter_specs()
+    sizes = [size for size in MEGABATCH_SIZES
+             if size <= MEGABATCH_MAX_LANES] or [max(MEGABATCH_MAX_LANES, 8)]
+
+    # Scalar baseline: a handful of sampled lanes, one solver each.
+    baseline_lanes = 4
+    base_config = YieldConfig(samples=baseline_lanes, seed=seed,
+                              read_scales=(1.0,))
+    base_multipliers = sample_multipliers(specs, baseline_lanes, seed)
+
+    def scalar_lanes():
+        for row in base_multipliers:
+            handles, _, end = _build_lane(base_config, specs, row, 1.0)
+            TransientSolver(handles.circuit,
+                            timestep_ps=base_config.timestep_ps).run(
+                end, record_every=base_config.record_every)
+
+    t_scalar = _best_of(scalar_lanes)
+    scalar_rate = baseline_lanes / t_scalar
+    benchmark.extra_info["scalar_lanes_per_sec"] = scalar_rate
+
+    rates = {}
+    for size in sizes:
+        config = YieldConfig(samples=size, seed=seed, read_scales=(1.0,))
+        multipliers = sample_multipliers(specs, size, seed)
+        t0 = time.perf_counter()
+        outcomes = run_lanes(config, multipliers, specs, workers=1)
+        elapsed = time.perf_counter() - t0
+        assert len(outcomes) == size
+        rates[size] = size / elapsed
+        benchmark.extra_info[f"lanes_per_sec_B{size}"] = rates[size]
+        benchmark.extra_info[f"elapsed_s_B{size}"] = elapsed
+
+    largest = max(sizes)
+    speedup = rates[largest] / scalar_rate
+    benchmark.extra_info["largest_batch"] = largest
+    benchmark.extra_info["megabatch_speedup"] = speedup
+    assert speedup >= MIN_MEGABATCH_SPEEDUP, (
+        f"mega-batch lanes/sec speedup {speedup:.2f}x at B={largest} "
+        f"< {MIN_MEGABATCH_SPEEDUP:g}x")
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

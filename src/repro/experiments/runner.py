@@ -28,6 +28,7 @@ from repro.experiments import (
     fullchip,
     josim_cells,
     margins,
+    montecarlo,
     profiles,
     memory_sensitivity,
     scaling,
@@ -57,6 +58,7 @@ EXPERIMENTS: Dict[str, Callable[..., str]] = {
     "alternatives": lambda **_: alternatives.render(),
     "ablations": lambda **_: ablations.render(),
     "margins": lambda **_: margins.render(),
+    "montecarlo": lambda **_: montecarlo.render(),
     "synthesis": lambda **_: synthesis.render(),
     "memory": lambda **_: memory_sensitivity.render(),
     "energy": lambda **_: energy.render(),
@@ -77,6 +79,7 @@ def _register_raw() -> None:
                                    banking as _bk, fault_study as _fs,
                                    figure15 as _f15, fullchip as _fc,
                                    josim_cells as _jc, margins as _mg,
+                                   montecarlo as _mc,
                                    memory_sensitivity as _ms,
                                    scaling as _sc, scheduling as _sd,
                                    skew as _sk, synthesis as _sy,
@@ -91,7 +94,8 @@ def _register_raw() -> None:
         "scaling": _sc.run, "alternatives": _al.run, "ablations": _ab.run,
         "banking": _bk.run, "skew": _sk.run, "faults": _fs.run,
         "scheduling": _sd.run, "synthesis": _sy.run, "margins": _mg.run,
-        "memory": _ms.run, "wire_cpi": _wc.run, "josim": _jc.run, "profiles": _pf.run,
+        "memory": _ms.run, "wire_cpi": _wc.run, "josim": _jc.run,
+        "montecarlo": _mc.run, "profiles": _pf.run,
     })
 
 

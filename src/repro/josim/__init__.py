@@ -50,8 +50,16 @@ from repro.josim.sweep import (
     sweep_map,
     topology_key,
 )
+from repro.josim.backend import ArrayBackend, available_backends, get_backend
+from repro.josim.montecarlo import (
+    SpreadSpec,
+    YieldConfig,
+    YieldReport,
+    run_yield_analysis,
+)
 
 __all__ = [
+    "ArrayBackend",
     "BatchedTransientSolver",
     "BiasCurrent",
     "Capacitor",
@@ -62,14 +70,20 @@ __all__ = [
     "JosephsonJunction",
     "PulseCurrent",
     "Resistor",
+    "SpreadSpec",
     "TransientResult",
     "TransientSolver",
+    "YieldConfig",
+    "YieldReport",
+    "available_backends",
     "build_dro_cell",
     "build_hcdro_cell",
     "build_jtl_stage",
+    "get_backend",
     "junction_fluxons",
     "loop_fluxons",
     "run_configs",
+    "run_yield_analysis",
     "simulate_hcdro",
     "simulate_hcdro_batch",
     "sweep_map",

@@ -21,7 +21,10 @@ over grids of scales and get :class:`MarginPoint` verdicts back.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.josim.montecarlo import YieldReport
 
 from repro.josim.cells import (
     RECOMMENDED_J2_BIAS_UA,
@@ -147,3 +150,31 @@ def working_margin_percent(points: Sequence[MarginPoint]) -> float:
         else:
             break
     return 100.0 * min(1.0 - low, high - 1.0)
+
+
+def monte_carlo_yield(samples: int = 1000, seed: int = 1234,
+                      sigma_ic: float = 0.02, sigma_l: float = 0.03,
+                      sigma_bias: float = 0.02,
+                      read_scales: Tuple[float, ...] = (0.95, 1.0, 1.05),
+                      workers: Optional[int] = None) -> "YieldReport":
+    """Statistical complement to the worst-case grid: parametric yield.
+
+    Where :func:`sweep_margin_grid` asks "over what drive window does
+    the *nominal* cell work", this asks "what fraction of *fabricated*
+    cells work at nominal drive" by sampling Gaussian process spreads
+    over every junction Ic, inductance and bias source and running one
+    testbench lane per (sample, read scale) through the mega-batch
+    Monte Carlo tier (:mod:`repro.josim.montecarlo`).
+    """
+    from repro.josim.montecarlo import (
+        SpreadSpec,
+        YieldConfig,
+        run_yield_analysis,
+    )
+
+    config = YieldConfig(
+        samples=samples, seed=seed,
+        spreads=SpreadSpec(sigma_ic=sigma_ic, sigma_l=sigma_l,
+                           sigma_bias=sigma_bias),
+        read_scales=read_scales)
+    return run_yield_analysis(config, workers=workers)

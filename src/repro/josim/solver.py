@@ -14,17 +14,25 @@ Three assembly tiers share one set of physics:
   Python walk over the element list.
 * **batched** (:class:`BatchedTransientSolver`): B circuits sharing one
   :func:`topology_signature` are stacked into lane-major state arrays
-  (``phi``/``v``/``a`` of shape ``(B, n)``) with a ``(B, n, n)``
-  Jacobian.  The structural matrices (incidence, unit-valued sin/cos
-  scatter patterns, source scatter) depend only on the topology and are
-  compiled once per signature; per-lane parameters (``Ic``, bias, pulse
-  amplitudes) are lane data.  One Python-level timestep loop advances
-  every lane: one batched ``sin``/``cos`` pass, one batched residual
-  matmul, per-lane convergence masks with lane freezing (converged
-  lanes drop out of further solves), a batched ``numpy.linalg.solve``
-  over the still-active sub-batch, and lane retirement for uneven
+  (``phi``/``v``/``a`` of shape ``(chunk, n)``).  The structural
+  matrices (incidence, unit-valued sin/cos scatter patterns, linear
+  stamp scatter, source scatter) depend only on the topology and are
+  compiled once per signature; per-lane parameters (``Ic``, ``1/L``,
+  conductances, bias, pulse amplitudes) are stored as compact per-lane
+  *value vectors* and scattered into flat block-diagonal ``(chunk,
+  n*n)`` Jacobian blocks one chunk at a time — a mega-batch of 10^5
+  lanes never materializes a ``(B, n, n)`` dense stack.  Lanes are
+  processed in chunks of ``REPRO_JOSIM_CHUNK`` so peak memory is
+  ``O(chunk * n^2)`` regardless of B; within a chunk one Python-level
+  timestep loop advances every lane: one batched ``sin``/``cos`` pass,
+  one batched residual matmul, per-lane convergence masks with lane
+  freezing (converged lanes drop out of further solves), a batched
+  block-diagonal LU solve over the still-active sub-batch through the
+  :mod:`repro.josim.backend` seam, and lane retirement for uneven
   stimulus durations.  Per-lane trajectories match the compiled scalar
-  backend to ~1e-9.
+  backend to ~1e-9.  :meth:`BatchedTransientSolver.run_reduced` streams
+  per-lane results through a reducer chunk by chunk so yield analyses
+  over 10^4-10^5 lanes never hold every trajectory at once.
 * **reference** (``reference=True``): the original per-element assembly,
   kept as the independently-auditable ground truth.  The equivalence
   tests drive all backends through the same decks and assert the
@@ -33,8 +41,9 @@ Three assembly tiers share one set of physics:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -47,6 +56,7 @@ except ImportError:  # pragma: no cover - scipy is normally available
     _GESV = None
 
 from repro.errors import SimulationError
+from repro.josim.backend import ArrayBackend, get_backend
 from repro.josim.circuit import Circuit
 from repro.josim.elements import (
     BiasCurrent,
@@ -59,8 +69,34 @@ from repro.josim.elements import (
 )
 
 #: Above this many table entries the per-step source fallback is used
-#: instead of precomputing the (steps x nodes) source-current table.
+#: instead of precomputing the source-current table.  The scalar tier
+#: counts ``steps * nodes`` entries; the batched tier must additionally
+#: account for lanes (``steps * nodes * chunk``) or a mega-batch
+#: silently blows memory on the table alone.
 _SOURCE_TABLE_LIMIT = 4_000_000
+
+#: Environment variable capping lanes per batched-solver chunk.  Peak
+#: memory of a batched run is ``O(chunk * n^2)`` (plus the chunk's
+#: recording buffers) regardless of the total lane count; ``0`` or
+#: ``off`` disables chunking (the whole batch runs as one chunk).
+CHUNK_ENV_VAR = "REPRO_JOSIM_CHUNK"
+_DEFAULT_CHUNK_LANES = 2048
+
+R = TypeVar("R")
+
+
+def chunk_lane_limit() -> int:
+    """Configured lanes-per-chunk cap; 0 means a single chunk."""
+    env = os.environ.get(CHUNK_ENV_VAR)
+    if env is not None:
+        lowered = env.strip().lower()
+        if lowered in ("off", "false", "no"):
+            return 0
+        try:
+            return max(0, int(lowered))
+        except ValueError:
+            pass
+    return _DEFAULT_CHUNK_LANES
 
 
 @dataclass
@@ -551,9 +587,18 @@ class _BatchedStructure:
     Everything here depends only on :func:`topology_signature` — the
     junction incidence matrix, the unit-valued sin/cos scatter patterns
     (per-lane critical currents are applied as lane data at run time),
-    the source scatter matrix, and the element index lists used to
-    gather per-lane parameter vectors — so one instance is compiled per
-    signature and shared by every batch (and every timestep).
+    the unit-valued linear stamp scatter matrices (per-lane
+    conductances/inverse-inductances/capacitances multiply in at run
+    time), the source scatter matrix, and the element index lists used
+    to gather per-lane parameter vectors — so one instance is compiled
+    per signature and shared by every batch (and every timestep).
+
+    The linear stamp matrices are the sparse/block-diagonal seam: a
+    two-terminal element between nodes ``(p, q)`` contributes the fixed
+    four-entry ``+-1`` pattern at ``(p,p), (p,q), (q,p), (q,q)`` of the
+    flattened ``(n, n)`` block, so a lane's whole linear Jacobian is
+    the single matvec ``values_lane @ stamp`` — per-lane storage is the
+    compact value vector, never an ``(n, n)`` matrix per element class.
     """
 
     def __init__(self, circuit: Circuit) -> None:
@@ -611,36 +656,65 @@ class _BatchedStructure:
                 scatter[q - 1, col] = 1.0
         self.src_scatter_t = scatter.T.copy()       # (num_src, n)
 
+        # Linear elements grouped by which trapezoidal derivative they
+        # differentiate against: phi (inductors), v (JJ shunts +
+        # resistors), a (JJ capacitances + capacitors).  Each group gets
+        # a unit-valued stamp scatter; lane values multiply at run time.
+        self.phi_idx = list(self.ind_idx)
+        self.v_idx = self.jj_idx + self.res_idx
+        self.a_idx = self.jj_idx + self.cap_idx
+        self.stamp_phi = self._unit_stamps(self.phi_idx)  # (m_phi, n*n)
+        self.stamp_v = self._unit_stamps(self.v_idx)      # (m_v, n*n)
+        self.stamp_a = self._unit_stamps(self.a_idx)      # (m_a, n*n)
 
-def _stamp_lanes(matrix: np.ndarray, pos: int, neg: int,
-                 values: np.ndarray) -> None:
-    """Stamp per-lane conductance-like values into a (B, n, n) matrix."""
-    if pos > 0:
-        matrix[:, pos - 1, pos - 1] += values
-        if neg > 0:
-            matrix[:, pos - 1, neg - 1] -= values
-    if neg > 0:
-        matrix[:, neg - 1, neg - 1] += values
-        if pos > 0:
-            matrix[:, neg - 1, pos - 1] -= values
+    def _unit_stamps(self, element_idx: List[int]) -> np.ndarray:
+        """Unit stamp rows: one flattened (n, n) +-1 pattern per element."""
+        n = self.n
+        stamps = np.zeros((len(element_idx), n * n))
+        for row, ei in enumerate(element_idx):
+            p, q = self.nodes[ei]
+            if p > 0:
+                stamps[row, (p - 1) * n + (p - 1)] += 1.0
+                if q > 0:
+                    stamps[row, (p - 1) * n + (q - 1)] -= 1.0
+            if q > 0:
+                stamps[row, (q - 1) * n + (q - 1)] += 1.0
+                if p > 0:
+                    stamps[row, (q - 1) * n + (p - 1)] -= 1.0
+        return stamps
+
+
+def _capacitance_value(element) -> float:
+    """KAPPA-scaled capacitance for JJ or plain capacitor elements."""
+    if isinstance(element, JosephsonJunction):
+        return KAPPA * element.capacitance
+    return KAPPA * element.capacitance_ff
 
 
 class _BatchedStamps:
-    """Per-batch lane parameter arrays over a shared `_BatchedStructure`.
+    """Per-chunk lane parameter arrays over a shared `_BatchedStructure`.
 
     The same residual split as `_CompiledStamps`, lane-major::
 
         F_b(phi_b) = J_lin[b] @ phi_b + step_const_b
                      + ((Ic_b * sin(phi_b @ D.T)) @ R_struct)
 
-    with ``J_lin`` of shape ``(B, n, n)`` assembled from per-lane values
-    at the structural stamp positions, and the Jacobian update the flat
-    batched matmul ``J.ravel() = J_lin.ravel() + (Ic*cos) @ JC_struct``.
+    Per-lane storage is sparse: compact value vectors per element class
+    (``1/L``, ``KAPPA*G``, ``KAPPA*C``, ``Ic``) scattered through the
+    structure's unit stamp matrices into flat block-diagonal
+    ``(lanes, n*n)`` rows — ``a_v_flat``/``a_a_flat`` for the history
+    terms and ``j_lin_flat`` for the constant linear Jacobian.  One
+    instance covers one *chunk* of lanes, so peak memory is
+    ``O(chunk * n^2)`` however large the full batch is; the Jacobian
+    update stays the flat batched matmul
+    ``J.ravel() = j_lin_flat + (Ic*cos) @ JC_struct``.
     """
 
     def __init__(self, circuits: Sequence[Circuit], h: float,
-                 structure: _BatchedStructure) -> None:
+                 structure: _BatchedStructure,
+                 backend: Optional[ArrayBackend] = None) -> None:
         self.struct = structure
+        self.backend = backend if backend is not None else get_backend()
         n = structure.n
         batch = len(circuits)
         self.batch = batch
@@ -649,41 +723,28 @@ class _BatchedStamps:
 
         def lane_values(idx: List[int], attr) -> np.ndarray:
             return np.array([[attr(ckt.elements[i]) for i in idx]
-                             for ckt in circuits])
+                             for ckt in circuits]).reshape(batch, len(idx))
 
-        a_phi = np.zeros((batch, n, n))
-        a_v = np.zeros((batch, n, n))
-        a_a = np.zeros((batch, n, n))
-        jj_g = lane_values(structure.jj_idx,
-                           lambda e: KAPPA * e.conductance)
-        jj_c = lane_values(structure.jj_idx,
-                           lambda e: KAPPA * e.capacitance)
-        for col, ei in enumerate(structure.jj_idx):
-            p, q = structure.nodes[ei]
-            _stamp_lanes(a_v, p, q, jj_g[:, col])
-            _stamp_lanes(a_a, p, q, jj_c[:, col])
-        inv_l = lane_values(structure.ind_idx, lambda e: e.inv_l)
-        for col, ei in enumerate(structure.ind_idx):
-            p, q = structure.nodes[ei]
-            _stamp_lanes(a_phi, p, q, inv_l[:, col])
-        res_g = lane_values(structure.res_idx,
-                            lambda e: KAPPA * e.conductance)
-        for col, ei in enumerate(structure.res_idx):
-            p, q = structure.nodes[ei]
-            _stamp_lanes(a_v, p, q, res_g[:, col])
-        cap_c = lane_values(structure.cap_idx,
-                            lambda e: KAPPA * e.capacitance_ff)
-        for col, ei in enumerate(structure.cap_idx):
-            p, q = structure.nodes[ei]
-            _stamp_lanes(a_a, p, q, cap_c[:, col])
+        v_vals = lane_values(structure.v_idx,
+                             lambda e: KAPPA * e.conductance)
+        a_vals = lane_values(structure.a_idx, _capacitance_value)
+        phi_vals = lane_values(structure.phi_idx, lambda e: e.inv_l)
 
-        self.a_v = a_v
-        self.a_a = a_a
-        self.j_lin = a_phi + dv * a_v + da * a_a
-        self.j_lin_flat = self.j_lin.reshape(batch, n * n)
-
-        self.ic = lane_values(structure.jj_idx,
-                              lambda e: e.critical_current_ua)
+        # Flat block-diagonal rows; one (n*n,) block per lane, built by
+        # scattering the compact value vectors through the unit stamps.
+        a_v_flat = v_vals @ structure.stamp_v
+        a_a_flat = a_vals @ structure.stamp_a
+        j_lin_flat = (phi_vals @ structure.stamp_phi
+                      + dv * a_v_flat + da * a_a_flat)
+        from_numpy = self.backend.from_numpy
+        self.a_v_flat = from_numpy(np.ascontiguousarray(a_v_flat))
+        self.a_a_flat = from_numpy(np.ascontiguousarray(a_a_flat))
+        self.j_lin_flat = from_numpy(np.ascontiguousarray(j_lin_flat))
+        self.ic = from_numpy(lane_values(
+            structure.jj_idx, lambda e: e.critical_current_ua))
+        self.incidence_t = from_numpy(structure.incidence_t)
+        self.r_sin_t = from_numpy(structure.r_sin_t)
+        self.jc_t = from_numpy(structure.jc_t)
 
         self.bias_cur = lane_values(structure.bias_idx,
                                     lambda e: e.current_ua)
@@ -727,11 +788,17 @@ class BatchedTransientSolver:
     """Lane-parallel transient solver for same-topology circuit batches.
 
     Stacks ``B`` circuits sharing one :func:`topology_signature` into
-    lane-major state arrays and advances all of them through one
-    Python-level timestep loop; the Newton iteration is fully vectorized
-    across lanes, converged lanes freeze out of further solves, and
-    lanes with shorter stimulus programs retire early (``run`` takes
-    per-lane durations).  Per-lane trajectories match
+    lane-major state arrays and advances them through a Python-level
+    timestep loop, ``REPRO_JOSIM_CHUNK`` lanes at a time; the Newton
+    iteration is fully vectorized across a chunk's lanes, converged
+    lanes freeze out of further solves, and lanes with shorter stimulus
+    programs retire early (``run`` takes per-lane durations).  Per-lane
+    parameters live in compact value vectors scattered into flat
+    block-diagonal Jacobian rows per chunk, so a mega-batch never
+    materializes a ``(B, n, n)`` dense stack; the stacked lane solve
+    goes through the :mod:`repro.josim.backend` seam (NumPy's
+    LAPACK-batched kernel by default, the generic batched LU for
+    namespaces without one).  Per-lane trajectories match
     :class:`TransientSolver`'s compiled path to ~1e-9 — the scalar
     backend is the equivalence oracle.
 
@@ -743,7 +810,8 @@ class BatchedTransientSolver:
     def __init__(self, circuits: Sequence[Circuit],
                  timestep_ps: float = 0.05, newton_tol_ua: float = 1e-6,
                  max_newton_iter: int = 60,
-                 labels: Optional[Sequence[str]] = None) -> None:
+                 labels: Optional[Sequence[str]] = None,
+                 backend: Optional[str] = None) -> None:
         circuits = list(circuits)
         if not circuits:
             raise SimulationError("empty batch")
@@ -770,14 +838,27 @@ class BatchedTransientSolver:
         self.max_iter = max_newton_iter
         self.signature = signatures[0]
         self._n = circuits[0].num_nodes
+        self._backend_name = backend
         self._compile()
 
     def _compile(self) -> None:
+        # Re-derive the signature: a circuit that grew since
+        # construction (e.g. a stimulus deck stamped in later) has a
+        # new topology, and every lane must still share it.
+        signatures = [topology_signature(c) for c in self.circuits]
+        for lane, signature in enumerate(signatures):
+            if signature != signatures[0]:
+                raise SimulationError(
+                    f"lane {lane} does not share the batch topology "
+                    f"signature; group circuits with "
+                    f"repro.josim.solver.topology_signature before "
+                    f"batching")
+        self.signature = signatures[0]
         structure = _STRUCTURE_CACHE.get(self.signature)
         if structure is None:
             structure = _BatchedStructure(self.circuits[0])
             _STRUCTURE_CACHE[self.signature] = structure
-        self._stamps = _BatchedStamps(self.circuits, self.h, structure)
+        self._structure = structure
         self._compiled_element_counts = [
             len(c.elements) for c in self.circuits]
 
@@ -796,6 +877,22 @@ class BatchedTransientSolver:
         recording contract matches :meth:`TransientSolver.run` per lane
         (every ``record_every``-th step plus the lane's final step).
         """
+        return self.run_reduced(durations_ps,
+                                lambda lane, result: result,
+                                record_every=record_every)
+
+    def run_reduced(self, durations_ps,
+                    reduce: Callable[[int, TransientResult], R],
+                    record_every: int = 1) -> List[R]:
+        """Integrate lanes chunk by chunk, reducing results as they land.
+
+        ``reduce(lane, result)`` is called with each lane's
+        :class:`TransientResult` as soon as its chunk finishes; the
+        result buffers are dropped before the next chunk starts, so a
+        mega-batch yield analysis holds at most one chunk's
+        trajectories (plus the reduced summaries) in memory.  Returns
+        the reduced values in lane order.
+        """
         batch = len(self.circuits)
         durations = np.broadcast_to(
             np.asarray(durations_ps, dtype=float), (batch,))
@@ -807,17 +904,26 @@ class BatchedTransientSolver:
                 len(c.elements) for c in self.circuits]:
             self._compile()  # a circuit grew since construction
         steps = np.array([int(round(float(d) / self.h)) for d in durations])
-        times, phases, velocities, rows = self._run_batched(
-            steps, record_every)
-        results = []
-        for lane in range(batch):
-            upto = rows[lane]
-            results.append(TransientResult(
-                circuit=self.circuits[lane],
-                times_ps=times[lane, :upto].copy(),
-                phases=phases[lane, :upto].copy(),
-                velocities=velocities[lane, :upto].copy()))
-        return results
+        backend = get_backend(self._backend_name)
+        chunk = chunk_lane_limit()
+        if chunk <= 0:
+            chunk = batch
+        outputs: List[R] = []
+        for start in range(0, batch, chunk):
+            stop = min(start + chunk, batch)
+            stamps = _BatchedStamps(self.circuits[start:stop], self.h,
+                                    self._structure, backend)
+            times, phases, velocities, rows = self._run_batched(
+                stamps, steps[start:stop], record_every, start)
+            for offset in range(stop - start):
+                upto = rows[offset]
+                result = TransientResult(
+                    circuit=self.circuits[start + offset],
+                    times_ps=times[offset, :upto].copy(),
+                    phases=phases[offset, :upto].copy(),
+                    velocities=velocities[offset, :upto].copy())
+                outputs.append(reduce(start + offset, result))
+        return outputs
 
     def _record_plan(self, steps: np.ndarray, record_every: int):
         """Lane-major recording buffers sized for the longest lane."""
@@ -830,38 +936,41 @@ class BatchedTransientSolver:
         velocities = np.zeros((batch, max_rows, self._n + 1))
         return times, phases, velocities
 
-    def _run_batched(self, steps: np.ndarray, record_every: int):
-        stamps = self._stamps
-        struct = stamps.struct
+    def _run_batched(self, stamps: _BatchedStamps, steps: np.ndarray,
+                     record_every: int, lane_offset: int):
+        """Advance one chunk of lanes; ``steps`` is chunk-local."""
+        backend = stamps.backend
+        xp = backend.xp
         n = self._n
         h = self.h
         tol = self.tol
         max_iter = self.max_iter
-        batch = len(self.circuits)
+        batch = stamps.batch
         c1 = 2.0 / h
         c2 = 4.0 / (h * h)
         c3 = 4.0 / h
-        phi = np.zeros((batch, n))
-        v = np.zeros((batch, n))
-        a = np.zeros((batch, n))
+        phi = xp.zeros((batch, n))
+        v = xp.zeros((batch, n))
+        a = xp.zeros((batch, n))
         times, phases, velocities = self._record_plan(steps, record_every)
         rows = np.ones(batch, dtype=int)  # row 0 is the t=0 state
 
-        j_lin = stamps.j_lin
-        j_lin_flat = stamps.j_lin_flat
-        a_v = stamps.a_v
-        a_a = stamps.a_a
+        j_lin_flat = stamps.j_lin_flat              # (batch, n*n)
+        j_lin = j_lin_flat.reshape(batch, n, n)     # block-diagonal view
+        a_v = stamps.a_v_flat.reshape(batch, n, n)
+        a_a = stamps.a_a_flat.reshape(batch, n, n)
         ic = stamps.ic
-        incidence_t = struct.incidence_t
-        r_sin_t = struct.r_sin_t
-        jc_t = struct.jc_t
+        incidence_t = stamps.incidence_t
+        r_sin_t = stamps.r_sin_t
+        jc_t = stamps.jc_t
 
         max_steps = int(steps.max())
-        # Whole-transient source table, lane-major; falls back to
-        # per-step evaluation for very long or very wide batches.
+        # Per-chunk source table; the limit accounts for the chunk's
+        # lane count (steps * n * chunk entries), falling back to
+        # per-step evaluation for very long or very wide chunks.
         if max_steps * batch * max(n, 1) <= _SOURCE_TABLE_LIMIT:
-            source_rows = stamps.source_residual(
-                h * np.arange(1, max_steps + 1))
+            source_rows = backend.from_numpy(stamps.source_residual(
+                h * np.arange(1, max_steps + 1)))
         else:
             source_rows = None
 
@@ -887,9 +996,10 @@ class BatchedTransientSolver:
                 a_a[gather] @ (c2 * phi_act + c3 * v_act + a_act)[..., None]
             )[..., 0]
             if source_rows is not None:
-                step_const += source_rows[step - 1, gather]
+                step_const += source_rows[step - 1][gather]
             else:
-                step_const += stamps.source_residual(t)[gather]
+                step_const += backend.from_numpy(
+                    stamps.source_residual(t))[gather]
             j_lin_act = j_lin[gather]
             j_lin_flat_act = j_lin_flat[gather]
             ic_act = ic[gather]
@@ -902,8 +1012,8 @@ class BatchedTransientSolver:
                 dphi = sub @ incidence_t
                 residual = (j_lin_act[work] @ sub[..., None])[..., 0]
                 residual += step_const[work]
-                residual += (ic_act[work] * np.sin(dphi)) @ r_sin_t
-                sub_norms = np.abs(residual).max(axis=1)
+                residual += (ic_act[work] * xp.sin(dphi)) @ r_sin_t
+                sub_norms = backend.to_numpy(xp.abs(residual).max(axis=1))
                 norms[work] = sub_norms
                 converged = sub_norms < tol
                 if converged.any():
@@ -916,23 +1026,24 @@ class BatchedTransientSolver:
                     residual = residual[keep]
                     dphi = dphi[keep]
                 jac = (j_lin_flat_act[work]
-                       + (ic_act[work] * np.cos(dphi)) @ jc_t)
+                       + (ic_act[work] * xp.cos(dphi)) @ jc_t)
                 jac = jac.reshape(-1, n, n)
                 try:
-                    update = np.linalg.solve(
-                        jac, residual[..., None])[..., 0]
+                    update = backend.solve_lanes(jac, residual)
                 except np.linalg.LinAlgError as exc:
-                    lane = self._singular_lane(jac, residual, active[work])
+                    lane = lane_offset + self._singular_lane(
+                        backend.to_numpy(jac), backend.to_numpy(residual),
+                        active[work])
                     raise self._lane_error(
                         lane, "singular Jacobian", t) from exc
                 # Damped Newton keeps 2pi phase slips stable (per lane).
-                max_step = np.abs(update).max(axis=1)
+                max_step = xp.abs(update).max(axis=1)
                 over = max_step > 1.0
-                if over.any():
-                    update[over] /= max_step[over, None]
+                if bool(over.any()):
+                    update[over] /= max_step[over][:, None]
                 trial[work] -= update
             if work.size:
-                lane = int(active[work[0]])
+                lane = lane_offset + int(active[work[0]])
                 raise SimulationError(
                     f"lane {lane} ({self.labels[lane]}): Newton failed "
                     f"to converge at t={t:.3f} ps "
@@ -947,8 +1058,8 @@ class BatchedTransientSolver:
             if selected.size:
                 at = rows[selected]
                 times[selected, at] = t
-                phases[selected, at, 1:] = phi[selected]
-                velocities[selected, at, 1:] = v[selected]
+                phases[selected, at, 1:] = backend.to_numpy(phi[selected])
+                velocities[selected, at, 1:] = backend.to_numpy(v[selected])
                 rows[selected] = at + 1
         return times, phases, velocities, rows
 

@@ -10,8 +10,9 @@ class TestRunnerCli:
         paper = {"table1", "table2", "table3", "table4", "fullchip",
                  "figure14", "figure15", "timing", "josim"}
         extensions = {"scaling", "wire_cpi", "alternatives", "ablations",
-                      "margins", "synthesis", "memory", "energy",
-                      "banking", "skew", "faults", "scheduling", "profiles"}
+                      "margins", "montecarlo", "synthesis", "memory",
+                      "energy", "banking", "skew", "faults", "scheduling",
+                      "profiles"}
         assert paper <= set(EXPERIMENTS)
         assert extensions <= set(EXPERIMENTS)
 

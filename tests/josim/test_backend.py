@@ -1,0 +1,138 @@
+"""Array-backend seam: resolution rules and the generic LU kernel.
+
+The ``numpy-lu`` backend exists so the fallback LU kernel — the path a
+namespace without a native batched ``solve`` would take — is
+continuously tested against LAPACK on every run, both directly and
+end-to-end through the batched solver.
+"""
+
+import numpy as np
+import pytest
+
+import repro.josim.backend as backend_mod
+from repro.errors import ConfigError
+from repro.josim import BatchedTransientSolver
+from repro.josim.backend import (
+    ArrayBackend,
+    BACKEND_ENV_VAR,
+    available_backends,
+    get_backend,
+    lu_solve_lanes,
+    register_backend,
+)
+from repro.josim.cells import build_jtl_stage
+
+
+def _jtl_deck(bias_fraction=0.7):
+    handles = build_jtl_stage(bias_fraction=bias_fraction)
+    handles.circuit.pulse("PIN", handles.input_node, start_ps=10.0,
+                          amplitude_ua=500.0)
+    return handles.circuit
+
+
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert get_backend().name == "numpy"
+        assert get_backend().xp is np
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy-lu")
+        assert get_backend().name == "numpy-lu"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy-lu")
+        assert get_backend("numpy").name == "numpy"
+
+    def test_name_is_case_and_space_insensitive(self):
+        assert get_backend("  NumPy ").name == "numpy"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigError, match="unknown josim array backend"):
+            get_backend("not-a-backend")
+
+    def test_cupy_unavailable_raises_actionable_error(self):
+        try:
+            import cupy  # noqa: F401
+            pytest.skip("cupy installed - unavailability path not testable")
+        except ImportError:
+            pass
+        backend_mod._CACHE.pop("cupy", None)
+        with pytest.raises(ConfigError, match="cupy is not installed"):
+            get_backend("cupy")
+
+    def test_available_backends_lists_known_names(self):
+        names = available_backends()
+        assert {"numpy", "numpy-lu", "cupy"} <= set(names)
+
+    def test_register_backend_round_trip(self):
+        marker = get_backend("numpy")
+        try:
+            register_backend(
+                "test-alias",
+                lambda: ArrayBackend(name="test-alias", xp=np,
+                                     solve_lanes=marker.solve_lanes,
+                                     to_numpy=marker.to_numpy,
+                                     from_numpy=marker.from_numpy))
+            assert get_backend("test-alias").name == "test-alias"
+        finally:
+            backend_mod._FACTORIES.pop("test-alias", None)
+            backend_mod._CACHE.pop("test-alias", None)
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            register_backend("  ", lambda: get_backend("numpy"))
+
+
+class TestLUKernel:
+    def test_matches_lapack_on_random_batch(self):
+        rng = np.random.default_rng(42)
+        a = rng.standard_normal((64, 6, 6)) + 6.0 * np.eye(6)
+        b = rng.standard_normal((64, 6))
+        x = lu_solve_lanes(np, a, b)
+        np.testing.assert_allclose(x, np.linalg.solve(a, b[..., None])[..., 0],
+                                   atol=1e-10)
+
+    def test_pivoting_handles_zero_leading_diagonal(self):
+        # Leading entry zero in every lane: elimination without partial
+        # pivoting would divide by zero immediately.
+        a = np.array([[[0.0, 1.0], [1.0, 0.0]],
+                      [[0.0, 2.0], [3.0, 1.0]]])
+        b = np.array([[2.0, 3.0], [4.0, 5.0]])
+        x = lu_solve_lanes(np, a, b)
+        np.testing.assert_allclose(x, np.linalg.solve(a, b[..., None])[..., 0],
+                                   atol=1e-12)
+
+    def test_singular_lane_raises(self):
+        a = np.stack([np.eye(3), np.zeros((3, 3))])
+        b = np.ones((2, 3))
+        with pytest.raises(np.linalg.LinAlgError):
+            lu_solve_lanes(np, a, b)
+
+    def test_inputs_not_mutated(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((4, 3, 3)) + 3.0 * np.eye(3)
+        b = rng.standard_normal((4, 3))
+        a_copy, b_copy = a.copy(), b.copy()
+        lu_solve_lanes(np, a, b)
+        np.testing.assert_array_equal(a, a_copy)
+        np.testing.assert_array_equal(b, b_copy)
+
+
+class TestSolverSeam:
+    def test_numpy_lu_backend_matches_default_end_to_end(self):
+        circuits = [_jtl_deck(0.6), _jtl_deck(0.7), _jtl_deck(0.75)]
+        default = BatchedTransientSolver(
+            circuits, timestep_ps=0.05).run(60.0)
+        circuits = [_jtl_deck(0.6), _jtl_deck(0.7), _jtl_deck(0.75)]
+        via_lu = BatchedTransientSolver(
+            circuits, timestep_ps=0.05, backend="numpy-lu").run(60.0)
+        for lane in range(3):
+            max_dphi = float(np.max(np.abs(
+                default[lane].phases - via_lu[lane].phases)))
+            assert max_dphi <= 1e-9, f"lane {lane}: {max_dphi:.3e}"
+
+    def test_unknown_backend_surfaces_at_run(self):
+        solver = BatchedTransientSolver([_jtl_deck()], backend="bogus")
+        with pytest.raises(ConfigError, match="unknown josim array backend"):
+            solver.run(20.0)

@@ -134,6 +134,104 @@ class TestBatchedEquivalence:
             assert max_dphi <= 1e-12, f"lane {lane}: {max_dphi:.3e}"
 
 
+class TestChunkedExecution:
+    """Lane chunking must be invisible except for peak memory."""
+
+    def test_chunk_env_parsing(self, monkeypatch):
+        monkeypatch.delenv(solver_mod.CHUNK_ENV_VAR, raising=False)
+        assert solver_mod.chunk_lane_limit() == 2048
+        monkeypatch.setenv(solver_mod.CHUNK_ENV_VAR, "17")
+        assert solver_mod.chunk_lane_limit() == 17
+        monkeypatch.setenv(solver_mod.CHUNK_ENV_VAR, "off")
+        assert solver_mod.chunk_lane_limit() == 0
+        monkeypatch.setenv(solver_mod.CHUNK_ENV_VAR, "-3")
+        assert solver_mod.chunk_lane_limit() == 0
+        monkeypatch.setenv(solver_mod.CHUNK_ENV_VAR, "nonsense")
+        assert solver_mod.chunk_lane_limit() == 2048
+
+    def test_chunked_hcdro_matches_scalar(self, monkeypatch):
+        """A chunk smaller than the batch leaves the 1e-9 bar intact."""
+        monkeypatch.setenv(solver_mod.CHUNK_ENV_VAR, "2")
+        factory, lane_params, duration, junctions = LANE_DECKS["hcdro"]
+        _assert_lanes_match_scalar(factory, lane_params, duration,
+                                   junctions)
+
+    def test_chunked_matches_unchunked(self, monkeypatch):
+        factory, lane_params, duration, _ = LANE_DECKS["dro"]
+        monkeypatch.setenv(solver_mod.CHUNK_ENV_VAR, "off")
+        whole = BatchedTransientSolver(
+            [factory(*p) for p in lane_params], timestep_ps=0.05,
+        ).run(duration)
+        monkeypatch.setenv(solver_mod.CHUNK_ENV_VAR, "1")
+        chunked = BatchedTransientSolver(
+            [factory(*p) for p in lane_params], timestep_ps=0.05,
+        ).run(duration)
+        for lane in range(len(lane_params)):
+            max_dphi = float(np.max(np.abs(
+                whole[lane].phases - chunked[lane].phases)))
+            assert max_dphi <= 1e-12, f"lane {lane}: {max_dphi:.3e}"
+
+    def test_stamps_built_per_chunk(self, monkeypatch):
+        """Peak stamp width is the chunk size, not the batch size."""
+        monkeypatch.setenv(solver_mod.CHUNK_ENV_VAR, "2")
+        widths = []
+        original = solver_mod._BatchedStamps
+
+        class SpyStamps(original):
+            def __init__(self, circuits, h, structure, backend=None):
+                widths.append(len(circuits))
+                super().__init__(circuits, h, structure, backend)
+
+        monkeypatch.setattr(solver_mod, "_BatchedStamps", SpyStamps)
+        circuits = [_jtl_deck(0.6 + 0.02 * k) for k in range(5)]
+        BatchedTransientSolver(circuits, timestep_ps=0.05).run(40.0)
+        assert widths == [2, 2, 1]
+
+    def test_run_reduced_streams_in_lane_order(self, monkeypatch):
+        monkeypatch.setenv(solver_mod.CHUNK_ENV_VAR, "2")
+        circuits = [_jtl_deck(0.6 + 0.02 * k) for k in range(5)]
+        full = BatchedTransientSolver(circuits, timestep_ps=0.05).run(40.0)
+        circuits = [_jtl_deck(0.6 + 0.02 * k) for k in range(5)]
+        seen = []
+
+        def reduce(lane, result):
+            seen.append(lane)
+            return float(result.phases[-1].max())
+
+        reduced = BatchedTransientSolver(
+            circuits, timestep_ps=0.05).run_reduced(40.0, reduce)
+        assert seen == [0, 1, 2, 3, 4]
+        assert reduced == [float(r.phases[-1].max()) for r in full]
+
+    def test_source_table_limit_accounts_for_chunk_lanes(self, monkeypatch):
+        """Three lanes must trip a limit one lane fits under — and the
+        per-step fallback must reproduce the table path's trajectories."""
+        circuits = [_jtl_deck(0.6), _jtl_deck(0.7), _jtl_deck(0.75)]
+        table = BatchedTransientSolver(circuits, timestep_ps=0.05).run(60.0)
+
+        calls = []
+        original = solver_mod._BatchedStamps.source_residual
+
+        def spy(self, times):
+            calls.append(np.size(times))
+            return original(self, times)
+
+        monkeypatch.setattr(solver_mod._BatchedStamps, "source_residual",
+                            spy)
+        # 60 ps / 0.05 ps = 1200 steps x 4 nodes: one lane needs 4800
+        # table entries, three lanes 14400 - set the limit between.
+        monkeypatch.setattr(solver_mod, "_SOURCE_TABLE_LIMIT", 5000)
+        circuits = [_jtl_deck(0.6), _jtl_deck(0.7), _jtl_deck(0.75)]
+        fallback = BatchedTransientSolver(
+            circuits, timestep_ps=0.05).run(60.0)
+        assert len(calls) > 100, "expected per-step source evaluation"
+        assert max(calls) == 1, "fallback must evaluate one step at a time"
+        for lane in range(3):
+            max_dphi = float(np.max(np.abs(
+                table[lane].phases - fallback[lane].phases)))
+            assert max_dphi <= 1e-12, f"lane {lane}: {max_dphi:.3e}"
+
+
 class TestTopologySignature:
     def test_parameter_changes_keep_signature(self):
         assert (topology_signature(_jtl_deck(0.6, ic_ua=80.0))
@@ -147,7 +245,7 @@ class TestTopologySignature:
         solver_mod.clear_structure_cache()
         first = BatchedTransientSolver([_jtl_deck(0.6), _jtl_deck(0.7)])
         second = BatchedTransientSolver([_jtl_deck(0.75)])
-        assert first._stamps.struct is second._stamps.struct
+        assert first._structure is second._structure
         assert len(solver_mod._STRUCTURE_CACHE) == 1
 
 
