@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-josim bench-pulse bench-cpu experiments examples quick all lint-netlists
+.PHONY: install test bench bench-josim bench-pulse bench-cpu experiments examples quick all lint-netlists lvs
 
 install:
 	pip install -e .
@@ -11,6 +11,14 @@ test:
 # every built-in register-file design.
 lint-netlists:
 	PYTHONPATH=src python -m repro.lint --fail-on error
+
+# Netlist interchange round-trip gate (same as the CI lvs job): every
+# built-in design is lowered to structural Verilog and a JoSIM/SPICE
+# deck, parsed back, and LVS-compared against the in-memory graph;
+# seeded defects (pin swap, dropped wire, duplicated instance, renamed
+# net) must be *detected* by the same comparison.
+lvs:
+	PYTHONPATH=src python -m repro.interchange lvs --with-mutations
 
 bench:
 	pytest benchmarks/ --benchmark-only

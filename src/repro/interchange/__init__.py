@@ -1,0 +1,66 @@
+"""Netlist interchange: emit, parse and LVS-check external formats.
+
+The lint :class:`~repro.lint.graph.CircuitGraph` IR becomes an
+interchange hub here:
+
+* :mod:`repro.interchange.verilog` / :mod:`repro.interchange.spice`
+  lower any ``CircuitGraph`` to structural Verilog or a JoSIM/SPICE
+  subcircuit deck, and parse both formats back into the IR via a
+  cell-name mapper table (:mod:`repro.interchange.cells`) so the
+  SFQ001-SFQ016 rule catalog runs unchanged over externally authored
+  netlists,
+* :mod:`repro.interchange.lvs` proves a parsed netlist structurally
+  equivalent to its golden graph - canonical-labeling graph isomorphism
+  with net/instance matching and a structured mismatch report, surfaced
+  as lint rules SFQ017 (round-trip mismatch) and SFQ018 (unmapped
+  foreign cell),
+* :mod:`repro.interchange.mutate` seeds detectable defects (pin swaps,
+  dropped wires, duplicated instances, net splits) so CI can prove the
+  LVS pass actually *detects* divergence rather than merely passing.
+
+``python -m repro.interchange`` exposes emit / parse / lvs subcommands;
+``make lvs`` runs the round-trip + mutation gate over every built-in
+design.
+"""
+
+from repro.interchange.cells import (
+    DEFAULT_CELLMAP,
+    CellMap,
+    CellSpec,
+    InterchangeError,
+    ParseResult,
+    build_node,
+    cell_spec,
+    fmt_value,
+    node_params,
+)
+from repro.interchange.designs import INTERCHANGE_DESIGNS, design_graphs
+from repro.interchange.lvs import LVSMismatch, LVSReport, lvs, round_trip_lvs
+from repro.interchange.mutate import MUTATIONS, apply_mutation, mutated_roundtrip
+from repro.interchange.spice import emit_spice, parse_spice
+from repro.interchange.verilog import emit_verilog, parse_verilog
+
+__all__ = [
+    "DEFAULT_CELLMAP",
+    "INTERCHANGE_DESIGNS",
+    "CellMap",
+    "CellSpec",
+    "InterchangeError",
+    "LVSMismatch",
+    "LVSReport",
+    "MUTATIONS",
+    "ParseResult",
+    "apply_mutation",
+    "build_node",
+    "cell_spec",
+    "design_graphs",
+    "emit_spice",
+    "emit_verilog",
+    "fmt_value",
+    "lvs",
+    "mutated_roundtrip",
+    "node_params",
+    "parse_spice",
+    "parse_verilog",
+    "round_trip_lvs",
+]

@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.interchange``."""
+
+import sys
+
+from repro.interchange.cli import main
+
+sys.exit(main())

@@ -1,0 +1,315 @@
+"""``python -m repro.interchange``: emit / parse / lvs front end.
+
+Subcommands::
+
+    emit   --design D [--geometry NxW] [--format verilog|spice] [-o FILE]
+    parse  FILE [--format auto|verilog|spice] [--json] [--fail-on SEV]
+    lvs    [--design D ...] [--geometry NxW] [--formats F] [--json]
+           [--report PATH] [--with-mutations] [--seed N]
+    lvs    --files GOLDEN CANDIDATE [--json]
+
+``emit`` lowers a built-in design to structural Verilog or a
+JoSIM/SPICE deck.  ``parse`` reads either format back into the
+CircuitGraph IR and runs the full SFQ001-SFQ016 rule catalog over it
+(plus SFQ018 for unmapped cells), gated like ``python -m repro.lint``.
+``lvs`` is the CI gate: it round-trips every requested design through
+the requested formats and requires a zero-mismatch LVS report;
+``--with-mutations`` additionally plants one seeded defect per
+(design, format, mutation) and requires LVS to *detect* it.
+
+``lvs`` JSON schema (written by ``--json`` / ``--report``)::
+
+    {
+      "geometry": "8x8",
+      "formats": ["verilog", "spice"],
+      "roundtrips": [{"design": ..., "graph": ..., "format": ...,
+                      "ok": bool, ... per-LVSReport fields,
+                      "mismatches": [{"kind", "object", "detail"}, ...],
+                      "unmapped_cells": [...]}, ...],
+      "mutations": [{"design": ..., "graph": ..., "format": ...,
+                     "mutation": ..., "description": ...,
+                     "detected": bool, "mismatches": N}, ...],
+      "summary": {"roundtrips": N, "clean": N,
+                  "mutations": N, "detected": N, "ok": bool}
+    }
+
+Exit status: 0 when every round-trip is clean and every seeded
+mutation is detected, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.interchange.cells import DEFAULT_CELLMAP, InterchangeError
+from repro.interchange.designs import INTERCHANGE_DESIGNS, design_graphs
+from repro.interchange.lvs import lvs, round_trip_lvs
+from repro.interchange.mutate import MUTATIONS, mutated_roundtrip
+from repro.interchange.spice import emit_spice, parse_spice
+from repro.interchange.verilog import emit_verilog, parse_verilog
+from repro.lint.designs import DEFAULT_GEOMETRY, lint_graph
+from repro.lint.report import LintReport, Severity
+from repro.lint.rules import make_issue
+from repro.rf import RFGeometry
+
+FORMATS: tuple[str, ...] = ("verilog", "spice")
+
+
+def _parse_geometry(text: str) -> RFGeometry:
+    try:
+        registers, _, bits = text.partition("x")
+        return RFGeometry(int(registers), int(bits))
+    except (ValueError, ConfigError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"bad geometry {text!r} (want e.g. 8x8): {exc}") from None
+
+
+def _parse_formats(text: str) -> tuple[str, ...]:
+    if text == "both":
+        return FORMATS
+    formats = tuple(part.strip() for part in text.split(",") if part.strip())
+    for fmt in formats:
+        if fmt not in FORMATS:
+            raise argparse.ArgumentTypeError(
+                f"unknown format {fmt!r} (want verilog, spice or both)")
+    return formats
+
+
+def detect_format(text: str) -> str:
+    """``spice`` when a ``.subckt`` card appears, else ``verilog``."""
+    if re.search(r"^\s*\.subckt\b", text, re.MULTILINE | re.IGNORECASE):
+        return "spice"
+    return "verilog"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.interchange",
+        description="Netlist interchange (structural Verilog + JoSIM/SPICE) "
+                    "and LVS equivalence checking for the SFQ designs.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    emit = sub.add_parser("emit", help="lower a built-in design")
+    emit.add_argument("--design", choices=INTERCHANGE_DESIGNS,
+                      required=True)
+    emit.add_argument("--geometry", type=_parse_geometry,
+                      default=DEFAULT_GEOMETRY, metavar="NxW")
+    emit.add_argument("--format", choices=FORMATS, default="verilog")
+    emit.add_argument("-o", "--output", default=None, metavar="FILE",
+                      help="write to FILE instead of stdout")
+
+    parse = sub.add_parser("parse", help="parse a netlist and lint it")
+    parse.add_argument("file", metavar="FILE")
+    parse.add_argument("--format", choices=("auto", *FORMATS),
+                       default="auto")
+    parse.add_argument("--json", action="store_true",
+                       help="emit the lint JSON report")
+    parse.add_argument("--fail-on",
+                       choices=("error", "warning", "info", "never"),
+                       default="error")
+
+    gate = sub.add_parser("lvs", help="round-trip LVS gate")
+    gate.add_argument("--design", action="append",
+                      choices=INTERCHANGE_DESIGNS, default=None,
+                      help="design to round-trip (repeatable; default all)")
+    gate.add_argument("--geometry", type=_parse_geometry,
+                      default=DEFAULT_GEOMETRY, metavar="NxW")
+    gate.add_argument("--formats", type=_parse_formats, default=FORMATS,
+                      metavar="F", help="verilog, spice or both")
+    gate.add_argument("--files", nargs=2, metavar=("GOLDEN", "CANDIDATE"),
+                      default=None,
+                      help="compare two netlist files instead of "
+                           "round-tripping built-ins")
+    gate.add_argument("--json", action="store_true")
+    gate.add_argument("--report", default=None, metavar="PATH",
+                      help="also write the JSON report to PATH")
+    gate.add_argument("--with-mutations", action="store_true",
+                      help="verify seeded defects are detected")
+    gate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _parse_file(path: str, fmt: str) -> tuple[str, list]:
+    text = Path(path).read_text(encoding="utf-8")
+    fmt = detect_format(text) if fmt == "auto" else fmt
+    parser = parse_verilog if fmt == "verilog" else parse_spice
+    return fmt, parser(text, DEFAULT_CELLMAP)
+
+
+def _cmd_emit(args: argparse.Namespace) -> int:
+    emitter = emit_verilog if args.format == "verilog" else emit_spice
+    text = "".join(emitter(graph)
+                   for graph in design_graphs(args.design, args.geometry))
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_parse(args: argparse.Namespace) -> int:
+    _fmt, results = _parse_file(args.file, args.format)
+    report = LintReport()
+    for result in results:
+        report.merge(lint_graph(result.graph))
+        for inst, cell in sorted(result.unknown_cells):
+            report.add(make_issue(
+                "SFQ018", inst,
+                f"cell {cell!r} is not in the mapper table",
+                design=result.graph.name))
+    print(report.to_json() if args.json else report.render())
+    if args.fail_on == "never":
+        return 0
+    worst = report.worst_severity()
+    return int(worst is not None and worst >= Severity.parse(args.fail_on))
+
+
+def _cmd_lvs_files(args: argparse.Namespace) -> int:
+    _gfmt, golden = _parse_file(args.files[0], "auto")
+    _cfmt, candidate = _parse_file(args.files[1], "auto")
+    by_name = {r.graph.name: r for r in candidate}
+    reports = []
+    for g_result in golden:
+        c_result = by_name.get(g_result.graph.name)
+        if c_result is None:
+            if len(golden) == 1 and len(candidate) == 1:
+                c_result = candidate[0]
+            else:
+                print(f"no candidate module matches {g_result.graph.name!r}")
+                return 1
+        reports.append(lvs(g_result.graph, c_result.graph,
+                           unmapped_cells=(g_result.unknown_cells
+                                           + c_result.unknown_cells)))
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    return int(not all(r.ok for r in reports))
+
+
+def run_lvs_gate(designs: Sequence[str], geometry: RFGeometry,
+                 formats: Sequence[str], *, with_mutations: bool = False,
+                 seed: int = 0) -> dict:
+    """The machine-readable round-trip (+ mutation-detection) gate."""
+    roundtrips = []
+    mutations = []
+    for design in designs:
+        graphs = design_graphs(design, geometry)
+        for graph in graphs:
+            for fmt in formats:
+                report = round_trip_lvs(graph, fmt)
+                entry = {"design": design, "graph": graph.name,
+                         "format": fmt}
+                entry.update(report.as_dict())
+                roundtrips.append(entry)
+        if with_mutations:
+            # One graph per design keeps the gate fast; the dual-bank
+            # banks are structurally identical anyway.
+            graph = graphs[0]
+            for fmt in formats:
+                for mutation in MUTATIONS:
+                    try:
+                        report, description = mutated_roundtrip(
+                            graph, mutation, fmt, seed=seed)
+                    except InterchangeError as exc:
+                        # Not every defect family applies to every
+                        # topology (a pure splitter tree has no
+                        # two-input instance to pin-swap).
+                        mutations.append({
+                            "design": design, "graph": graph.name,
+                            "format": fmt, "mutation": mutation,
+                            "description": str(exc),
+                            "detected": None, "mismatches": 0,
+                        })
+                        continue
+                    mutations.append({
+                        "design": design, "graph": graph.name,
+                        "format": fmt, "mutation": mutation,
+                        "description": description,
+                        "detected": not report.ok,
+                        "mismatches": len(report.mismatches),
+                    })
+    clean = sum(1 for entry in roundtrips if entry["ok"])
+    applicable = [entry for entry in mutations
+                  if entry["detected"] is not None]
+    detected = sum(1 for entry in applicable if entry["detected"])
+    return {
+        "geometry": geometry.label(),
+        "formats": list(formats),
+        "roundtrips": roundtrips,
+        "mutations": mutations,
+        "summary": {
+            "roundtrips": len(roundtrips),
+            "clean": clean,
+            "mutations": len(applicable),
+            "detected": detected,
+            "ok": clean == len(roundtrips) and detected == len(applicable),
+        },
+    }
+
+
+def _render_gate(payload: dict) -> str:
+    lines = []
+    for entry in payload["roundtrips"]:
+        status = "ok  " if entry["ok"] else "FAIL"
+        lines.append(f"{status} roundtrip {entry['graph']}[{entry['format']}]"
+                     f": {entry['matched']}/{entry['golden_nodes']} matched, "
+                     f"{len(entry['mismatches'])} mismatch(es)")
+        for mismatch in entry["mismatches"]:
+            lines.append(f"       {mismatch['kind']} {mismatch['object']}: "
+                         f"{mismatch['detail']}")
+    for entry in payload["mutations"]:
+        if entry["detected"] is None:
+            lines.append(f"skip mutation  {entry['graph']}"
+                         f"[{entry['format']}] {entry['mutation']}: "
+                         f"{entry['description']}")
+            continue
+        status = "ok  " if entry["detected"] else "FAIL"
+        lines.append(f"{status} mutation  {entry['graph']}[{entry['format']}]"
+                     f" {entry['mutation']}: {entry['description']} -> "
+                     f"{'detected' if entry['detected'] else 'MISSED'} "
+                     f"({entry['mismatches']} mismatch(es))")
+    summary = payload["summary"]
+    lines.append(f"{summary['clean']}/{summary['roundtrips']} round-trips "
+                 f"clean, {summary['detected']}/{summary['mutations']} "
+                 f"mutations detected")
+    return "\n".join(lines)
+
+
+def _cmd_lvs(args: argparse.Namespace) -> int:
+    if args.files:
+        return _cmd_lvs_files(args)
+    designs = tuple(args.design) if args.design else INTERCHANGE_DESIGNS
+    payload = run_lvs_gate(designs, args.geometry, args.formats,
+                           with_mutations=args.with_mutations,
+                           seed=args.seed)
+    if args.report:
+        Path(args.report).write_text(json.dumps(payload, indent=2) + "\n",
+                                     encoding="utf-8")
+    print(json.dumps(payload, indent=2) if args.json
+          else _render_gate(payload))
+    return int(not payload["summary"]["ok"])
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "emit":
+            return _cmd_emit(args)
+        if args.command == "parse":
+            return _cmd_parse(args)
+        return _cmd_lvs(args)
+    except (InterchangeError, ConfigError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

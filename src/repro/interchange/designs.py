@@ -1,0 +1,46 @@
+"""Golden graphs the interchange CI gate round-trips.
+
+The three built-in register files come straight from the lint driver's
+:func:`~repro.lint.designs.pulse_graphs`; split/merge trees are added
+as small standalone designs so the interconnect-only shapes (pure
+splitter fan-out, pure merger fan-in) are covered independently of the
+full register files.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.lint.designs import BUILTIN_DESIGNS, DEFAULT_GEOMETRY, pulse_graphs
+from repro.lint.graph import CircuitGraph, graph_from_engine
+from repro.pulse import Engine
+from repro.pulse.primitives import Sink
+from repro.pulse.splittree import MergeTree, SplitTree
+from repro.rf import RFGeometry
+
+#: Every design the LVS gate must round-trip cleanly.
+INTERCHANGE_DESIGNS: tuple[str, ...] = (*BUILTIN_DESIGNS,
+                                        "split_tree", "merge_tree")
+
+
+def design_graphs(name: str,
+                  geometry: RFGeometry | None = None) -> list[CircuitGraph]:
+    """Golden graph(s) for one interchange design."""
+    geometry = geometry or DEFAULT_GEOMETRY
+    if name in BUILTIN_DESIGNS:
+        return [graph for graph, _objects in pulse_graphs(name, geometry)]
+    if name == "split_tree":
+        engine = Engine()
+        tree = SplitTree(engine, "st", geometry.num_registers)
+        for i in range(tree.num_outputs):
+            sink = engine.add(Sink(f"st.sink{i}"))
+            tree.connect_output(i, sink, "in")
+        return [graph_from_engine(engine, name, tree.external_inputs())]
+    if name == "merge_tree":
+        engine = Engine()
+        tree = MergeTree(engine, "mt", geometry.num_registers)
+        sink = engine.add(Sink("mt.sink"))
+        comp, port = tree.out
+        comp.connect(port, sink, "in")
+        return [graph_from_engine(engine, name, tree.external_inputs())]
+    raise ConfigError(f"unknown interchange design {name!r}; known: "
+                      f"{', '.join(INTERCHANGE_DESIGNS)}")

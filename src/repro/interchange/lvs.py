@@ -1,0 +1,319 @@
+"""LVS: structural equivalence between two circuit graphs.
+
+Layout-versus-schematic style: instances are matched first by name
+(round-trips preserve names, so this resolves almost everything), then
+leftovers are matched by *canonical labeling* - a joint
+Weisfeiler-Lehman-style iterative refinement over both graphs, where a
+node's label folds in its kind, port list, external pins, and the
+labels of its neighbours across named pins.  Running the refinement
+jointly (one shared interning table, deterministic sorted assignment)
+makes labels comparable across the two graphs without any naming
+assumptions.
+
+The output is a structured :class:`LVSReport`, not a bare pass/fail:
+missing/extra instances, swapped pins (two ports whose driver sets are
+exchanged), net splits/merges (lost or gained wires), wire-delay and
+parameter drift, and external-pin disagreements - each anchored to an
+instance so reports stay localized.  :meth:`LVSReport.to_issues` lifts
+mismatches into lint rule SFQ017 and unmapped foreign cells into
+SFQ018, so the standard lint gating and JSON report machinery apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interchange.cells import DEFAULT_CELLMAP, CellMap, fmt_value
+from repro.interchange.spice import emit_spice, parse_spice
+from repro.interchange.verilog import emit_verilog, parse_verilog
+from repro.lint.graph import CircuitGraph, PortRef
+from repro.lint.report import LintIssue
+from repro.lint.rules import make_issue
+
+#: Mismatch kinds, in the order :meth:`LVSReport.render` groups them.
+MISMATCH_KINDS: tuple[str, ...] = (
+    "missing-instance", "extra-instance", "kind-mismatch", "pin-swap",
+    "missing-wire", "extra-wire", "delay-mismatch", "param-mismatch",
+    "external-mismatch")
+
+
+@dataclass(frozen=True)
+class LVSMismatch:
+    """One localized structural disagreement."""
+
+    kind: str
+    obj: str
+    detail: str
+
+
+@dataclass
+class LVSReport:
+    """Structured result of one golden-vs-candidate comparison."""
+
+    golden: str
+    candidate: str
+    golden_nodes: int
+    candidate_nodes: int
+    matched: int
+    mismatches: list[LVSMismatch] = field(default_factory=list)
+    #: ``(instance, cell_name)`` pairs the parser could not resolve.
+    unmapped_cells: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.unmapped_cells
+
+    def sorted_mismatches(self) -> list[LVSMismatch]:
+        order = {kind: i for i, kind in enumerate(MISMATCH_KINDS)}
+        return sorted(self.mismatches,
+                      key=lambda m: (order.get(m.kind, len(order)),
+                                     m.obj, m.detail))
+
+    def to_issues(self, design: str = "") -> list[LintIssue]:
+        """SFQ017 per mismatch, SFQ018 per unmapped foreign cell."""
+        design = design or self.golden
+        issues = [make_issue("SFQ017", m.obj, f"{m.kind}: {m.detail}",
+                             design=design)
+                  for m in self.sorted_mismatches()]
+        for inst, cell in sorted(self.unmapped_cells):
+            issues.append(make_issue(
+                "SFQ018", inst,
+                f"cell {cell!r} is not in the mapper table; register an "
+                "alias or extend the cell specs", design=design))
+        return issues
+
+    def render(self) -> str:
+        status = "clean" if self.ok else "MISMATCH"
+        lines = [f"LVS {self.golden} vs {self.candidate}: {status} "
+                 f"({self.matched}/{self.golden_nodes} instances matched, "
+                 f"{len(self.mismatches)} mismatch(es), "
+                 f"{len(self.unmapped_cells)} unmapped cell(s))"]
+        for m in self.sorted_mismatches():
+            lines.append(f"  {m.kind:18s} {m.obj}: {m.detail}")
+        for inst, cell in sorted(self.unmapped_cells):
+            lines.append(f"  {'unmapped-cell':18s} {inst}: {cell}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "golden": self.golden,
+            "candidate": self.candidate,
+            "ok": self.ok,
+            "golden_nodes": self.golden_nodes,
+            "candidate_nodes": self.candidate_nodes,
+            "matched": self.matched,
+            "mismatches": [{"kind": m.kind, "object": m.obj,
+                            "detail": m.detail}
+                           for m in self.sorted_mismatches()],
+            "unmapped_cells": [{"instance": inst, "cell": cell}
+                               for inst, cell in sorted(self.unmapped_cells)],
+        }
+
+
+# -- canonical labeling -----------------------------------------------------
+
+
+def _external_ports(graph: CircuitGraph) -> dict[str, set[str]]:
+    by_node: dict[str, set[str]] = {}
+    for ref in graph.externals:
+        by_node.setdefault(ref.node, set()).add(ref.port)
+    return by_node
+
+
+def canonical_labels(graphs: list[CircuitGraph],
+                     max_rounds: int = 32) -> list[dict[str, int]]:
+    """Joint WL-style refinement: one label space across all graphs.
+
+    Labels are interned deterministically (signatures sorted before
+    numbering), so two structurally equivalent graphs get identical
+    label multisets regardless of instance naming or file order.
+    """
+    externals = [_external_ports(g) for g in graphs]
+    signatures: list[dict[str, object]] = []
+    for g, ext in zip(graphs, externals):
+        signatures.append({
+            name: (node.kind, node.inputs, node.outputs,
+                   tuple(sorted(ext.get(name, ()))))
+            for name, node in g.nodes.items()})
+
+    def intern(sigs: list[dict[str, object]]) -> list[dict[str, int]]:
+        table = {sig: i for i, sig in
+                 enumerate(sorted({repr(s) for per_graph in sigs
+                                   for s in per_graph.values()}))}
+        return [{name: table[repr(sig)] for name, sig in per_graph.items()}
+                for per_graph in sigs]
+
+    labels = intern(signatures)
+    distinct = len({label for per_graph in labels
+                    for label in per_graph.values()})
+    for _ in range(max_rounds):
+        new_sigs: list[dict[str, object]] = []
+        for g, lab in zip(graphs, labels):
+            per_graph: dict[str, object] = {}
+            for name, node in g.nodes.items():
+                incoming = sorted(
+                    (edge.dst.port, edge.src.port, lab[edge.src.node])
+                    for port in node.inputs
+                    for edge in g.drivers(PortRef(name, port)))
+                outgoing = sorted(
+                    (edge.src.port, edge.dst.port, lab[edge.dst.node])
+                    for port in node.outputs
+                    for edge in g.fanout(PortRef(name, port)))
+                per_graph[name] = (lab[name], tuple(incoming),
+                                   tuple(outgoing))
+            new_sigs.append(per_graph)
+        labels = intern(new_sigs)
+        new_distinct = len({label for per_graph in labels
+                            for label in per_graph.values()})
+        if new_distinct == distinct:
+            break
+        distinct = new_distinct
+    return labels
+
+
+# -- matching and diffing ---------------------------------------------------
+
+
+def _match_instances(golden: CircuitGraph,
+                     candidate: CircuitGraph) -> dict[str, str]:
+    """Golden-name -> candidate-name instance correspondence."""
+    match = {name: name for name in golden.nodes if name in candidate.nodes}
+    g_left = sorted(set(golden.nodes) - set(match))
+    c_left = sorted(set(candidate.nodes) - set(match.values()))
+    if g_left and c_left:
+        g_labels, c_labels = canonical_labels([golden, candidate])
+        by_label: dict[int, list[str]] = {}
+        for name in c_left:
+            by_label.setdefault(c_labels[name], []).append(name)
+        for name in g_left:
+            pool = by_label.get(g_labels[name])
+            if pool:
+                match[name] = pool.pop(0)
+    return match
+
+
+def _fmt_param(value: object) -> str:
+    if isinstance(value, (bool, int, float)):
+        return fmt_value(value)
+    return repr(value)
+
+
+def lvs(golden: CircuitGraph, candidate: CircuitGraph, *,
+        delay_tolerance_ps: float = 1e-6,
+        unmapped_cells: tuple[tuple[str, str], ...] = ()) -> LVSReport:
+    """Compare two graphs structurally; see the module docstring."""
+    match = _match_instances(golden, candidate)
+    report = LVSReport(golden=golden.name, candidate=candidate.name,
+                       golden_nodes=len(golden.nodes),
+                       candidate_nodes=len(candidate.nodes),
+                       matched=len(match),
+                       unmapped_cells=tuple(sorted(unmapped_cells)))
+    mm = report.mismatches
+    for name in sorted(set(golden.nodes) - set(match)):
+        mm.append(LVSMismatch("missing-instance", name,
+                              f"{golden.nodes[name].kind} instance absent "
+                              "from candidate"))
+    matched_cand = set(match.values())
+    for name in sorted(set(candidate.nodes) - matched_cand):
+        mm.append(LVSMismatch("extra-instance", name,
+                              f"{candidate.nodes[name].kind} instance has "
+                              "no golden counterpart (duplicate?)"))
+    g_ext, c_ext = _external_ports(golden), _external_ports(candidate)
+    for g_name in sorted(match):
+        c_name = match[g_name]
+        g_node, c_node = golden.nodes[g_name], candidate.nodes[c_name]
+        obj = g_name if g_name == c_name else f"{g_name}~{c_name}"
+        if g_node.kind != c_node.kind:
+            mm.append(LVSMismatch("kind-mismatch", obj,
+                                  f"golden is {g_node.kind}, candidate is "
+                                  f"{c_node.kind}"))
+            continue
+        for key in sorted(set(g_node.params) | set(c_node.params)):
+            gv = _fmt_param(g_node.params.get(key))
+            cv = _fmt_param(c_node.params.get(key))
+            if gv != cv:
+                mm.append(LVSMismatch("param-mismatch", obj,
+                                      f"{key}: golden {gv}, candidate {cv}"))
+        g_arcs = sorted((a.in_port, a.out_port, fmt_value(a.delay_ps))
+                        for a in g_node.arcs)
+        c_arcs = sorted((a.in_port, a.out_port, fmt_value(a.delay_ps))
+                        for a in c_node.arcs)
+        if g_arcs != c_arcs:
+            mm.append(LVSMismatch("param-mismatch", obj,
+                                  f"internal arcs differ: golden {g_arcs}, "
+                                  f"candidate {c_arcs}"))
+        # Connectivity, input side: each port's driver set, with golden
+        # driver names mapped through the instance correspondence.
+        missing: dict[str, dict[tuple[str, str], float]] = {}
+        extra: dict[str, dict[tuple[str, str], float]] = {}
+        for port in g_node.inputs:
+            g_drv = {(match.get(e.src.node, f"<unmatched:{e.src.node}>"),
+                      e.src.port): e.delay_ps
+                     for e in golden.drivers(PortRef(g_name, port))}
+            c_drv = {(e.src.node, e.src.port): e.delay_ps
+                     for e in candidate.drivers(PortRef(c_name, port))}
+            for pin in set(g_drv) & set(c_drv):
+                if abs(g_drv[pin] - c_drv[pin]) > delay_tolerance_ps:
+                    mm.append(LVSMismatch(
+                        "delay-mismatch", obj,
+                        f"wire {pin[0]}.{pin[1]} -> {port}: golden "
+                        f"{fmt_value(g_drv[pin])} ps, candidate "
+                        f"{fmt_value(c_drv[pin])} ps"))
+            lost = {pin: d for pin, d in g_drv.items() if pin not in c_drv}
+            gained = {pin: d for pin, d in c_drv.items() if pin not in g_drv}
+            if lost:
+                missing[port] = lost
+            if gained:
+                extra[port] = gained
+        # Swapped pins: two ports whose driver sets are exchanged.
+        swapped: set[str] = set()
+        ports = sorted(set(missing) | set(extra))
+        for i, p in enumerate(ports):
+            for q in ports[i + 1:]:
+                if p in swapped or q in swapped:
+                    continue
+                if (set(missing.get(p, ())) == set(extra.get(q, ()))
+                        and set(missing.get(q, ())) == set(extra.get(p, ()))
+                        and missing.get(p) and missing.get(q)):
+                    srcs = " and ".join(
+                        f"{pin[0]}.{pin[1]}"
+                        for pin in sorted(missing[p] | missing[q]))
+                    mm.append(LVSMismatch(
+                        "pin-swap", obj,
+                        f"drivers of {p!r} and {q!r} are exchanged "
+                        f"({srcs})"))
+                    swapped.update((p, q))
+        for port in ports:
+            if port in swapped:
+                continue
+            for pin in sorted(missing.get(port, ())):
+                mm.append(LVSMismatch(
+                    "missing-wire", obj,
+                    f"input {port!r} lost driver {pin[0]}.{pin[1]} "
+                    "(dropped wire or net split)"))
+            for pin in sorted(extra.get(port, ())):
+                mm.append(LVSMismatch(
+                    "extra-wire", obj,
+                    f"input {port!r} gained driver {pin[0]}.{pin[1]} "
+                    "(spurious wire or net merge)"))
+        g_pins = set(g_ext.get(g_name, ()))
+        c_pins = set(c_ext.get(c_name, ()))
+        if g_pins != c_pins:
+            mm.append(LVSMismatch(
+                "external-mismatch", obj,
+                f"external pins: golden {sorted(g_pins)}, candidate "
+                f"{sorted(c_pins)}"))
+    return report
+
+
+def round_trip_lvs(graph: CircuitGraph, fmt: str,
+                   cellmap: CellMap = DEFAULT_CELLMAP) -> LVSReport:
+    """Emit ``graph`` in ``fmt``, parse it back, and LVS the result."""
+    if fmt == "verilog":
+        parsed = parse_verilog(emit_verilog(graph, cellmap), cellmap)
+    elif fmt == "spice":
+        parsed = parse_spice(emit_spice(graph, cellmap), cellmap)
+    else:
+        raise ValueError(f"unknown format {fmt!r} (want verilog or spice)")
+    result = parsed[0]
+    return lvs(graph, result.graph, unmapped_cells=result.unknown_cells)

@@ -1,0 +1,184 @@
+"""Seeded netlist mutations that LVS must detect.
+
+A verification pass that always says "clean" is indistinguishable from
+one that checks nothing, so the CI gate also runs *negative* tests:
+emit a design, plant one defect, and require the LVS pass to flag it.
+Four defect families cover the mismatch taxonomy:
+
+* ``pin_swap``      - two driven input pins of one instance exchange
+  their drivers (classic netlist transcription error),
+* ``drop_wire``     - one wire disappears,
+* ``extra_instance``- an instance is duplicated, inputs and all,
+* ``rename_net``    - one occurrence of a net name in the emitted
+  *text* is renamed, splitting the net (this one exercises the parser
+  path end to end, not just the graph diff).
+
+All choices are driven by ``random.Random(seed)`` over sorted
+candidate lists, so every mutation is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.interchange.cells import CellMap, DEFAULT_CELLMAP, InterchangeError
+from repro.interchange.lvs import LVSReport, lvs
+from repro.interchange.spice import emit_spice, parse_spice
+from repro.interchange.verilog import emit_verilog, parse_verilog
+from repro.lint.graph import CircuitGraph, Edge, GraphNode, PortRef
+
+MUTATIONS: tuple[str, ...] = ("pin_swap", "drop_wire", "extra_instance",
+                              "rename_net")
+
+#: Mutations applied to the parsed graph (vs. the emitted text).
+GRAPH_MUTATIONS: tuple[str, ...] = ("pin_swap", "drop_wire",
+                                    "extra_instance")
+
+
+def _copy_node(node: GraphNode) -> GraphNode:
+    return GraphNode(node.name, node.kind, node.node_class, node.inputs,
+                     node.outputs, node.arcs, node.clock_ports,
+                     node.data_ports, dict(node.params))
+
+
+def _rebuild(graph: CircuitGraph, nodes: list[GraphNode],
+             edges: list[Edge]) -> CircuitGraph:
+    out = CircuitGraph(graph.name)
+    for node in nodes:
+        out.add_node(_copy_node(node))
+    for edge in edges:
+        out.add_edge(edge.src, edge.dst, edge.delay_ps)
+    for ref in graph.externals:
+        out.mark_external(ref)
+    return out
+
+
+def _edge_key(edge: Edge) -> tuple[str, str, str, str]:
+    return (edge.src.node, edge.src.port, edge.dst.node, edge.dst.port)
+
+
+def apply_mutation(graph: CircuitGraph, mutation: str,
+                   seed: int = 0) -> tuple[CircuitGraph, str]:
+    """Return ``(mutated copy, human description)``."""
+    rng = random.Random(seed)
+    nodes = list(graph.nodes.values())
+    edges = sorted(graph.edges, key=_edge_key)
+    if mutation == "drop_wire":
+        if not edges:
+            raise InterchangeError(f"{graph.name}: no wires to drop")
+        victim = rng.choice(edges)
+        edges.remove(victim)
+        return (_rebuild(graph, nodes, edges),
+                f"dropped wire {victim.src} -> {victim.dst}")
+    if mutation == "extra_instance":
+        candidates = sorted(graph.nodes)
+        original = graph.nodes[rng.choice(candidates)]
+        dup = _copy_node(original)
+        dup.name = f"{original.name}__dup"
+        for edge in list(edges):
+            if edge.dst.node == original.name:
+                edges.append(Edge(edge.src, PortRef(dup.name, edge.dst.port),
+                                  edge.delay_ps))
+        return (_rebuild(graph, [*nodes, dup], edges),
+                f"duplicated instance {original.name} as {dup.name}")
+    if mutation == "pin_swap":
+        candidates = []
+        for name in sorted(graph.nodes):
+            node = graph.nodes[name]
+            driven = [p for p in node.inputs
+                      if graph.drivers(PortRef(name, p))]
+            for i, p in enumerate(driven):
+                for q in driven[i + 1:]:
+                    p_drv = {(e.src.node, e.src.port)
+                             for e in graph.drivers(PortRef(name, p))}
+                    q_drv = {(e.src.node, e.src.port)
+                             for e in graph.drivers(PortRef(name, q))}
+                    if p_drv != q_drv:
+                        candidates.append((name, p, q))
+        if not candidates:
+            raise InterchangeError(
+                f"{graph.name}: no instance has two distinct driven "
+                "input pins to swap")
+        name, p, q = rng.choice(candidates)
+        swapped = []
+        for edge in edges:
+            if edge.dst == PortRef(name, p):
+                swapped.append(Edge(edge.src, PortRef(name, q),
+                                    edge.delay_ps))
+            elif edge.dst == PortRef(name, q):
+                swapped.append(Edge(edge.src, PortRef(name, p),
+                                    edge.delay_ps))
+            else:
+                swapped.append(edge)
+        return (_rebuild(graph, nodes, swapped),
+                f"swapped drivers of {name}.{p} and {name}.{q}")
+    raise InterchangeError(
+        f"unknown graph mutation {mutation!r}; graph mutations: "
+        f"{', '.join(GRAPH_MUTATIONS)}")
+
+
+_VLOG_NET = re.compile(r"\\(n:\S+)")
+_SPICE_NET = re.compile(r"(?<!\S)(n:\S+)(?!\S)")
+
+
+def mutate_text(text: str, fmt: str, seed: int = 0) -> tuple[str, str]:
+    """Rename one net occurrence in emitted text, splitting the net.
+
+    Only non-comment lines count (renaming a net inside a delay pragma
+    would change nothing structurally), and the *last* code occurrence
+    is rewritten - declarations come first, so the rename always hits a
+    live connection.
+    """
+    rng = random.Random(seed)
+    pattern = _VLOG_NET if fmt == "verilog" else _SPICE_NET
+    comment = "//" if fmt == "verilog" else "*"
+    lines = text.splitlines()
+    occurrences: dict[str, list[int]] = {}
+    for idx, line in enumerate(lines):
+        if line.lstrip().startswith(comment):
+            continue
+        for net in pattern.findall(line):
+            occurrences.setdefault(net, []).append(idx)
+    candidates = sorted(net for net, hits in occurrences.items()
+                        if len(hits) >= 2)
+    if not candidates:
+        raise InterchangeError("no multiply-referenced net to rename")
+    net = rng.choice(candidates)
+    idx = occurrences[net][-1]
+    old = f"\\{net} " if fmt == "verilog" else net
+    new = (f"\\{net}__cut " if fmt == "verilog" else f"{net}__cut")
+    pos = lines[idx].rfind(old)
+    if fmt == "spice":
+        # Token-exact replacement: net names can be prefixes of others.
+        tokens = lines[idx].split()
+        for t_idx in range(len(tokens) - 1, -1, -1):
+            if tokens[t_idx] == net:
+                tokens[t_idx] = new
+                break
+        lines[idx] = " ".join(tokens)
+    else:
+        lines[idx] = lines[idx][:pos] + new + lines[idx][pos + len(old):]
+    return ("\n".join(lines) + "\n",
+            f"renamed one use of net {net} to {net}__cut (net split)")
+
+
+def mutated_roundtrip(graph: CircuitGraph, mutation: str, fmt: str,
+                      cellmap: CellMap = DEFAULT_CELLMAP,
+                      seed: int = 0) -> tuple[LVSReport, str]:
+    """Emit, plant one defect, parse, LVS against the golden graph."""
+    if mutation not in MUTATIONS:
+        raise InterchangeError(
+            f"unknown mutation {mutation!r}; known: {', '.join(MUTATIONS)}")
+    emit = emit_verilog if fmt == "verilog" else emit_spice
+    parse = parse_verilog if fmt == "verilog" else parse_spice
+    text = emit(graph, cellmap)
+    if mutation == "rename_net":
+        text, description = mutate_text(text, fmt, seed)
+        result = parse(text, cellmap)[0]
+        candidate = result.graph
+    else:
+        result = parse(text, cellmap)[0]
+        candidate, description = apply_mutation(result.graph, mutation, seed)
+    report = lvs(graph, candidate, unmapped_cells=result.unknown_cells)
+    return report, description

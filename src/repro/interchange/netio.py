@@ -1,0 +1,246 @@
+"""Shared plumbing for the two interchange formats.
+
+Both emitters name nets the same way (the net of a wire is
+``n:<driver-node>.<driver-port>``; external stimulus pins become module
+ports named ``ext:<node>.<port>``; SPICE's positional pin slots use
+``nc:<node>.<port>`` placeholders for unconnected pins), and both
+parsers reduce their syntax to the same intermediate: a list of
+:class:`RawInstance` plus net-level metadata, which
+:func:`assemble_graph` turns back into a
+:class:`~repro.lint.graph.CircuitGraph`.
+
+Wire delays have no structural home in either format, so they travel as
+comment pragmas::
+
+    // wire n:<src-node>.<src-port> -> <dst-node>.<dst-port> delay_ps=<v>
+    * wire  n:<src-node>.<src-port> -> <dst-node>.<dst-port> delay_ps=<v>
+
+one per nonzero-delay wire, keyed by net name on the way back in.
+
+A second pragma handles a shape the port list cannot: an input pin that
+is internally driven *and* an external stimulus entry (the demux
+reset-tree roots are like this).  Such a pin connects to its driver's
+net as usual and carries::
+
+    // external <node>.<port>
+    * external  <node>.<port>
+
+so the external mark survives the round trip without inserting a
+merger that would change the structure.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.interchange.cells import (
+    CellMap,
+    InterchangeError,
+    ParseResult,
+    build_node,
+    cell_spec,
+    fmt_value,
+    foreign_node,
+    node_params,
+    parse_value,
+)
+from repro.lint.graph import CircuitGraph, GraphNode, PortRef
+
+_PRAGMA = re.compile(
+    r"^\s*(?://|\*)\s*wire\s+(?P<net>\S+)\s*->\s*(?P<dst>\S+)\s+"
+    r"delay_ps=(?P<delay>\S+)\s*$", re.MULTILINE)
+_EXT_PRAGMA = re.compile(
+    r"^\s*(?://|\*)\s*external\s+(?P<pin>\S+)\s*$", re.MULTILINE)
+
+
+def edge_net(src: PortRef) -> str:
+    return f"n:{src.node}.{src.port}"
+
+
+def external_net(ref: PortRef) -> str:
+    return f"ext:{ref.node}.{ref.port}"
+
+
+def nc_net(ref: PortRef) -> str:
+    return f"nc:{ref.node}.{ref.port}"
+
+
+def check_emittable(graph: CircuitGraph) -> None:
+    """Reject graphs that cannot be expressed as a legal netlist.
+
+    The IR deliberately admits illegal wiring (that is what the lint
+    rules analyse); the interchange formats do not - an output pin
+    driving two wires or a doubly-driven input has no single-net
+    encoding, and an externally stimulated pin cannot also have an
+    internal driver.
+    """
+    for node in graph.nodes.values():
+        for ref in graph.output_refs(node):
+            if len(graph.fanout(ref)) > 1:
+                raise InterchangeError(
+                    f"{graph.name}: output {ref} fans out "
+                    f"{len(graph.fanout(ref))} ways; insert a splitter "
+                    "before emitting")
+        for ref in graph.input_refs(node):
+            if len(graph.drivers(ref)) > 1:
+                raise InterchangeError(
+                    f"{graph.name}: input {ref} has "
+                    f"{len(graph.drivers(ref))} drivers; insert a merger "
+                    "before emitting")
+    for ref in graph.externals:
+        node = graph.nodes.get(ref.node)
+        if node is None or ref.port not in node.inputs:
+            raise InterchangeError(
+                f"{graph.name}: external {ref} is not an input pin of a "
+                "known node")
+
+
+def sorted_nodes(graph: CircuitGraph) -> list[GraphNode]:
+    return sorted(graph.nodes.values(), key=lambda n: n.name)
+
+
+def pin_nets(graph: CircuitGraph,
+             node: GraphNode) -> list[tuple[str, str | None]]:
+    """``(port, net)`` in declaration order; ``None`` for unconnected."""
+    spec = cell_spec(node.kind)
+    inputs, outputs = spec.ports(node_params(node))
+    pins: list[tuple[str, str | None]] = []
+    for port in inputs:
+        ref = PortRef(node.name, port)
+        driving = graph.drivers(ref)
+        if driving:
+            pins.append((port, edge_net(driving[0].src)))
+        elif ref in graph.externals:
+            pins.append((port, external_net(ref)))
+        else:
+            pins.append((port, None))
+    for port in outputs:
+        ref = PortRef(node.name, port)
+        pins.append((port, edge_net(ref) if graph.fanout(ref) else None))
+    return pins
+
+
+def internal_nets(graph: CircuitGraph) -> list[str]:
+    return sorted({edge_net(edge.src) for edge in graph.edges})
+
+
+def external_nets(graph: CircuitGraph) -> list[str]:
+    """Module-port nets: the *undriven* external pins.
+
+    Driven external pins connect to their driver's net instead and are
+    carried by ``external`` pragmas (see module docstring).
+    """
+    return sorted(external_net(ref) for ref in graph.externals
+                  if not graph.drivers(ref))
+
+
+def wire_pragmas(graph: CircuitGraph) -> list[str]:
+    """Pragma bodies: nonzero wire delays + driven-external marks."""
+    pragmas = []
+    for edge in graph.edges:
+        if edge.delay_ps:
+            pragmas.append(f"wire {edge_net(edge.src)} -> {edge.dst} "
+                           f"delay_ps={fmt_value(edge.delay_ps)}")
+    for ref in graph.externals:
+        if graph.drivers(ref):
+            pragmas.append(f"external {ref}")
+    return sorted(pragmas)
+
+
+def extract_pragmas(text: str) -> dict[str, float]:
+    """Net name -> wire delay from the comment pragmas."""
+    delays: dict[str, float] = {}
+    for match in _PRAGMA.finditer(text):
+        delays[match.group("net")] = float(parse_value(match.group("delay")))
+    return delays
+
+
+def extract_externals(text: str) -> set[tuple[str, str]]:
+    """``(node, port)`` pairs declared external by pragma."""
+    pins: set[tuple[str, str]] = set()
+    for match in _EXT_PRAGMA.finditer(text):
+        node, dot, port = match.group("pin").rpartition(".")
+        if dot:
+            pins.add((node, port))
+    return pins
+
+
+def instance_params(node: GraphNode) -> list[tuple[str, str]]:
+    """Formatted ``(key, value)`` parameter pairs, sorted by key."""
+    return sorted((key, fmt_value(value))
+                  for key, value in node_params(node).items())
+
+
+@dataclass
+class RawInstance:
+    """One instance as seen by a parser, before graph assembly."""
+
+    name: str
+    cell_name: str
+    params: dict[str, float | int]
+    #: ``(port, net)`` pairs; ``None`` net means unconnected.
+    pins: tuple[tuple[str, str | None], ...]
+
+
+def resolve_positional(cell_name: str, kind: str | None,
+                       params: dict[str, float | int],
+                       nets: list[str | None]) -> tuple[tuple[str, str | None],
+                                                        ...]:
+    """Map positional net slots onto port names.
+
+    Known cells use the spec's declaration order; foreign cells get
+    synthetic ``p0..pN`` pin names (their direction is unknowable).
+    """
+    if kind is None:
+        return tuple((f"p{i}", net) for i, net in enumerate(nets))
+    spec = cell_spec(kind)
+    inputs, outputs = spec.ports(params)
+    ports = inputs + outputs
+    if len(nets) != len(ports):
+        raise InterchangeError(
+            f"{cell_name}: {len(nets)} connections for "
+            f"{len(ports)} ports {ports}")
+    return tuple(zip(ports, nets))
+
+
+def assemble_graph(module_name: str, instances: list[RawInstance],
+                   port_nets: set[str], net_delays: dict[str, float],
+                   cellmap: CellMap, fmt: str,
+                   extra_externals: set[tuple[str, str]] | None = None,
+                   ) -> ParseResult:
+    """Common back half of both parsers: instances + nets -> graph."""
+    graph = CircuitGraph(module_name)
+    unknown: list[tuple[str, str]] = []
+    for inst in instances:
+        kind = cellmap.resolve(inst.cell_name)
+        if kind is None:
+            unknown.append((inst.name, inst.cell_name))
+            node = foreign_node(inst.name, inst.cell_name,
+                                tuple(port for port, _net in inst.pins))
+        else:
+            node = build_node(kind, inst.name, inst.params)
+        graph.add_node(node)
+    drivers: dict[str, list[PortRef]] = {}
+    sinks: dict[str, list[PortRef]] = {}
+    for inst in instances:
+        node = graph.nodes[inst.name]
+        outs = set(node.outputs)
+        for port, net in inst.pins:
+            if net is None:
+                continue
+            ref = PortRef(inst.name, port)
+            (drivers if port in outs else sinks).setdefault(net, []).append(ref)
+    for net in sorted(set(drivers) | set(sinks)):
+        delay = net_delays.get(net, 0.0)
+        for src in drivers.get(net, []):
+            for dst in sinks.get(net, []):
+                graph.add_edge(src, dst, delay)
+    for net in sorted(port_nets):
+        for ref in sinks.get(net, []):
+            graph.mark_external(ref)
+    for node_name, port in sorted(extra_externals or ()):
+        node = graph.nodes.get(node_name)
+        if node is not None and port in node.inputs:
+            graph.mark_external(PortRef(node_name, port))
+    return ParseResult(graph, tuple(unknown), fmt)

@@ -1,0 +1,146 @@
+"""JoSIM/SPICE subcircuit-deck front end for the interchange layer.
+
+One graph becomes one ``.subckt`` whose ports are the external stimulus
+nets; every node is an ``X`` subcircuit instance with positional nets
+in the cell's declaration order (unconnected pins get ``nc:`` filler
+nets so positions stay aligned) and trailing ``key=value`` parameters.
+Wire delays travel as ``* wire ...`` comment pragmas, exactly like the
+Verilog emitter.
+
+The parser handles ``+`` continuation lines, ``*`` comments, multiple
+subcircuits per deck, and case-insensitive keywords; cell names resolve
+through the :class:`~repro.interchange.cells.CellMap` with unresolved
+cells reported for rule SFQ018.
+"""
+
+from __future__ import annotations
+
+from repro.interchange.cells import (
+    CellMap,
+    DEFAULT_CELLMAP,
+    InterchangeError,
+    ParseResult,
+    parse_value,
+)
+from repro.interchange.netio import (
+    RawInstance,
+    assemble_graph,
+    check_emittable,
+    external_nets,
+    extract_externals,
+    extract_pragmas,
+    instance_params,
+    nc_net,
+    pin_nets,
+    resolve_positional,
+    sorted_nodes,
+    wire_pragmas,
+)
+from repro.lint.graph import CircuitGraph, PortRef
+
+
+def emit_spice(graph: CircuitGraph,
+               cellmap: CellMap = DEFAULT_CELLMAP) -> str:
+    """Lower one graph to a JoSIM/SPICE subcircuit deck."""
+    check_emittable(graph)
+    lines = [f"* repro.interchange format=spice version=1 "
+             f"design={graph.name}"]
+    header = [".subckt", graph.name, *external_nets(graph)]
+    lines.append(" ".join(header))
+    for node in sorted_nodes(graph):
+        nets = [net if net is not None else nc_net(PortRef(node.name, port))
+                for port, net in pin_nets(graph, node)]
+        tokens = [f"X{node.name}", *nets, cellmap.cell_name(node.kind)]
+        tokens.extend(f"{key}={value}" for key, value in instance_params(node))
+        lines.append(" ".join(tokens))
+    for body in wire_pragmas(graph):
+        lines.append(f"* {body}")
+    lines.append(f".ends {graph.name}")
+    return "\n".join(lines) + "\n"
+
+
+# -- parsing ----------------------------------------------------------------
+
+
+def _logical_lines(text: str) -> list[str]:
+    """Physical lines with ``+`` continuations folded in."""
+    lines: list[str] = []
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if stripped.startswith("+"):
+            if not lines:
+                raise InterchangeError("continuation line with no antecedent")
+            lines[-1] += " " + stripped[1:].strip()
+        else:
+            lines.append(raw)
+    return lines
+
+
+def parse_spice(text: str,
+                cellmap: CellMap = DEFAULT_CELLMAP) -> list[ParseResult]:
+    """Parse every ``.subckt`` in a deck back into the IR.
+
+    Pragma delays are scoped per subcircuit, mirroring the Verilog
+    parser, since different subcircuits may reuse net names.
+    """
+    results: list[ParseResult] = []
+    name: str | None = None
+    port_nets: set[str] = set()
+    instances: list[RawInstance] = []
+    pragma_lines: list[str] = []
+    for line in _logical_lines(text):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        lowered = stripped.lower()
+        if stripped.startswith("*"):
+            pragma_lines.append(stripped)
+            continue
+        if lowered.startswith(".subckt"):
+            if name is not None:
+                raise InterchangeError(f"nested .subckt inside {name!r}")
+            tokens = stripped.split()
+            if len(tokens) < 2:
+                raise InterchangeError(f"malformed header: {stripped!r}")
+            name = tokens[1]
+            port_nets = {t for t in tokens[2:] if "=" not in t}
+            continue
+        if lowered.startswith(".ends"):
+            if name is None:
+                raise InterchangeError(".ends outside a .subckt")
+            pragma_text = "\n".join(pragma_lines)
+            results.append(assemble_graph(
+                name, instances, port_nets, extract_pragmas(pragma_text),
+                cellmap, "spice", extract_externals(pragma_text)))
+            name, port_nets, instances, pragma_lines = None, set(), [], []
+            continue
+        if stripped.startswith("."):
+            continue  # .model / .param / analysis cards: not structural
+        if name is None:
+            raise InterchangeError(
+                f"element line outside a .subckt: {stripped!r}")
+        if not lowered.startswith("x"):
+            continue  # discrete R/L/C/B elements: below the cell level
+        tokens = stripped.split()
+        params: dict[str, float | int] = {}
+        plain: list[str] = []
+        for token in tokens:
+            if "=" in token:
+                key, _, value = token.partition("=")
+                params[key.lower()] = parse_value(value)
+            else:
+                plain.append(token)
+        if len(plain) < 2:
+            raise InterchangeError(f"malformed instance line: {stripped!r}")
+        inst_name = plain[0][1:]
+        cell_name = plain[-1]
+        nets: list[str | None] = [None if net.startswith("nc:") else net
+                                  for net in plain[1:-1]]
+        kind = cellmap.resolve(cell_name)
+        pins = resolve_positional(cell_name, kind, params, nets)
+        instances.append(RawInstance(inst_name, cell_name, params, pins))
+    if name is not None:
+        raise InterchangeError(f".subckt {name!r} never closed with .ends")
+    if not results:
+        raise InterchangeError("no .subckt found - not a subcircuit deck")
+    return results

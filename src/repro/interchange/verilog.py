@@ -1,0 +1,262 @@
+"""Structural-Verilog front end for the interchange layer.
+
+Emission uses escaped identifiers (``\\name`` with a terminating space)
+throughout, so the IR's dotted hierarchical names (``hp.lb.m0``) survive
+the round trip verbatim.  Everything is emitted in sorted order -
+ports, wire declarations, instances, parameter lists, pragmas - so
+emit -> parse -> emit is byte-stable.
+
+The parser accepts a useful structural subset: ANSI or non-ANSI port
+declarations, named or positional connections, ``#(...)`` parameter
+overrides, ``//`` and ``/* */`` comments, and multiple modules per
+file.  Cell names resolve through a :class:`~repro.interchange.cells.
+CellMap`; unresolved cells become opaque nodes and are reported for
+rule SFQ018.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.interchange.cells import (
+    CellMap,
+    DEFAULT_CELLMAP,
+    InterchangeError,
+    ParseResult,
+    parse_value,
+)
+from repro.interchange.netio import (
+    RawInstance,
+    assemble_graph,
+    check_emittable,
+    external_nets,
+    extract_externals,
+    extract_pragmas,
+    instance_params,
+    internal_nets,
+    pin_nets,
+    resolve_positional,
+    sorted_nodes,
+    wire_pragmas,
+)
+from repro.lint.graph import CircuitGraph
+
+_KEYWORDS = frozenset({"module", "endmodule", "input", "output", "inout",
+                       "wire"})
+
+
+def _esc(name: str) -> str:
+    """Escaped identifier; the trailing space is part of the syntax."""
+    return f"\\{name} "
+
+
+def emit_verilog(graph: CircuitGraph,
+                 cellmap: CellMap = DEFAULT_CELLMAP) -> str:
+    """Lower one graph to a structural-Verilog module."""
+    check_emittable(graph)
+    lines = [f"// repro.interchange format=verilog version=1 "
+             f"design={graph.name}"]
+    ports = external_nets(graph)
+    if ports:
+        lines.append(f"module {_esc(graph.name)}(")
+        for i, net in enumerate(ports):
+            comma = "," if i < len(ports) - 1 else ""
+            lines.append(f"    input {_esc(net)}{comma}")
+        lines.append(");")
+    else:
+        lines.append(f"module {_esc(graph.name)}();")
+    for net in internal_nets(graph):
+        lines.append(f"  wire {_esc(net)};")
+    for node in sorted_nodes(graph):
+        params = instance_params(node)
+        cell = cellmap.cell_name(node.kind)
+        override = ""
+        if params:
+            inner = ", ".join(f".{key.upper()}({value})"
+                              for key, value in params)
+            override = f"#({inner}) "
+        conns = ", ".join(
+            f".{port}({_esc(net) if net is not None else ''})"
+            for port, net in pin_nets(graph, node))
+        lines.append(f"  {cell} {override}{_esc(node.name)}({conns});")
+    for body in wire_pragmas(graph):
+        lines.append(f"  // {body}")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+# -- parsing ----------------------------------------------------------------
+
+_BLOCK_COMMENT = re.compile(r"/\*.*?\*/", re.DOTALL)
+_LINE_COMMENT = re.compile(r"//[^\n]*")
+
+
+def _tokenize(code: str) -> list[str]:
+    """Verilog-subset tokenizer.
+
+    Escaped identifiers (``\\...`` up to whitespace) come out without
+    the backslash; ``#  ( ) , ; .`` are single-character tokens except
+    that ``.`` inside a plain token (a real literal like ``2.3``) stays
+    part of it.
+    """
+    tokens: list[str] = []
+    i, n = 0, len(code)
+    while i < n:
+        ch = code[i]
+        if ch.isspace():
+            i += 1
+        elif ch == "\\":
+            j = i + 1
+            while j < n and not code[j].isspace():
+                j += 1
+            tokens.append(code[i + 1:j])
+            i = j
+        elif ch in "#(),;":
+            tokens.append(ch)
+            i += 1
+        elif ch == ".":
+            tokens.append(ch)
+            i += 1
+        else:
+            j = i
+            while j < n and not code[j].isspace() and code[j] not in "#(),;":
+                j += 1
+            tokens.append(code[i:j])
+            i = j
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise InterchangeError("unexpected end of Verilog input")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise InterchangeError(
+                f"expected {token!r}, got {got!r} (token {self.pos})")
+
+
+def _parse_param_overrides(ts: _TokenStream) -> dict[str, float | int]:
+    params: dict[str, float | int] = {}
+    ts.expect("#")
+    ts.expect("(")
+    while ts.peek() != ")":
+        ts.expect(".")
+        key = ts.next()
+        ts.expect("(")
+        params[key.lower()] = parse_value(ts.next())
+        ts.expect(")")
+        if ts.peek() == ",":
+            ts.next()
+    ts.expect(")")
+    return params
+
+
+def _parse_connections(ts: _TokenStream) -> tuple[list[tuple[str, str | None]],
+                                                  list[str | None]]:
+    """Named connections (as pairs) or positional connections (as slots)."""
+    named: list[tuple[str, str | None]] = []
+    positional: list[str | None] = []
+    ts.expect("(")
+    while ts.peek() != ")":
+        if ts.peek() == ".":
+            ts.next()
+            port = ts.next()
+            ts.expect("(")
+            net = None if ts.peek() == ")" else ts.next()
+            ts.expect(")")
+            named.append((port, net))
+        elif ts.peek() == ",":
+            ts.next()
+            continue
+        else:
+            positional.append(ts.next())
+    ts.expect(")")
+    if named and positional:
+        raise InterchangeError("mixed named and positional connections")
+    return named, positional
+
+
+def _parse_module(ts: _TokenStream, net_delays: dict[str, float],
+                  extra_externals: set[tuple[str, str]],
+                  cellmap: CellMap) -> ParseResult:
+    name = ts.next()
+    port_nets: set[str] = set()
+    if ts.peek() == "(":
+        ts.next()
+        while ts.peek() != ")":
+            token = ts.next()
+            if token in _KEYWORDS or token == ",":
+                continue
+            port_nets.add(token)
+        ts.next()
+    ts.expect(";")
+    instances: list[RawInstance] = []
+    while True:
+        token = ts.next()
+        if token == "endmodule":
+            break
+        if token in ("wire", "input", "output", "inout"):
+            declared = token
+            while (inner := ts.next()) != ";":
+                if inner != ",":
+                    if declared != "wire":
+                        port_nets.add(inner)
+            continue
+        cell_name = token
+        params: dict[str, float | int] = {}
+        if ts.peek() == "#":
+            params = _parse_param_overrides(ts)
+        inst_name = ts.next()
+        named, positional = _parse_connections(ts)
+        ts.expect(";")
+        kind = cellmap.resolve(cell_name)
+        if named:
+            pins = tuple(named)
+        else:
+            pins = resolve_positional(cell_name, kind, params, positional)
+        instances.append(RawInstance(inst_name, cell_name, params, pins))
+    return assemble_graph(name, instances, port_nets, net_delays, cellmap,
+                          "verilog", extra_externals)
+
+
+def parse_verilog(text: str,
+                  cellmap: CellMap = DEFAULT_CELLMAP) -> list[ParseResult]:
+    """Parse every module in ``text`` back into the IR.
+
+    Pragmas are scoped per module chunk: different modules in one file
+    may legitimately reuse net names (the dual-bank design's two banks
+    are structurally identical), so wire delays must not leak across
+    module boundaries.
+    """
+    results: list[ParseResult] = []
+    for chunk in re.split(r"(?<=\bendmodule\b)", text):
+        if not chunk.strip():
+            continue
+        net_delays = extract_pragmas(chunk)
+        extra_externals = extract_externals(chunk)
+        code = _LINE_COMMENT.sub("", _BLOCK_COMMENT.sub("", chunk))
+        ts = _TokenStream(_tokenize(code))
+        while ts.peek() is not None:
+            token = ts.next()
+            if token != "module":
+                raise InterchangeError(
+                    f"expected 'module', got {token!r} - not structural "
+                    "Verilog?")
+            results.append(_parse_module(ts, net_delays, extra_externals,
+                                         cellmap))
+    if not results:
+        raise InterchangeError("no Verilog modules found")
+    return results

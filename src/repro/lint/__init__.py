@@ -28,6 +28,7 @@ from repro.lint.designs import (
     lint_all,
     lint_design,
     lint_graph,
+    pulse_graphs,
 )
 from repro.lint.graph import (
     Arc,
@@ -75,6 +76,7 @@ __all__ = [
     "make_issue",
     "parse_suppressions",
     "propagate_arrivals",
+    "pulse_graphs",
     "run_structural_passes",
     "run_timing_passes",
     "suppressions_for",

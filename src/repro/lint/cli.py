@@ -3,6 +3,27 @@
 Exit status encodes the gate decision: 0 when the report contains
 nothing at or above ``--fail-on``, 1 otherwise.  ``--format json``
 emits a machine-readable report for CI artifact collection.
+
+JSON schema (stable for CI consumers)::
+
+    {
+      "analysed":   [<design/object label>, ...],
+      "issues":     [{"rule": "SFQ001", "severity": "error",
+                      "design": ..., "object": ..., "message": ...,
+                      "rule_title": "unsplit-fanout",
+                      "rule_severity": "error"}, ...],
+      "suppressed": [<issue> + {"suppressed_by":
+                      {"source": <file>, "line": <int>,
+                       "directive": "# lint: disable=..."} | null}, ...],
+      "summary":    {"errors": N, "warnings": N, "infos": N}
+    }
+
+``issues`` are sorted deterministically (severity desc, then design,
+rule ID, object, message) — identical inputs produce byte-identical
+reports, so CI diffs are meaningful.  ``severity`` is the effective
+(possibly overridden) severity of the finding; ``rule_severity`` is the
+catalog default.  ``suppressed_by`` records which ``# lint: disable=``
+comment matched the finding.
 """
 
 from __future__ import annotations
@@ -45,7 +66,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("human", "json"), default="human",
         help="report format (default: human)")
     parser.add_argument(
-        "--fail-on", choices=("error", "warning", "never"), default="error",
+        "--fail-on", choices=("error", "warning", "info", "never"),
+        default="error",
         help="lowest severity that makes the exit status non-zero "
              "(default: error)")
     parser.add_argument(
@@ -66,7 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _gate(report: LintReport, fail_on: str) -> int:
     if fail_on == "never":
         return 0
-    threshold = Severity.ERROR if fail_on == "error" else Severity.WARNING
+    threshold = Severity.parse(fail_on)
     worst = report.worst_severity()
     if worst is not None and worst >= threshold:
         return 1

@@ -88,9 +88,15 @@ def lint_graph(graph: CircuitGraph, config: LintConfig | None = None,
     return report
 
 
-def _pulse_graphs(name: str,
-                  geometry: RFGeometry) -> list[tuple[CircuitGraph, tuple]]:
-    """Lowered pulse-netlist graph(s) for one built-in design."""
+def pulse_graphs(name: str,
+                 geometry: RFGeometry) -> list[tuple[CircuitGraph, tuple]]:
+    """Lowered pulse-netlist graph(s) for one built-in design.
+
+    Returns ``(graph, source_objects)`` pairs; ``source_objects`` are
+    the builder instances whose modules carry any inline suppressions.
+    Also the entry point :mod:`repro.interchange` uses to enumerate the
+    golden graphs for round-trip LVS.
+    """
     if name == "ndro_rf":
         engine = Engine()
         rf = PulseNdroRF(engine, geometry)
@@ -145,7 +151,7 @@ def lint_design(name: str, geometry: RFGeometry | None = None,
     """Every static check for one built-in design."""
     geometry = geometry or DEFAULT_GEOMETRY
     report = LintReport()
-    for graph, objects in _pulse_graphs(name, geometry):
+    for graph, objects in pulse_graphs(name, geometry):
         report.merge(lint_graph(graph, config, source_objects=objects))
     if budgets:
         census_cls = _CENSUS_CLASSES[name]

@@ -66,6 +66,9 @@ class LintReport:
     suppressed: list[LintIssue] = field(default_factory=list)
     #: Designs/objects that were analysed (rendered even when clean).
     analysed: list[str] = field(default_factory=list)
+    #: Parallel to :attr:`suppressed`: the provenance dict of the directive
+    #: that matched each entry (``None`` when unknown).
+    suppressed_by: list[dict[str, object] | None] = field(default_factory=list)
 
     def add(self, issue: LintIssue) -> None:
         self.issues.append(issue)
@@ -75,8 +78,15 @@ class LintReport:
 
     def merge(self, other: "LintReport") -> None:
         self.issues.extend(other.issues)
+        self._pad_suppressed_by()
+        other._pad_suppressed_by()
         self.suppressed.extend(other.suppressed)
+        self.suppressed_by.extend(other.suppressed_by)
         self.analysed.extend(other.analysed)
+
+    def _pad_suppressed_by(self) -> None:
+        while len(self.suppressed_by) < len(self.suppressed):
+            self.suppressed_by.append(None)
 
     # -- queries -----------------------------------------------------------
 
@@ -109,23 +119,35 @@ class LintReport:
         ``matches(issue) -> bool`` (see :mod:`repro.lint.suppress`).
         """
         rules = list(suppressions)
+        self._pad_suppressed_by()
         kept: list[LintIssue] = []
         for issue in self.issues:
-            if any(s.matches(issue) for s in rules):
+            matched = next((s for s in rules if s.matches(issue)), None)
+            if matched is not None:
                 self.suppressed.append(issue)
+                provenance = getattr(matched, "provenance", None)
+                self.suppressed_by.append(
+                    provenance() if callable(provenance) else None)
             else:
                 kept.append(issue)
         self.issues = kept
 
     # -- rendering ---------------------------------------------------------
 
+    def sorted_issues(self) -> list[LintIssue]:
+        """Issues in the stable report order: errors first, then by
+        design, rule ID, object and message.  Both the human renderer and
+        the JSON emitter use this ordering, so CI output is deterministic
+        and diffable across runs."""
+        return sorted(
+            self.issues,
+            key=lambda i: (-int(i.severity), i.design, i.rule_id, i.obj,
+                           i.message))
+
     def render(self, *, verbose: bool = False) -> str:
         """Human-readable report, grouped by design, errors first."""
         lines: list[str] = []
-        ordered = sorted(
-            self.issues,
-            key=lambda i: (-int(i.severity), i.design, i.rule_id, i.obj))
-        for issue in ordered:
+        for issue in self.sorted_issues():
             if issue.severity is Severity.INFO and not verbose:
                 continue
             lines.append(f"{str(issue.severity):7s} {issue.rule_id}  "
@@ -141,11 +163,36 @@ class LintReport:
         return "\n".join(lines)
 
     def to_json(self) -> str:
-        """Machine-readable report for CI artifact consumption."""
+        """Machine-readable report for CI artifact consumption.
+
+        Issues appear in :meth:`sorted_issues` order and each carries the
+        catalog's ``rule_title``/``rule_severity`` alongside the issue's
+        own (possibly overridden) severity.  Suppressed entries carry a
+        ``suppressed_by`` provenance object (``source``/``line``/
+        ``directive`` of the matching ``# lint: disable=`` comment) or
+        ``null`` when unknown.
+        """
+        # Imported lazily: repro.lint.rules imports this module.
+        from repro.lint.rules import RULES
+
+        def annotate(issue: LintIssue) -> dict[str, object]:
+            entry: dict[str, object] = dict(issue.as_dict())
+            rule = RULES.get(issue.rule_id)
+            if rule is not None:
+                entry["rule_title"] = rule.title
+                entry["rule_severity"] = str(rule.severity)
+            return entry
+
+        self._pad_suppressed_by()
+        suppressed = []
+        for issue, origin in zip(self.suppressed, self.suppressed_by):
+            entry = annotate(issue)
+            entry["suppressed_by"] = origin
+            suppressed.append(entry)
         payload = {
             "analysed": self.analysed,
-            "issues": [i.as_dict() for i in self.issues],
-            "suppressed": [i.as_dict() for i in self.suppressed],
+            "issues": [annotate(i) for i in self.sorted_issues()],
+            "suppressed": suppressed,
             "summary": {
                 "errors": len(self.errors),
                 "warnings": len(self.warnings),

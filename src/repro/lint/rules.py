@@ -77,6 +77,17 @@ _CATALOG: tuple[Rule, ...] = (
     Rule("SFQ016", "schedule-index-range", Severity.ERROR,
          "A port schedule references a register outside the design's "
          "geometry."),
+    Rule("SFQ017", "lvs-mismatch", Severity.ERROR,
+         "LVS structural comparison between a golden circuit graph and a "
+         "netlist parsed back from an interchange format (structural "
+         "Verilog or a JoSIM/SPICE deck) found a mismatch: a missing or "
+         "extra instance, swapped pins, a net split/merge, or parameter "
+         "drift (see repro.interchange.lvs)."),
+    Rule("SFQ018", "unmapped-foreign-cell", Severity.ERROR,
+         "A parsed netlist instantiates a cell name the interchange "
+         "mapper table cannot resolve to a known SFQ cell; the instance "
+         "is opaque to the rule catalog and to LVS matching.  Register "
+         "an alias on the CellMap or extend the cell table."),
 )
 
 RULES: dict[str, Rule] = {rule.rule_id: rule for rule in _CATALOG}

@@ -20,7 +20,7 @@ from __future__ import annotations
 import fnmatch
 import inspect
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.lint.report import LintIssue
@@ -31,10 +31,19 @@ _ENTRY = re.compile(r"(?P<rule>[A-Z]+[0-9]+)(?:\[(?P<pattern>[^\]]+)\])?$")
 
 @dataclass(frozen=True)
 class Suppression:
-    """One parsed directive entry: a rule ID plus an optional name glob."""
+    """One parsed directive entry: a rule ID plus an optional name glob.
+
+    The provenance fields (``source``, ``line``, ``directive``) identify
+    which ``# lint: disable=`` comment produced the entry; they are
+    excluded from equality so two textually identical directives compare
+    equal regardless of where they were written.
+    """
 
     rule_id: str
     pattern: str | None = None
+    source: str = field(default="", compare=False)
+    line: int = field(default=0, compare=False)
+    directive: str = field(default="", compare=False)
 
     def matches(self, issue: LintIssue) -> bool:
         if issue.rule_id != self.rule_id:
@@ -43,11 +52,20 @@ class Suppression:
             return True
         return fnmatch.fnmatchcase(issue.obj, self.pattern)
 
+    def provenance(self) -> dict[str, object]:
+        """Where the directive came from, for report audit trails."""
+        return {
+            "source": self.source,
+            "line": self.line,
+            "directive": self.directive,
+        }
 
-def parse_suppressions(text: str) -> list[Suppression]:
+
+def parse_suppressions(text: str, source: str = "") -> list[Suppression]:
     """Extract every ``# lint: disable=`` directive from source text."""
     found: list[Suppression] = []
     for match in _DIRECTIVE.finditer(text):
+        line = text.count("\n", 0, match.start()) + 1
         for raw_entry in match.group(1).split(","):
             entry = raw_entry.strip()
             if not entry:
@@ -56,12 +74,15 @@ def parse_suppressions(text: str) -> list[Suppression]:
             if parsed is None:
                 continue
             found.append(Suppression(parsed.group("rule"),
-                                     parsed.group("pattern")))
+                                     parsed.group("pattern"),
+                                     source=source, line=line,
+                                     directive=match.group(0).strip()))
     return found
 
 
 def suppressions_from_file(path: str | Path) -> list[Suppression]:
-    return parse_suppressions(Path(path).read_text(encoding="utf-8"))
+    path = Path(path)
+    return parse_suppressions(path.read_text(encoding="utf-8"), str(path))
 
 
 def suppressions_for(obj: object) -> list[Suppression]:

@@ -1,0 +1,112 @@
+"""Cell table, mapper and node round-trip fidelity."""
+
+import pytest
+
+from repro.interchange import (
+    CellMap,
+    InterchangeError,
+    build_node,
+    cell_spec,
+    fmt_value,
+    node_params,
+)
+from repro.interchange.cells import SPECS_BY_KIND, parse_value
+from repro.lint.graph import graph_from_engine
+from repro.pulse import Engine
+from repro.pulse.counters import TFF, PulseCounter
+from repro.pulse.logic import ClockedAnd, ClockedNot
+from repro.pulse.monitor import Probe
+from repro.pulse.primitives import DAND, JTL, PTL, Merger, Sink, Splitter
+from repro.pulse.storage import DRO, HCDRO, NDRO, NDROC
+
+
+def _one_of_each_engine():
+    engine = Engine()
+    engine.add(Splitter("u.split", delay_ps=5.0))
+    engine.add(Merger("u.merge", delay_ps=3.0, dead_time_ps=7.0))
+    engine.add(JTL("u.jtl", delay_ps=2.5))
+    engine.add(PTL("u.ptl", length_um=250.0))
+    engine.add(Probe("u.probe"))
+    engine.add(Sink("u.sink"))
+    engine.add(DAND("u.dand"))
+    engine.add(ClockedAnd("u.and2"))
+    engine.add(ClockedNot("u.not1"))
+    engine.add(DRO("u.dro"))
+    engine.add(HCDRO("u.hcdro"))
+    engine.add(NDRO("u.ndro"))
+    engine.add(NDROC("u.ndroc"))
+    engine.add(TFF("u.tff"))
+    engine.add(PulseCounter("u.cnt", bits=3))
+    return engine
+
+
+@pytest.mark.parametrize("kind", sorted(SPECS_BY_KIND))
+def test_every_kind_has_canonical_cell_name(kind):
+    spec = cell_spec(kind)
+    assert spec.cell_name.startswith("SFQ_")
+    assert CellMap().resolve(spec.cell_name) == kind
+
+
+def test_build_node_reproduces_every_lowered_node():
+    """The cornerstone contract: build_node(node_params(n)) == n."""
+    graph = graph_from_engine(_one_of_each_engine(), "unit")
+    assert len(graph.nodes) == 15
+    for node in graph.nodes.values():
+        rebuilt = build_node(node.kind, node.name, node_params(node))
+        assert rebuilt == node, node.name
+
+
+def test_counter_ports_follow_bits_param():
+    spec = cell_spec("counter")
+    inputs, outputs = spec.ports({"bits": 4})
+    assert inputs == ("in", "read", "reset")
+    assert outputs == ("b0", "b1", "b2", "b3")
+    node = build_node("counter", "c", {"bits": 4, "delay_ps": 1.5})
+    assert node.outputs == outputs
+    assert len(node.arcs) == 4
+    assert node_params(node)["bits"] == 4
+
+
+def test_unary_clocked_gate_data_ports_follow_arity():
+    unary = build_node("clocked_gate", "g", {"arity": 1})
+    binary = build_node("clocked_gate", "g", {"arity": 2})
+    assert unary.data_ports == frozenset({"a"})
+    assert binary.data_ports == frozenset({"a", "b"})
+    assert node_params(unary)["arity"] == 1
+
+
+def test_non_uniform_arc_delays_are_rejected():
+    node = build_node("tff", "t", {"delay_ps": 2.0})
+    node.arcs = (node.arcs[0], type(node.arcs[0])("read", "q", 9.0))
+    with pytest.raises(InterchangeError, match="non-uniform"):
+        node_params(node)
+
+
+def test_cellmap_aliases_resolve_case_insensitively():
+    cmap = CellMap()
+    assert cmap.resolve("splitt") == "splitter"
+    assert cmap.resolve("DFFT") == "dro"
+    assert cmap.resolve("cbuff") == "merger"
+    assert cmap.resolve("NOPE") is None
+
+
+def test_cellmap_register_alias_validates_kind():
+    cmap = CellMap()
+    cmap.register_alias("ACME_SPL", "splitter")
+    assert cmap.resolve("acme_spl") == "splitter"
+    with pytest.raises(InterchangeError):
+        cmap.register_alias("X", "not_a_kind")
+
+
+def test_fmt_value_is_a_fixed_point():
+    for value in (0.0, 5.0, 2.3, 1 / 3, 6.625, 1e-4, 53.0, 0.30000000000004):
+        once = fmt_value(value)
+        again = fmt_value(float(parse_value(once)))
+        assert once == again, value
+    assert fmt_value(7) == "7"
+    assert fmt_value(True) == "1"
+
+
+def test_unknown_kind_raises_with_catalog():
+    with pytest.raises(InterchangeError, match="known kinds"):
+        cell_spec("flux_capacitor")

@@ -1,0 +1,133 @@
+"""End-to-end tests for ``python -m repro.interchange``."""
+
+import json
+
+import pytest
+
+from repro.interchange.cli import detect_format, main, run_lvs_gate
+from repro.rf import RFGeometry
+
+GEOMETRY = "4x4"
+
+
+def test_detect_format():
+    assert detect_format(".SUBCKT top a b\n.ends\n") == "spice"
+    assert detect_format("  .subckt top\n") == "spice"
+    assert detect_format("module \\top ();\nendmodule\n") == "verilog"
+
+
+def test_emit_writes_verilog_to_stdout(capsys):
+    assert main(["emit", "--design", "split_tree",
+                 "--geometry", GEOMETRY]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("// repro.interchange format=verilog")
+    assert "endmodule" in out
+
+
+def test_emit_writes_spice_to_file(tmp_path, capsys):
+    deck = tmp_path / "hp.cir"
+    assert main(["emit", "--design", "hiperrf", "--geometry", GEOMETRY,
+                 "--format", "spice", "-o", str(deck)]) == 0
+    assert capsys.readouterr().out == ""
+    text = deck.read_text()
+    assert text.startswith("* repro.interchange format=spice")
+    assert ".subckt hiperrf" in text
+
+
+def test_parse_clean_netlist_exits_zero(tmp_path, capsys):
+    deck = tmp_path / "hp.v"
+    main(["emit", "--design", "hiperrf", "--geometry", GEOMETRY,
+          "-o", str(deck)])
+    capsys.readouterr()
+    assert main(["parse", str(deck)]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_parse_flags_unknown_cells_as_sfq018(tmp_path, capsys):
+    deck = tmp_path / "foreign.cir"
+    deck.write_text(
+        ".subckt foreign ext:src.in\n"
+        "Xsrc ext:src.in n:src.out n:src2 SPLITT delay_ps=5\n"
+        "Xq n:src.out nc:q.clk n:q.q DFFT\n"
+        "Xmyst n:src2\n"
+        "+ MYSTERY_CELL\n"
+        "Xs n:q.q SFQ_SINK\n"
+        ".ends foreign\n")
+    assert main(["parse", str(deck), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    rules = {issue["rule"] for issue in payload["issues"]}
+    assert "SFQ018" in rules
+    sfq018 = [i for i in payload["issues"] if i["rule"] == "SFQ018"]
+    assert any("MYSTERY_CELL" in i["message"] for i in sfq018)
+    # --fail-on never still prints but exits clean.
+    assert main(["parse", str(deck), "--fail-on", "never"]) == 0
+
+
+def test_lvs_gate_is_clean_for_builtin_designs(capsys):
+    assert main(["lvs", "--design", "split_tree", "--design", "merge_tree",
+                 "--geometry", GEOMETRY]) == 0
+    out = capsys.readouterr().out
+    assert "4/4 round-trips clean" in out
+
+
+def test_lvs_gate_with_mutations_json_report(tmp_path, capsys):
+    report_path = tmp_path / "lvs.json"
+    rc = main(["lvs", "--design", "merge_tree", "--geometry", GEOMETRY,
+               "--with-mutations", "--json", "--report", str(report_path)])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == json.loads(report_path.read_text())
+    assert payload["geometry"] == GEOMETRY
+    assert payload["summary"]["ok"] is True
+    assert payload["summary"]["clean"] == payload["summary"]["roundtrips"]
+    assert payload["summary"]["detected"] == payload["summary"]["mutations"]
+    assert {entry["format"] for entry in payload["roundtrips"]} == {
+        "verilog", "spice"}
+
+
+def test_lvs_files_cross_format(tmp_path, capsys):
+    vlog = tmp_path / "hp.v"
+    cir = tmp_path / "hp.cir"
+    main(["emit", "--design", "hiperrf", "--geometry", GEOMETRY,
+          "-o", str(vlog)])
+    main(["emit", "--design", "hiperrf", "--geometry", GEOMETRY,
+          "--format", "spice", "-o", str(cir)])
+    capsys.readouterr()
+    assert main(["lvs", "--files", str(vlog), str(cir)]) == 0
+    assert "clean (176/176 instances matched" in capsys.readouterr().out
+
+
+def test_lvs_files_detects_a_doctored_candidate(tmp_path, capsys):
+    golden = tmp_path / "g.v"
+    main(["emit", "--design", "split_tree", "--geometry", GEOMETRY,
+          "-o", str(golden)])
+    text = golden.read_text()
+    doctored = tmp_path / "c.v"
+    lines = [line for line in text.splitlines()
+             if "\\st.sink3 " not in line]
+    doctored.write_text("\n".join(lines) + "\n")
+    capsys.readouterr()
+    assert main(["lvs", "--files", str(golden), str(doctored)]) == 1
+    assert "missing-instance" in capsys.readouterr().out
+
+
+def test_run_lvs_gate_skips_inapplicable_mutations():
+    payload = run_lvs_gate(["split_tree"], RFGeometry(4, 4),
+                           ("verilog",), with_mutations=True)
+    skipped = [entry for entry in payload["mutations"]
+               if entry["detected"] is None]
+    assert skipped, "pin_swap cannot apply to a pure splitter tree"
+    assert payload["summary"]["ok"] is True
+    assert all(entry["mutation"] == "pin_swap" for entry in skipped)
+
+
+def test_bad_geometry_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["emit", "--design", "hiperrf", "--geometry", "lots"])
+    assert excinfo.value.code == 2
+    assert "bad geometry" in capsys.readouterr().err
+
+
+def test_unreadable_file_exits_two(capsys):
+    assert main(["parse", "/nonexistent/netlist.v"]) == 2
+    assert "error:" in capsys.readouterr().err

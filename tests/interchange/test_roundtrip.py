@@ -1,0 +1,109 @@
+"""Round-trip properties: emit -> parse -> emit byte-stable, LVS clean,
+and parsed graphs pass the full SFQ001-SFQ016 catalog."""
+
+import itertools
+
+import pytest
+
+from repro.interchange import (
+    INTERCHANGE_DESIGNS,
+    design_graphs,
+    emit_spice,
+    emit_verilog,
+    lvs,
+    parse_spice,
+    parse_verilog,
+    round_trip_lvs,
+)
+from repro.lint.designs import lint_graph
+from repro.rf import RFGeometry
+
+GEOMETRY = RFGeometry(4, 4)
+
+_EMITTERS = {"verilog": (emit_verilog, parse_verilog),
+             "spice": (emit_spice, parse_spice)}
+
+
+def _cases():
+    for name, fmt in itertools.product(INTERCHANGE_DESIGNS, _EMITTERS):
+        yield pytest.param(name, fmt, id=f"{name}-{fmt}")
+
+
+@pytest.mark.parametrize("name,fmt", _cases())
+def test_roundtrip_is_lvs_clean(name, fmt):
+    for graph in design_graphs(name, GEOMETRY):
+        report = round_trip_lvs(graph, fmt)
+        assert report.ok, report.render()
+        assert report.matched == len(graph.nodes)
+        assert report.unmapped_cells == ()
+
+
+@pytest.mark.parametrize("name,fmt", _cases())
+def test_emit_parse_emit_is_byte_stable(name, fmt):
+    emit, parse = _EMITTERS[fmt]
+    for graph in design_graphs(name, GEOMETRY):
+        first = emit(graph)
+        reparsed = parse(first)[0]
+        assert emit(reparsed.graph) == first
+
+
+@pytest.mark.parametrize("name,fmt", _cases())
+def test_parsed_graphs_pass_the_rule_catalog(name, fmt):
+    emit, parse = _EMITTERS[fmt]
+    for graph in design_graphs(name, GEOMETRY):
+        parsed = parse(emit(graph))[0]
+        report = lint_graph(parsed.graph)
+        assert report.errors == [], report.render(verbose=True)
+        assert report.warnings == [], report.render(verbose=True)
+
+
+@pytest.mark.parametrize("name", INTERCHANGE_DESIGNS)
+def test_cross_format_equivalence(name):
+    """Verilog and SPICE round-trips reconstruct the same structure."""
+    for graph in design_graphs(name, GEOMETRY):
+        via_verilog = parse_verilog(emit_verilog(graph))[0].graph
+        via_spice = parse_spice(emit_spice(graph))[0].graph
+        report = lvs(via_verilog, via_spice)
+        assert report.ok, report.render()
+
+
+def test_dual_bank_emits_two_modules_in_one_file():
+    graphs = design_graphs("dual_bank_hiperrf", GEOMETRY)
+    assert len(graphs) == 2
+    text = "".join(emit_verilog(g) for g in graphs)
+    results = parse_verilog(text)
+    assert [r.graph.name for r in results] == [g.name for g in graphs]
+    for golden, result in zip(graphs, results):
+        assert lvs(golden, result.graph).ok
+
+
+def test_externals_survive_the_round_trip():
+    """Including driven+external pins, which travel as pragmas."""
+    for graph in design_graphs("ndro_rf", GEOMETRY):
+        driven_external = [r for r in graph.externals if graph.drivers(r)]
+        assert driven_external, "fixture should exercise the pragma path"
+        for fmt in _EMITTERS:
+            emit, parse = _EMITTERS[fmt]
+            parsed = parse(emit(graph))[0]
+            assert parsed.graph.externals == graph.externals
+
+
+def test_wire_delays_survive_the_round_trip():
+    """Nonzero edge delays travel as comment pragmas in both formats."""
+    from repro.interchange import build_node
+    from repro.lint.graph import CircuitGraph, PortRef
+
+    graph = CircuitGraph("delayed")
+    graph.add_node(build_node("jtl", "a", {"delay_ps": 2.0}))
+    graph.add_node(build_node("sink", "b", {}))
+    graph.add_edge(PortRef("a", "out"), PortRef("b", "in"), delay_ps=3.75)
+    graph.mark_external(PortRef("a", "in"))
+    golden = {(str(e.src), str(e.dst)): e.delay_ps for e in graph.edges}
+    for fmt in _EMITTERS:
+        emit, parse = _EMITTERS[fmt]
+        text = emit(graph)
+        assert "delay_ps=3.75" in text
+        parsed = parse(text)[0]
+        got = {(str(e.src), str(e.dst)): e.delay_ps
+               for e in parsed.graph.edges}
+        assert got == golden

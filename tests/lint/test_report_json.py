@@ -1,0 +1,95 @@
+"""JSON report schema, stable ordering and suppression provenance."""
+
+import json
+
+from repro.lint.cli import main
+from repro.lint.report import LintIssue, LintReport, Severity
+from repro.lint.suppress import parse_suppressions
+
+
+def _report():
+    report = LintReport()
+    report.analysed.append("demo")
+    report.add(LintIssue("SFQ005", Severity.WARNING, "b.merge",
+                         "unprotected merge", design="demo"))
+    report.add(LintIssue("SFQ001", Severity.ERROR, "z.split",
+                         "illegal fan-out", design="demo"))
+    report.add(LintIssue("SFQ001", Severity.ERROR, "a.split",
+                         "illegal fan-out", design="demo"))
+    report.add(LintIssue("SFQ012", Severity.INFO, "m.probe",
+                         "probe present", design="demo"))
+    return report
+
+
+def test_sorted_issues_orders_by_severity_then_anchor():
+    ordered = _report().sorted_issues()
+    assert [(i.rule_id, i.obj) for i in ordered] == [
+        ("SFQ001", "a.split"),
+        ("SFQ001", "z.split"),
+        ("SFQ005", "b.merge"),
+        ("SFQ012", "m.probe"),
+    ]
+
+
+def test_json_issues_carry_catalog_title_and_severity():
+    payload = json.loads(_report().to_json())
+    assert payload["analysed"] == ["demo"]
+    assert [i["rule"] for i in payload["issues"]] == [
+        "SFQ001", "SFQ001", "SFQ005", "SFQ012"]
+    first = payload["issues"][0]
+    assert first["rule_title"]
+    assert first["rule_severity"] == "error"
+    assert payload["summary"] == {"errors": 2, "warnings": 1, "infos": 1}
+
+
+def test_suppressed_entries_carry_provenance():
+    report = _report()
+    rules = parse_suppressions(
+        "# build notes\n# lint: disable=SFQ005[b.*]\n", source="demo.py")
+    report.apply_suppressions(rules)
+    assert [i.rule_id for i in report.suppressed] == ["SFQ005"]
+    payload = json.loads(report.to_json())
+    assert len(payload["suppressed"]) == 1
+    origin = payload["suppressed"][0]["suppressed_by"]
+    assert origin == {
+        "source": "demo.py",
+        "line": 2,
+        "directive": "# lint: disable=SFQ005[b.*]",
+    }
+
+
+def test_suppression_without_provenance_is_null():
+    class Anonymous:
+        def matches(self, issue):
+            return issue.rule_id == "SFQ012"
+
+    report = _report()
+    report.apply_suppressions([Anonymous()])
+    payload = json.loads(report.to_json())
+    assert payload["suppressed"][0]["suppressed_by"] is None
+
+
+def test_merge_keeps_provenance_alignment():
+    left = _report()
+    left.apply_suppressions(parse_suppressions(
+        "# lint: disable=SFQ012", source="left.py"))
+    right = _report()
+    right.suppressed.append(right.issues.pop())  # suppressed, origin unknown
+    left.merge(right)
+    payload = json.loads(left.to_json())
+    origins = [entry["suppressed_by"] for entry in payload["suppressed"]]
+    assert origins[0]["source"] == "left.py"
+    assert origins[1] is None
+
+
+def test_cli_json_is_deterministic_and_fail_on_info_gates(capsys):
+    assert main(["--geometry", "4x4", "--format", "json"]) == 0
+    first = capsys.readouterr().out
+    assert main(["--geometry", "4x4", "--format", "json"]) == 0
+    assert capsys.readouterr().out == first
+    # INFO findings exist (probe notes), so gating on info must trip.
+    payload = json.loads(first)
+    if payload["summary"]["infos"]:
+        assert main(["--geometry", "4x4", "--fail-on", "info"]) == 1
+        capsys.readouterr()
+    assert main(["--geometry", "4x4", "--fail-on", "never"]) == 0
