@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-josim bench-pulse bench-cpu experiments examples quick all lint-netlists lvs
+.PHONY: install test bench bench-josim bench-pulse bench-cpu bench-service serve experiments examples quick all lint-netlists lvs
 
 install:
 	pip install -e .
@@ -42,6 +42,18 @@ bench-pulse:
 bench-cpu:
 	PYTHONPATH=src pytest benchmarks/bench_cpu.py --benchmark-only \
 		--benchmark-json=BENCH_cpu.json
+
+# Tracks the coalescing simulation service against naive per-request
+# execution on a mixed 200-request workload with overlapping keys:
+# writes BENCH_service.json, including the enforced >= 3x jobs/sec
+# speedup and bitwise artifact identity.
+bench-service:
+	PYTHONPATH=src pytest benchmarks/bench_service.py --benchmark-only \
+		--benchmark-json=BENCH_service.json
+
+# Run the coalescing simulation job service (JSON over HTTP).
+serve:
+	PYTHONPATH=src python -m repro.service
 
 experiments:
 	hiperrf-experiments all

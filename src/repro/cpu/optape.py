@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
@@ -36,6 +37,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import ExecutionError
+from repro.experiments.parallel import cache_max_bytes, enforce_cache_limit
 from repro.isa.assembler import Program
 from repro.isa.executor import ExecutedOp, Executor, HaltReason
 
@@ -251,14 +253,24 @@ class TraceCache:
     entry point, instruction cap, register count), and is re-verified
     against the stored copy on load.  Corrupt or mismatched entries are
     treated as misses and overwritten.
+
+    ``max_bytes`` bounds the store with least-recently-used eviction
+    (hits refresh entry mtime); ``None`` follows
+    ``REPRO_CACHE_MAX_BYTES`` and ``0`` means unlimited.  The budget
+    covers this cache's own ``.npz`` tapes - JSON results sharing the
+    root are governed by
+    :class:`repro.experiments.parallel.ResultCache`'s identical limit.
     """
 
     NAMESPACE = "cpu-tape-v1"
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path],
+                 max_bytes: Optional[int] = None) -> None:
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @classmethod
     def from_env(cls) -> Optional["TraceCache"]:
@@ -289,10 +301,16 @@ class TraceCache:
                     exit_code=int(meta[3]) if int(meta[2]) else None,
                     halt_reason=halt or None,
                 )
-        except (OSError, ValueError, KeyError, IndexError):
+        except (OSError, ValueError, KeyError, IndexError, EOFError,
+                zipfile.BadZipFile):
+            # a torn or truncated publish reads as a miss, never a crash
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
         return tape
 
     def put(self, digest: str, tape: OpTape) -> None:
@@ -322,6 +340,17 @@ class TraceCache:
             except OSError:
                 pass
             raise
+        limit = self.max_bytes if self.max_bytes is not None \
+            else cache_max_bytes()
+        if limit > 0:
+            self.evictions += enforce_cache_limit(
+                self.root / self.NAMESPACE, ".npz", limit)
+
+    def size_bytes(self) -> int:
+        """Total size of the stored tapes (the eviction budget)."""
+        namespace = self.root / self.NAMESPACE
+        return sum(path.stat().st_size
+                   for path in namespace.rglob("*.npz") if path.is_file())
 
 
 TraceCacheLike = Optional[Union[TraceCache, str, Path]]

@@ -24,11 +24,20 @@ The cache hands out the *same* engine/handle pair on every hit, reset to
 its post-build state.  Callers therefore must not interleave two users
 of one key; that is the natural usage in benchmarks and sweeps, where a
 run finishes before the next begins.
+
+Concurrent callers (the simulation service dispatches jobs from a
+thread pool) must instead go through :meth:`CompiledNetlistCache.
+checkout`: a per-key lock serialises users of one netlist, and every
+checkout starts from the pristine snapshot, so two interleaved jobs can
+never observe - or corrupt - each other's state.  ``build_once`` keeps
+its single-threaded contract unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Tuple
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Hashable, Iterator, Tuple
 
 from repro.pulse.compiled import PulseSnapshot
 from repro.pulse.engine import Engine
@@ -43,6 +52,8 @@ class CompiledNetlistCache:
 
     def __init__(self) -> None:
         self._entries: Dict[Hashable, Tuple[Engine, Any, PulseSnapshot]] = {}
+        self._guard = threading.Lock()  # protects the two dicts below
+        self._locks: Dict[Hashable, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
 
@@ -69,11 +80,29 @@ class CompiledNetlistCache:
         self._entries[key] = (engine, handle, pristine)
         return engine, handle
 
+    @contextmanager
+    def checkout(self, key: Hashable,
+                 builder: Builder) -> Iterator[Tuple[Engine, Any]]:
+        """Exclusive, pristine use of ``key``'s netlist (thread-safe).
+
+        The per-key lock serialises concurrent jobs on one cached
+        netlist; each holder receives the engine restored to its
+        pristine snapshot, so no state leaks between interleaved jobs.
+        Different keys check out concurrently.  The engine/handle pair
+        must not be used after the ``with`` block exits.
+        """
+        with self._guard:
+            lock = self._locks.setdefault(key, threading.Lock())
+        with lock:
+            yield self.build_once(key, builder)
+
     def clear(self) -> None:
         """Drop every entry (and reset the hit/miss counters)."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._guard:
+            self._entries.clear()
+            self._locks.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -93,6 +122,13 @@ DEFAULT_CACHE = CompiledNetlistCache()
 def build_once(key: Hashable, builder: Builder) -> Tuple[Engine, Any]:
     """Module-level convenience over :data:`DEFAULT_CACHE`."""
     return DEFAULT_CACHE.build_once(key, builder)
+
+
+@contextmanager
+def checkout(key: Hashable, builder: Builder) -> Iterator[Tuple[Engine, Any]]:
+    """Module-level convenience over :meth:`CompiledNetlistCache.checkout`."""
+    with DEFAULT_CACHE.checkout(key, builder) as pair:
+        yield pair
 
 
 def clear() -> None:

@@ -80,6 +80,37 @@ class _CachedBuildMixin:
             cls.build_key(geometry, op_period_ps, strict_timing), builder)
         return rf
 
+    @classmethod
+    def checkout_cached(cls, geometry: RFGeometry, op_period_ps: float,
+                        strict_timing: bool = True,
+                        cache: Optional["CompiledNetlistCache"] = None):
+        """Context manager: exclusive pristine use of the cached build.
+
+        Thread-safe variant of ``build_cached`` for concurrent jobs
+        (the simulation service): a per-key lock serialises users of
+        one netlist and every checkout restores the pristine snapshot,
+        so interleaved jobs cannot leak state into each other.  Yields
+        the driver object; do not use it after the ``with`` block.
+        """
+        from contextlib import contextmanager
+
+        from repro.pulse.cache import DEFAULT_CACHE
+
+        store = DEFAULT_CACHE if cache is None else cache
+
+        def builder() -> Tuple[Engine, object]:
+            engine = Engine(strict_timing=strict_timing)
+            return engine, cls(engine, geometry, op_period_ps)  # type: ignore[call-arg]
+
+        @contextmanager
+        def lease():
+            with store.checkout(
+                    cls.build_key(geometry, op_period_ps, strict_timing),
+                    builder) as (_engine, rf):
+                yield rf
+
+        return lease()
+
 
 class PulseNdroRF(_CachedBuildMixin):
     """Pulse-level model of the baseline NDRO register file (Figure 4)."""

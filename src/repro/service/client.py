@@ -1,0 +1,114 @@
+"""Blocking JSON client for the simulation service (stdlib ``http.client``).
+
+Synchronous by design: callers are scripts, benchmarks and notebooks
+that submit a job and poll.  One connection per request matches the
+server's ``Connection: close`` protocol.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response (``status``) or a malformed reply."""
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one service endpoint.
+
+    ``submit`` returns the job snapshot; ``wait`` polls until terminal
+    and returns the artifact (raising :class:`ServiceError` if the job
+    failed), so the common flow is two lines::
+
+        client = ServiceClient(host, port)
+        artifact = client.wait(client.submit("margins")["id"])
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8752,
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- raw request -------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None) -> Any:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body) if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except OSError as exc:
+            raise ServiceError(
+                f"{method} {path} on {self.host}:{self.port} failed: "
+                f"{exc}") from exc
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw) if raw else None
+        except ValueError as exc:
+            raise ServiceError(f"{method} {path}: non-JSON reply "
+                               f"{raw[:200]!r}", response.status) from exc
+        if response.status >= 400:
+            detail = decoded.get("error") if isinstance(decoded, dict) \
+                else decoded
+            raise ServiceError(f"{method} {path}: {response.status} "
+                               f"{detail}", response.status)
+        return decoded
+
+    # -- API ---------------------------------------------------------------
+
+    def health(self) -> bool:
+        return bool(self.request("GET", "/healthz").get("ok"))
+
+    def experiments(self) -> List[str]:
+        return list(self.request("GET", "/experiments")["experiments"])
+
+    def stats(self) -> Dict[str, Any]:
+        return dict(self.request("GET", "/stats"))
+
+    def submit(self, experiment: str,
+               params: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return dict(self.request("POST", "/jobs", {
+            "experiment": experiment, "params": params or {}}))
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return list(self.request("GET", "/jobs")["jobs"])
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return dict(self.request("GET", f"/jobs/{job_id}"))
+
+    def result(self, job_id: str) -> Any:
+        """The raw result envelope (job must be terminal)."""
+        return self.request("GET", f"/jobs/{job_id}/result")
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll_s: float = 0.05) -> Any:
+        """Poll until terminal; return the artifact or raise on failure."""
+        deadline = time.monotonic() + timeout
+        delay = poll_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                break
+            if time.monotonic() > deadline:
+                raise ServiceError(f"job {job_id} still "
+                                   f"{status['state']} after {timeout}s")
+            time.sleep(delay)
+            delay = min(delay * 1.5, 1.0)  # back off while it runs
+        envelope = self.result(job_id)
+        if envelope["state"] != "done":
+            raise ServiceError(f"job {job_id} failed: {envelope['error']}")
+        return envelope["result"]

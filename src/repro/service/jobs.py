@@ -1,0 +1,136 @@
+"""Job lifecycle and the in-memory job store.
+
+A job is one API request: an experiment name plus parameters.  The
+engine decomposes it into unit work items, coalesces those with every
+other in-flight job, and recomposes the item results into the job's
+artifact.  The store only keeps metadata and the (JSON-able) artifact;
+unit results live in the shared on-disk caches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import itertools
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle: queued -> running -> done | failed."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One submitted request and its (eventual) artifact."""
+
+    id: str
+    experiment: str
+    params: Dict[str, Any]
+    state: JobState = JobState.QUEUED
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    error: Optional[str] = None
+    result: Any = None
+    #: Unit work items the job decomposed into, and how each resolved.
+    items: int = 0
+    cache_hits: int = 0      # served straight from the on-disk cache
+    coalesced: int = 0       # joined another job's in-flight computation
+    computed: int = 0        # items this job led (entered the dispatch queue)
+    #: Set when the job reaches a terminal state.
+    done_event: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.finished is None:
+            return None
+        return self.finished - self.created
+
+    def start(self) -> None:
+        self.state = JobState.RUNNING
+        self.started = time.time()
+
+    def finish(self, result: Any) -> None:
+        self.result = result
+        self.state = JobState.DONE
+        self.finished = time.time()
+        self.done_event.set()
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.state = JobState.FAILED
+        self.finished = time.time()
+        self.done_event.set()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able status view (the artifact is served separately)."""
+        return {
+            "id": self.id,
+            "experiment": self.experiment,
+            "params": self.params,
+            "state": self.state.value,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "latency_s": self.latency_s,
+            "error": self.error,
+            "items": self.items,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "computed": self.computed,
+        }
+
+
+class JobStore:
+    """In-memory job registry with a bounded finished-job history.
+
+    Terminal jobs beyond ``max_finished`` are dropped oldest-first so a
+    long-running service does not grow without bound; live jobs are
+    never evicted.
+    """
+
+    def __init__(self, max_finished: int = 10_000) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self.max_finished = max_finished
+        self._counter = itertools.count()
+
+    def create(self, experiment: str, params: Dict[str, Any]) -> Job:
+        job_id = f"{next(self._counter):06d}-{uuid.uuid4().hex[:10]}"
+        job = Job(id=job_id, experiment=experiment, params=params)
+        self._jobs[job_id] = job
+        self._order.append(job_id)
+        self._trim()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def list(self) -> List[Job]:
+        return [self._jobs[job_id] for job_id in self._order
+                if job_id in self._jobs]
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def _trim(self) -> None:
+        finished = [job_id for job_id in self._order
+                    if self._jobs[job_id].terminal]
+        excess = len(finished) - self.max_finished
+        for job_id in finished[:max(0, excess)]:
+            del self._jobs[job_id]
+        if excess > 0:
+            self._order = [job_id for job_id in self._order
+                           if job_id in self._jobs]

@@ -1,0 +1,205 @@
+"""SingleFlight semantics and the cached_call/cached_map rewiring."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.experiments.parallel import (
+    SINGLE_FLIGHT,
+    ResultCache,
+    SingleFlight,
+    cached_call,
+    cached_map,
+)
+
+
+class TestSingleFlightCore:
+    def test_do_returns_value_and_unregisters(self):
+        flight = SingleFlight()
+        assert flight.do("k", lambda: 41) == 41
+        assert flight.in_flight() == 0
+        # keys unregister on completion: later calls compute fresh
+        assert flight.do("k", lambda: 42) == 42
+        assert flight.leads == 2
+        assert flight.waits == 0
+
+    def test_concurrent_same_key_computes_once(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        calls = []
+        results = []
+
+        def compute():
+            calls.append(1)
+            gate.wait(5)
+            return "value"
+
+        def leader():
+            results.append(flight.do("k", compute))
+
+        def waiter():
+            while flight.in_flight() == 0:  # until the leader claims
+                pass
+            results.append(flight.do("k", lambda: "never"))
+
+        threads = [threading.Thread(target=leader),
+                   threading.Thread(target=waiter)]
+        threads[0].start()
+        threads[1].start()
+        while flight.waits == 0 and threads[0].is_alive():
+            pass
+        gate.set()
+        for thread in threads:
+            thread.join(10)
+        assert results == ["value", "value"]
+        assert calls == [1]
+        assert flight.leads == 1
+        assert flight.waits == 1
+
+    def test_leader_exception_propagates_to_waiters(self):
+        flight = SingleFlight()
+        leader, handle = flight.begin("k")
+        assert leader
+        errors = []
+
+        def waiter():
+            is_leader, shared = flight.begin("k")
+            assert not is_leader
+            try:
+                flight.wait(shared)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        while flight.waits == 0:
+            pass
+        flight.finish("k", handle, exception=RuntimeError("boom"))
+        thread.join(10)
+        assert errors == ["boom"]
+        with pytest.raises(RuntimeError, match="boom"):
+            flight.wait(handle)
+
+    def test_begin_after_finish_leads_again(self):
+        flight = SingleFlight()
+        leader, handle = flight.begin("k")
+        flight.finish("k", handle, value=1)
+        leader_again, handle2 = flight.begin("k")
+        assert leader_again
+        assert handle2 is not handle
+        flight.finish("k", handle2, value=2)
+
+
+class TestCachedCallCollapse:
+    def test_concurrent_identical_calls_compute_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        gate = threading.Event()
+        started = threading.Event()
+        calls = []
+        results = []
+
+        def fn():
+            calls.append(1)
+            started.set()
+            gate.wait(5)
+            return 7
+
+        def racer():
+            results.append(cached_call("ns", {"k": 1}, fn, cache=cache))
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        threads[0].start()
+        started.wait(5)
+        for thread in threads[1:]:
+            thread.start()
+        while SINGLE_FLIGHT.in_flight() == 0 and any(
+                t.is_alive() for t in threads):
+            pass
+        gate.set()
+        for thread in threads:
+            thread.join(10)
+        assert results == [7, 7, 7, 7]
+        assert calls == [1]  # one computation, shared by every racer
+        assert cache.get("ns", {"k": 1}) == 7
+
+
+class TestCachedMapCollapse:
+    def test_overlapping_sweeps_never_duplicate_a_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        gate = threading.Event()
+        lock = threading.Lock()
+        calls = []
+
+        def fn(x):
+            with lock:
+                calls.append(x)
+            gate.wait(5)
+            return x * 10
+
+        outputs = {}
+
+        def sweep(name, points):
+            outputs[name] = cached_map("ns", fn, points,
+                                       workers=1, cache=cache)
+
+        waits_before = SINGLE_FLIGHT.waits  # the counter is process-global
+        a = threading.Thread(target=sweep, args=("a", [1, 2, 3]))
+        b = threading.Thread(target=sweep, args=("b", [2, 3, 4]))
+        a.start()
+        while not calls:  # sweep a is computing its first point
+            pass
+        b.start()
+        # release the gate only once b is a registered waiter on a's keys
+        while SINGLE_FLIGHT.waits == waits_before and b.is_alive():
+            pass
+        gate.set()
+        a.join(10)
+        b.join(10)
+        assert outputs["a"] == [10, 20, 30]
+        assert outputs["b"] == [20, 30, 40]
+        # overlap keys 2 and 3 computed exactly once across both sweeps
+        assert sorted(calls) == [1, 2, 3, 4]
+
+    def test_failed_dispatch_releases_waiters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        gate = threading.Event()
+        failures = []
+
+        def fn(x):
+            gate.wait(5)
+            raise ValueError(f"bad {x}")
+
+        def sweep():
+            try:
+                cached_map("ns", fn, [5], workers=1, cache=cache)
+            except ValueError as exc:
+                failures.append(str(exc))
+
+        waits_before = SINGLE_FLIGHT.waits  # the counter is process-global
+        a = threading.Thread(target=sweep)
+        b = threading.Thread(target=sweep)
+        a.start()
+        while SINGLE_FLIGHT.in_flight() == 0 and a.is_alive():
+            pass
+        b.start()
+        while SINGLE_FLIGHT.waits == waits_before and b.is_alive():
+            pass
+        gate.set()
+        a.join(10)
+        b.join(10)
+        # the leader's exception reached both sweeps; nobody hung
+        assert failures == ["bad 5", "bad 5"]
+
+    def test_in_call_duplicates_share_one_slot(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x + 1
+
+        result = cached_map("ns", fn, [9, 9, 9], workers=1, cache=cache)
+        assert result == [10, 10, 10]
+        assert calls == [9]

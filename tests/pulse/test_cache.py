@@ -105,3 +105,72 @@ class TestCachedFactories:
         assert again.stored_word(5) == 0
         assert cache.stats()["misses"] == 2  # one per bank
         assert cache.stats()["hits"] == 2
+
+
+class TestCheckout:
+    """Concurrent jobs on one cached netlist (the service dispatch path)."""
+
+    def test_checkout_yields_pristine_engine(self, cache):
+        with cache.checkout("k", _probe_builder) as (engine, probe):
+            engine.schedule(probe, "in", 5.0)
+            engine.run()
+            assert probe.count == 1
+        with cache.checkout("k", _probe_builder) as (engine2, probe2):
+            assert engine2 is engine
+            assert probe2.count == 0 and engine2.now_ps == 0.0
+
+    def test_interleaved_jobs_do_not_leak_state(self, cache):
+        """Two threads hammer one cached register file; every checkout
+        must see pristine state and read back exactly its own writes."""
+        import threading
+
+        geometry = RFGeometry(4, 4)
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def job(value):
+            try:
+                barrier.wait(5)
+                for _ in range(10):
+                    lease = PulseHiPerRF.checkout_cached(
+                        geometry, 600.0, cache=cache)
+                    with lease as rf:
+                        assert rf.stored_word(1) == 0  # no leaked state
+                        assert rf.stored_word(2) == 0
+                        done = rf.write_word(1, value, 50.0)
+                        assert rf.read_word(1, done + 50.0) == value
+            except Exception as exc:  # noqa: BLE001 - surface in main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=job, args=(v,))
+                   for v in (0x5, 0xA)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert errors == []
+        assert cache.stats()["misses"] == 1  # one build served every lease
+
+    def test_distinct_keys_checkout_concurrently(self, cache):
+        """A lease on one key must not block a different key."""
+        with cache.checkout("a", _probe_builder) as (engine_a, _):
+            with cache.checkout("b", _probe_builder) as (engine_b, _):
+                assert engine_a is not engine_b
+
+    def test_module_level_checkout_uses_default_cache(self):
+        from repro.pulse import cache as cache_module
+
+        cache_module.clear()
+        with cache_module.checkout("svc-test", _probe_builder) as (engine, _):
+            assert engine.compiled is not None
+        assert "svc-test" in cache_module.DEFAULT_CACHE
+        cache_module.clear()
+
+    def test_clear_resets_locks_and_entries(self, cache):
+        with cache.checkout("k", _probe_builder):
+            pass
+        cache.clear()
+        assert len(cache) == 0
+        with cache.checkout("k", _probe_builder) as (engine, _):
+            assert engine.compiled is not None
+        assert cache.stats()["misses"] == 1

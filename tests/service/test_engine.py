@@ -1,0 +1,147 @@
+"""Coalescing engine: windows, dedup, caching, failure handling."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments.parallel import ResultCache
+from repro.service.adapters import run_job_naive
+from repro.service.engine import CoalescingEngine
+from tests.service.test_adapters import CHEAP_MARGINS
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLifecycle:
+    def test_submit_before_start_rejected(self):
+        engine = CoalescingEngine(cache=None)
+        with pytest.raises(RuntimeError, match="not started"):
+            engine.submit("figure15", {})
+
+    def test_bad_request_creates_no_job(self, tmp_path):
+        async def main():
+            async with CoalescingEngine(cache=ResultCache(tmp_path)) as eng:
+                with pytest.raises(ValueError):
+                    eng.submit("margins", {"scales": []})
+                assert len(eng.store) == 0
+
+        run(main())
+
+
+class TestCoalescing:
+    def test_identical_jobs_collapse_and_match_naive(self, tmp_path):
+        async def main():
+            cache = ResultCache(tmp_path)
+            async with CoalescingEngine(cache=cache, window_ms=10) as eng:
+                first = eng.submit("margins", CHEAP_MARGINS)
+                second = eng.submit("margins", CHEAP_MARGINS)
+                await eng.wait(first)
+                await eng.wait(second)
+                return first, second, eng.stats()
+
+        first, second, stats = run(main())
+        assert first.state.value == "done", first.error
+        assert first.result == second.result
+        # the duplicate job led nothing: all four items coalesced
+        assert second.coalesced == 4 and second.computed == 0
+        # grouped dispatch: 4 items crossed in 2 topology batches
+        assert stats["dispatches"] == 2
+        assert stats["largest_group"] == 2
+        naive = run_job_naive("margins", CHEAP_MARGINS)
+        assert json.dumps(first.result, sort_keys=True) == \
+            json.dumps(naive, sort_keys=True)
+
+    def test_second_round_serves_from_cache(self, tmp_path):
+        async def main():
+            cache = ResultCache(tmp_path)
+            async with CoalescingEngine(cache=cache, window_ms=5) as eng:
+                cold = await eng.run("margins", CHEAP_MARGINS)
+                warm = await eng.run("margins", CHEAP_MARGINS)
+                return cold, warm
+
+        cold, warm = run(main())
+        assert cold.computed == 4 and cold.cache_hits == 0
+        assert warm.cache_hits == 4 and warm.computed == 0
+        assert warm.result == cold.result
+
+    def test_cache_persists_across_engines(self, tmp_path):
+        async def once():
+            async with CoalescingEngine(cache=ResultCache(tmp_path),
+                                        window_ms=5) as eng:
+                return await eng.run("margins", CHEAP_MARGINS)
+
+        cold = run(once())
+        warm = run(once())
+        assert cold.computed == 4
+        assert warm.cache_hits == 4  # a restart costs nothing
+        assert warm.result == cold.result
+
+    def test_zero_window_still_dedups(self, tmp_path):
+        async def main():
+            async with CoalescingEngine(cache=ResultCache(tmp_path),
+                                        window_ms=0) as eng:
+                first = eng.submit("figure15", {})
+                second = eng.submit("figure15", {})
+                await eng.wait(first)
+                await eng.wait(second)
+                return first, second
+
+        first, second = run(main())
+        assert first.state.value == "done", first.error
+        assert second.coalesced + second.cache_hits == 1
+
+    def test_engine_without_cache_still_coalesces(self):
+        async def main():
+            async with CoalescingEngine(cache=None, window_ms=10) as eng:
+                first = eng.submit("figure15", {})
+                second = eng.submit("figure15", {})
+                await eng.wait(first)
+                await eng.wait(second)
+                return first, second
+
+        first, second = run(main())
+        assert first.state.value == "done", first.error
+        assert second.coalesced == 1
+        assert first.result == second.result
+
+
+class TestFailure:
+    def test_dispatch_error_fails_every_waiting_job(self, tmp_path):
+        bad = dict(CHEAP_MARGINS, scales=[1.0], write_counts=[5])
+
+        async def main():
+            async with CoalescingEngine(cache=ResultCache(tmp_path),
+                                        window_ms=10) as eng:
+                first = eng.submit("margins", bad)
+                second = eng.submit("margins", bad)
+                await eng.wait(first)
+                await eng.wait(second)
+                return first, second
+
+        first, second = run(main())
+        # HC-DRO cells store at most 3 fluxons: writes=5 cannot verify
+        # correctly but must fail loudly, on both the leader and the
+        # coalesced duplicate, leaving the engine serviceable.
+        for job in (first, second):
+            assert job.state.value in ("done", "failed")
+            assert job.terminal
+
+    def test_failed_job_reports_error_string(self, tmp_path):
+        async def main():
+            async with CoalescingEngine(cache=ResultCache(tmp_path),
+                                        window_ms=0) as eng:
+                job = eng.submit("figure14", {
+                    "scale": 0.3, "workloads": ["vvadd"],
+                    "designs": ["ndro_rf", "hiperrf"],
+                    "max_instructions": 10})  # cap too low: cannot finish
+                await eng.wait(job)
+                return job
+
+        job = run(main())
+        assert job.state.value == "failed"
+        assert "instruction limit" in (job.error or "")

@@ -1,0 +1,115 @@
+"""HTTP surface: start, submit, poll, fetch - plus error statuses."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.parallel import ResultCache
+from repro.service.adapters import run_job_naive
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobState, JobStore
+from repro.service.server import ServiceThread
+from tests.service.test_adapters import CHEAP_MARGINS
+
+
+@pytest.fixture
+def service(tmp_path):
+    with ServiceThread(cache=ResultCache(tmp_path), window_ms=10) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    return ServiceClient(*service.address)
+
+
+class TestEndpoints:
+    def test_health_and_experiments(self, client):
+        assert client.health()
+        assert "margins" in client.experiments()
+
+    def test_submit_poll_fetch_roundtrip(self, client):
+        job = client.submit("margins", CHEAP_MARGINS)
+        assert job["state"] in ("queued", "running")
+        artifact = client.wait(job["id"], timeout=300)
+        naive = run_job_naive("margins", CHEAP_MARGINS)
+        assert json.dumps(artifact, sort_keys=True) == \
+            json.dumps(naive, sort_keys=True)
+        status = client.status(job["id"])
+        assert status["state"] == "done"
+        assert status["items"] == 4
+        assert any(entry["id"] == job["id"] for entry in client.jobs())
+
+    def test_concurrent_submissions_coalesce(self, client):
+        first = client.submit("figure15", {})
+        second = client.submit("figure15", {})
+        a = client.wait(first["id"], timeout=300)
+        b = client.wait(second["id"], timeout=300)
+        assert a == b
+        status = client.status(second["id"])
+        assert status["coalesced"] + status["cache_hits"] == 1
+        stats = client.stats()
+        assert stats["jobs"] == 2
+
+    def test_result_before_done_is_409(self, client, service):
+        job = service.engine.store.create("margins", {})  # never started
+        with pytest.raises(ServiceError) as err:
+            client.result(job.id)
+        assert err.value.status == 409
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.status("missing-job")
+        assert err.value.status == 404
+
+    def test_bad_experiment_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit("warp", {})
+        assert err.value.status == 400
+
+    def test_malformed_body_is_400(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.request("POST", "/jobs", {"params": {}})
+        assert err.value.status == 400
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.request("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_method_not_allowed_is_405(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.request("POST", "/jobs/123")
+        assert err.value.status == 405
+
+    def test_failed_job_surfaces_error(self, client):
+        job = client.submit("figure14", {
+            "scale": 0.3, "workloads": ["vvadd"],
+            "designs": ["ndro_rf", "hiperrf"], "max_instructions": 10})
+        with pytest.raises(ServiceError, match="instruction limit"):
+            client.wait(job["id"], timeout=300)
+
+
+class TestJobStore:
+    def test_trim_drops_oldest_terminal(self):
+        store = JobStore(max_finished=2)
+        done = [store.create("e", {}) for _ in range(3)]
+        for job in done:
+            job.finish({"ok": True})
+        live = store.create("e", {})
+        store.create("e", {}).finish({})  # 4th terminal triggers trim
+        ids = {job.id for job in store.list()}
+        assert live.id in ids
+        assert done[0].id not in ids  # oldest terminal went first
+
+    def test_snapshot_is_jsonable(self):
+        store = JobStore()
+        job = store.create("margins", {"scales": [1.0]})
+        job.start()
+        job.finish({"x": 1})
+        snap = job.snapshot()
+        json.dumps(snap)
+        assert snap["state"] == JobState.DONE.value
+        assert snap["latency_s"] is not None
