@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-josim bench-pulse bench-cpu bench-service serve experiments examples quick all lint-netlists lvs
+.PHONY: install test bench bench-josim bench-pulse bench-pulse-batched bench-cpu bench-service serve experiments examples quick all lint-netlists lvs
 
 install:
 	pip install -e .
@@ -30,10 +30,20 @@ bench-josim:
 		--benchmark-json=BENCH_josim.json
 
 # Tracks the compiled pulse-engine backend against the reference event
-# loop (DRO column, HC-DRO/LoopBuffer traffic, 32x32 op mix) plus the
-# build-once netlist cache: writes BENCH_pulse.json.
+# loop (DRO column, HC-DRO/LoopBuffer traffic, 32x32 op mix), the
+# build-once netlist cache, and the batched lane tier: writes
+# BENCH_pulse.json.
 bench-pulse:
-	PYTHONPATH=src pytest benchmarks/bench_pulse_engine.py --benchmark-only \
+	PYTHONPATH=src pytest benchmarks/bench_pulse_engine.py \
+		benchmarks/bench_pulse_batched.py --benchmark-only \
+		--benchmark-json=BENCH_pulse.json
+
+# Tracks the batched (lane-parallel) pulse tier against sequential
+# compiled replay on the 64-lane fault-injection sweep: writes
+# BENCH_pulse.json, including the enforced >= 3x lanes/sec speedup
+# (REPRO_BENCH_LANES_MIN_SPEEDUP relaxes the floor for noisy runners).
+bench-pulse-batched:
+	PYTHONPATH=src pytest benchmarks/bench_pulse_batched.py --benchmark-only \
 		--benchmark-json=BENCH_pulse.json
 
 # Tracks the compiled op-tape CPU tier against the reference pipeline

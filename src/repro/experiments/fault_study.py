@@ -8,14 +8,21 @@ lost pulse do?  The pulse netlists give a precise answer.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.rf.faults import (
     FaultKind,
     FaultOutcome,
+    FaultTrial,
     inject_hiperrf_fault,
     inject_ndro_fault,
+    run_hiperrf_trials,
 )
+from repro.rf.geometry import RFGeometry
+
+#: Geometry of the exhaustive sweep: 8 registers x 8 bits = 4 HC columns,
+#: so 2 fault kinds x 8 registers x 4 columns = 64 lanes.
+SWEEP_GEOMETRY = RFGeometry(8, 8)
 
 
 def run() -> List[FaultOutcome]:
@@ -27,6 +34,44 @@ def run() -> List[FaultOutcome]:
         inject_ndro_fault(FaultKind.DROP_READ_ENABLE),
     ]
     return outcomes
+
+
+def sweep_trials(geometry: RFGeometry = SWEEP_GEOMETRY) -> List[FaultTrial]:
+    """Every (fault, register, column) point of the exhaustive sweep."""
+    mask = (1 << geometry.width_bits) - 1
+    trials = []
+    for fault in (FaultKind.DROP_LOOPBACK_PULSE, FaultKind.EXTRA_DATA_PULSE):
+        for register in range(geometry.num_registers):
+            for column in range(geometry.hc_cells_per_register):
+                value = (0x35 + 0x49 * register + 0x1F * column) & mask
+                trials.append(FaultTrial(fault, register, column, value))
+    return trials
+
+
+def run_sweep(tier: Optional[str] = None,
+              geometry: RFGeometry = SWEEP_GEOMETRY) -> List[FaultOutcome]:
+    """Exhaustive HiPerRF fault sweep, dispatched as one lane batch.
+
+    The netlist is built once through the compiled-netlist cache; every
+    (fault, register, column) trial becomes one stimulus lane, replayed
+    by the batched pulse tier (``tier=None`` honours
+    ``REPRO_PULSE_LANES``; ``tier="compiled"`` forces the sequential
+    oracle).
+    """
+    return run_hiperrf_trials(sweep_trials(geometry), geometry, tier=tier)
+
+
+def sweep_summary(outcomes: List[FaultOutcome]) -> dict:
+    """Aggregate verdict counts per fault kind."""
+    summary: dict = {}
+    for outcome in outcomes:
+        row = summary.setdefault(outcome.fault.value,
+                                 {"trials": 0, "state_corrupted": 0,
+                                  "read_wrong": 0})
+        row["trials"] += 1
+        row["state_corrupted"] += int(outcome.state_corrupted)
+        row["read_wrong"] += int(outcome.read_wrong)
+    return summary
 
 
 def render(outcomes: List[FaultOutcome] | None = None) -> str:

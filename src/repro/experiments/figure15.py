@@ -8,7 +8,7 @@ the design.  We reproduce the claim with the grid placer in
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.experiments import paper_data
 from repro.experiments.parallel import CacheLike, cached_call
@@ -25,6 +25,62 @@ def run(cell_pitch_um: float = 75.0,
 
     return cached_call("figure15-v1", {"cell_pitch_um": cell_pitch_um},
                        compute, cache=cache)
+
+
+def loopback_read_sweep(read_counts: List[int] | None = None,
+                        tier: Optional[str] = None) -> List[Dict[str, float]]:
+    """Pulse-level companion: the placed loopback path survives N reads.
+
+    Figure 15's claim is geometric (the loopback wire is short); the
+    functional counterpart is that the recycled pulses keep restoring
+    the register read after read.  Each lane performs one write followed
+    by ``k`` consecutive restoring reads of the same register on the
+    pulse-level netlist, batched over the cached build; a lane passes if
+    every read returned the value and the register still holds it.
+    """
+    from repro.pulse import capture_stimulus, install_lane
+    from repro.rf.netlist import PulseHiPerRF
+
+    counts = read_counts if read_counts is not None else list(range(1, 17))
+    value = 0xE4
+    register = 1
+    rf = PulseHiPerRF.build_cached(RFGeometry(4, 8), 600.0)
+    engine = rf.engine
+    stimuli = []
+    settles = []
+    for k in counts:
+        with capture_stimulus(engine) as capture:
+            t = rf.write_word(register, value, 0.0)
+            lane_settles = []
+            for _ in range(k):
+                settle = rf.schedule_read(register, t, loopback=True)
+                rf._broadcast(rf.hcr_read_tree, settle + 5.0)
+                rf._broadcast(rf.hcr_reset_tree, settle + 15.0)
+                engine.run(until_ps=t + 2 * rf.op_period_ps)
+                lane_settles.append(settle)
+                t += 2 * rf.op_period_ps
+        stimuli.append(capture.stimulus())
+        settles.append(lane_settles)
+    outcomes = engine.run_lanes(stimuli, tier=tier, on_error="raise")
+    compiled = engine.compile()
+    rows = []
+    for k, lane_settles, outcome in zip(counts, settles, outcomes):
+        install_lane(compiled, outcome)
+        reads_ok = True
+        for settle in lane_settles:
+            got = 0
+            for c in range(rf.columns):
+                b0 = bool(rf.b0_probes[c].pulses_in_window(settle,
+                                                           settle + 100.0))
+                b1 = bool(rf.b1_probes[c].pulses_in_window(settle,
+                                                           settle + 100.0))
+                got |= (int(b0) | (int(b1) << 1)) << (2 * c)
+            reads_ok = reads_ok and got == value
+        restored = rf.stored_word(register) == value
+        rows.append({"reads": float(k),
+                     "reads_ok": float(reads_ok),
+                     "restored": float(restored)})
+    return rows
 
 
 def render(result: Dict[str, float] | None = None) -> str:

@@ -19,6 +19,15 @@ circuits and Figure 6(c)'s NDROC tree DEMUX from primitives, so the
 structural census and the functional simulation share one topology.
 """
 
+from repro.pulse.batched import (
+    LaneOutcome,
+    LaneStimulus,
+    StimulusCapture,
+    batched_supported,
+    capture_stimulus,
+    install_lane,
+    run_lanes,
+)
 from repro.pulse.cache import CompiledNetlistCache, build_once
 from repro.pulse.compiled import CompiledEngine, PulseSnapshot
 from repro.pulse.engine import Component, Engine, Wire
@@ -42,6 +51,8 @@ __all__ = [
     "HCRead",
     "HCWrite",
     "JTL",
+    "LaneOutcome",
+    "LaneStimulus",
     "MergeTree",
     "Merger",
     "NDRO",
@@ -51,10 +62,15 @@ __all__ = [
     "Probe",
     "PulseCounter",
     "PulseSnapshot",
-    "build_once",
     "Sink",
     "SplitTree",
     "Splitter",
+    "StimulusCapture",
     "TFF",
     "Wire",
+    "batched_supported",
+    "build_once",
+    "capture_stimulus",
+    "install_lane",
+    "run_lanes",
 ]

@@ -9,6 +9,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from repro.errors import NetlistError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pulse.batched import LaneOutcome, LaneStimulus, StimulusCapture
     from repro.pulse.compiled import CompiledEngine
 
 
@@ -116,6 +117,9 @@ class Engine:
         self._components: Dict[str, Component] = {}
         self._delivered = 0
         self._compiled: Optional["CompiledEngine"] = None
+        #: When a :func:`repro.pulse.batched.capture_stimulus` context is
+        #: active, schedule()/run() record instead of simulating.
+        self._capture: Optional["StimulusCapture"] = None
 
     # -- registration ----------------------------------------------------
 
@@ -176,6 +180,9 @@ class Engine:
 
     def schedule(self, component: Component, port: str, time_ps: float) -> None:
         """Enqueue a pulse arriving at ``component.port`` at ``time_ps``."""
+        if self._capture is not None:
+            self._capture.record_schedule(component, port, time_ps)
+            return
         if self._compiled is not None:
             self._compiled.schedule(component, port, time_ps)
             return
@@ -200,6 +207,8 @@ class Engine:
         pulses is fine, needing a further one raises.  ``total_delivered``
         and ``now_ps`` stay consistent even when a cell raises mid-run.
         """
+        if self._capture is not None:
+            return self._capture.record_run(until_ps, max_events)
         if self._compiled is not None:
             return self._compiled.run(until_ps=until_ps, max_events=max_events)
         delivered = 0
@@ -224,6 +233,27 @@ class Engine:
         if not queue and until_ps != float("inf"):
             self.now_ps = until_ps
         return delivered
+
+    def run_lanes(self, stimuli: "List[LaneStimulus]",
+                  tier: Optional[str] = None,
+                  trace: bool = False,
+                  on_error: str = "record") -> "List[LaneOutcome]":
+        """Replay this netlist across many stimulus lanes.
+
+        Each :class:`~repro.pulse.batched.LaneStimulus` (usually recorded
+        with :func:`~repro.pulse.batched.capture_stimulus`) is an
+        independent run from the engine's *current* state.  ``tier`` is
+        ``"batched"`` (one vectorized event wheel over all lanes),
+        ``"compiled"`` (sequential snapshot/restore replay - the exact
+        oracle), or ``None`` to follow ``REPRO_PULSE_LANES``.  The
+        engine's own state is untouched; use
+        :func:`~repro.pulse.batched.install_lane` to load one lane's
+        final state back for white-box inspection.
+        """
+        from repro.pulse import batched
+
+        return batched.run_lanes(self.compile(), stimuli, tier=tier,
+                                 trace=trace, on_error=on_error)
 
     @property
     def pending_events(self) -> int:

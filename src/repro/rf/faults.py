@@ -12,17 +12,28 @@ soft error.  The two designs fail differently:
 This module injects single-pulse faults into the pulse netlists and
 measures the architectural outcome, quantifying the reliability cost of
 the destructive-readout design that the paper's density win buys.
+
+Every fault is expressed as *stimulus only* - extra SET/RESET/data
+pulses scheduled on netlist pins, never a patched ``on_pulse`` - so a
+trial records cleanly with :func:`repro.pulse.capture_stimulus` and
+replays identically on the reference, compiled and batched tiers.
+:func:`run_hiperrf_trials` dispatches a whole list of trials as one
+lane batch over a single cached build.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from repro.pulse import Engine
+from repro.pulse import capture_stimulus, install_lane
 from repro.rf.geometry import RFGeometry
 from repro.rf.netlist import PulseHiPerRF, PulseNdroRF
+
+_DEFAULT_GEOMETRY = RFGeometry(4, 8)
+_HIPERRF_PERIOD_PS = 600.0
+_NDRO_PERIOD_PS = 400.0
 
 
 class FaultKind(enum.Enum):
@@ -38,6 +49,16 @@ class FaultKind(enum.Enum):
 
 
 @dataclass(frozen=True)
+class FaultTrial:
+    """One (fault, register, column, value) HiPerRF injection trial."""
+
+    fault: FaultKind
+    register: int = 1
+    column: int = 1
+    value: int = 0xE4
+
+
+@dataclass(frozen=True)
 class FaultOutcome:
     """What a single injected fault did to one register."""
 
@@ -46,6 +67,8 @@ class FaultOutcome:
     read_value: Optional[int]
     stored_after: int
     expected: int
+    register: int = 1
+    column: int = 1
 
     @property
     def state_corrupted(self) -> bool:
@@ -56,57 +79,123 @@ class FaultOutcome:
         return self.read_value is not None and self.read_value != self.expected
 
 
-def inject_hiperrf_fault(fault: FaultKind, register: int = 1,
-                         value: int = 0xE4) -> FaultOutcome:
-    """Write, then read once with one injected fault; inspect the damage."""
-    engine = Engine()
-    rf = PulseHiPerRF(engine, RFGeometry(4, 8))
-    t = rf.write_word(register, value, 0.0)
+def _schedule_hiperrf_trial(rf: PulseHiPerRF,
+                            trial: FaultTrial) -> Optional[float]:
+    """Schedule one write/fault/read trial; returns the read settle time.
 
-    if fault is FaultKind.DROP_LOOPBACK_PULSE:
-        # Suppress exactly one pulse on column 1's LoopBuffer output by
-        # clearing the LoopBuffer for a moment mid-train: emulate the
-        # in-flight loss by filtering the splitter with a one-shot drop.
-        column = 1
-        spl = rf.loopbuffer[column]
-        original = spl.on_pulse
-        state = {"dropped": False}
+    Pure stimulus: runs unchanged live or under ``capture_stimulus``.
+    ``None`` means the trial performs no read (DROP_READ_ENABLE).
+    """
+    engine = rf.engine
+    t = rf.write_word(trial.register, trial.value, 0.0)
 
-        def lossy(port: str, time_ps: float,
-                  _original=original, _state=state) -> None:
-            if port == "clk" and not _state["dropped"]:
-                _state["dropped"] = True  # first readout pulse vanishes
-                return
-            _original(port, time_ps)
-
-        spl.on_pulse = lossy
-        read = rf.read_word(register, t)
-    elif fault is FaultKind.EXTRA_DATA_PULSE:
-        cell = rf.cells[register][0]
+    if trial.fault is FaultKind.DROP_LOOPBACK_PULSE:
+        settle = rf.schedule_read(trial.register, t, loopback=True)
+        # Dissipate exactly the first readout pulse of the target column:
+        # clear its LoopBuffer just before the pulse lands and re-arm it
+        # before the next pulse of the train (HC_PULSE_SPACING_PS later).
+        # An NDRO with stored=0 absorbs CLK silently, so the pulse
+        # vanishes before the splitter - neither the loopback nor the
+        # HC-READ branch ever sees it, exactly an in-flight loss.
+        first = rf._loop_clk_arrival(t + 10.0)
+        lb = rf.loopbuffer[trial.column]
+        engine.schedule(lb, "reset", first - 2.0)
+        engine.schedule(lb, "set", first + 2.0)
+        read_t = t
+    elif trial.fault is FaultKind.EXTRA_DATA_PULSE:
+        cell = rf.cells[trial.register][trial.column]
         engine.schedule(cell, "d", t + 50.0)
         engine.run(until_ps=t + 100.0)
-        read = rf.read_word(register, t + 200.0)
-    elif fault is FaultKind.DROP_READ_ENABLE:
+        read_t = t + 200.0
+        settle = rf.schedule_read(trial.register, read_t, loopback=True)
+    elif trial.fault is FaultKind.DROP_READ_ENABLE:
         # The enable never arrives: nothing is read, nothing changes.
         engine.run(until_ps=t + rf.op_period_ps)
-        read = None
+        return None
     else:  # pragma: no cover
-        raise ValueError(fault)
+        raise ValueError(trial.fault)
 
+    # Fire the HC-READ counters onto the b0/b1 probes so the read value
+    # survives in the pulse record (a lane outcome cannot pause at the
+    # settle time to decode the counters the way ``read_word`` does).
+    rf._broadcast(rf.hcr_read_tree, settle + 5.0)
+    rf._broadcast(rf.hcr_reset_tree, settle + 15.0)
+    engine.run(until_ps=read_t + 2 * rf.op_period_ps)
+    return settle
+
+
+def _decode_probe_word(rf: PulseHiPerRF, settle: float) -> int:
+    """Read value from the b0/b1 probe pulses of the post-settle readout."""
+    value = 0
+    for c in range(rf.columns):
+        b0 = bool(rf.b0_probes[c].pulses_in_window(settle, float("inf")))
+        b1 = bool(rf.b1_probes[c].pulses_in_window(settle, float("inf")))
+        value |= (int(b0) | (int(b1) << 1)) << (2 * c)
+    return value
+
+
+def _hiperrf_outcome(rf: PulseHiPerRF, trial: FaultTrial,
+                     settle: Optional[float]) -> FaultOutcome:
+    read = None if settle is None else _decode_probe_word(rf, settle)
     return FaultOutcome(
         design="hiperrf",
-        fault=fault,
+        fault=trial.fault,
         read_value=read,
-        stored_after=rf.stored_word(register),
-        expected=_expected_after(fault, value),
+        stored_after=rf.stored_word(trial.register),
+        expected=_expected_after(trial.fault, trial.value, trial.column),
+        register=trial.register,
+        column=trial.column,
     )
+
+
+def run_hiperrf_trials(trials: Sequence[FaultTrial],
+                       geometry: Optional[RFGeometry] = None,
+                       tier: Optional[str] = None) -> List[FaultOutcome]:
+    """Dispatch many HiPerRF fault trials as one lane batch.
+
+    The netlist is built (or fetched) once through the compiled-netlist
+    cache; each trial is captured as a :class:`~repro.pulse.LaneStimulus`
+    and the whole sweep replays in a single :meth:`Engine.run_lanes`
+    call - batched by default, sequential compiled with
+    ``tier="compiled"`` or ``REPRO_PULSE_LANES=off``.
+    """
+    geom = geometry if geometry is not None else _DEFAULT_GEOMETRY
+    rf = PulseHiPerRF.build_cached(geom, _HIPERRF_PERIOD_PS)
+    engine = rf.engine
+    stimuli = []
+    settles = []
+    for trial in trials:
+        with capture_stimulus(engine) as capture:
+            settles.append(_schedule_hiperrf_trial(rf, trial))
+        stimuli.append(capture.stimulus())
+    lane_outcomes = engine.run_lanes(stimuli, tier=tier, on_error="raise")
+    compiled = engine.compile()
+    outcomes = []
+    for trial, settle, lane in zip(trials, settles, lane_outcomes):
+        install_lane(compiled, lane)
+        outcomes.append(_hiperrf_outcome(rf, trial, settle))
+    return outcomes
+
+
+def inject_hiperrf_fault(fault: FaultKind, register: int = 1,
+                         value: int = 0xE4,
+                         column: Optional[int] = None) -> FaultOutcome:
+    """Write, then read once with one injected fault; inspect the damage."""
+    rf = PulseHiPerRF.build_cached(_DEFAULT_GEOMETRY, _HIPERRF_PERIOD_PS)
+    if column is None:
+        # Historical defaults: drop the loopback of column 1, strike the
+        # data input of column 0.
+        column = 1 if fault is FaultKind.DROP_LOOPBACK_PULSE else 0
+    trial = FaultTrial(fault, register, column, value)
+    settle = _schedule_hiperrf_trial(rf, trial)
+    return _hiperrf_outcome(rf, trial, settle)
 
 
 def inject_ndro_fault(fault: FaultKind, register: int = 1,
                       value: int = 0xE4) -> FaultOutcome:
     """The baseline under the same fault models (loopback N/A)."""
-    engine = Engine()
-    rf = PulseNdroRF(engine, RFGeometry(4, 8))
+    rf = PulseNdroRF.build_cached(_DEFAULT_GEOMETRY, _NDRO_PERIOD_PS)
+    engine = rf.engine
     rf.schedule_write(register, value, 0.0)
     engine.run(until_ps=rf.op_period_ps)
     t = rf.op_period_ps
@@ -129,15 +218,18 @@ def inject_ndro_fault(fault: FaultKind, register: int = 1,
         read_value=read,
         stored_after=rf.stored_word(register),
         expected=_expected_after_ndro(fault, value),
+        register=register,
+        column=0,
     )
 
 
-def _expected_after(fault: FaultKind, value: int) -> int:
+def _expected_after(fault: FaultKind, value: int, column: int = 0) -> int:
     if fault is FaultKind.EXTRA_DATA_PULSE:
-        # Column 0 gains one fluxon unless already saturated at 3.
-        low = value & 0b11
+        # The struck column gains one fluxon unless already saturated at 3.
+        shift = 2 * column
+        low = (value >> shift) & 0b11
         bumped = min(low + 1, 3)
-        return (value & ~0b11) | bumped
+        return (value & ~(0b11 << shift)) | (bumped << shift)
     return value
 
 

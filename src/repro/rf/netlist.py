@@ -379,9 +379,13 @@ class PulseHiPerRF(_CachedBuildMixin):
         """Arrival of the first HC-CLK pulse at the storage cells."""
         return fire_time + self._demux_delay + _HC_FIRST + self._col_fan
 
+    def _loop_clk_arrival(self, fire_time: float) -> float:
+        """Arrival of the first readout pulse at a LoopBuffer CLK pin."""
+        return self._cell_clk_arrival(fire_time) + _CLKQ + self._merge
+
     def _loop_data_arrival(self, fire_time: float) -> float:
         """Arrival of the first loopback pulse at the DAND data inputs."""
-        return (self._cell_clk_arrival(fire_time) + _CLKQ + self._merge
+        return (self._loop_clk_arrival(fire_time)
                 + _CLKQ + _SPL + _MRG + self._reg_fan)
 
     # -- operations ----------------------------------------------------

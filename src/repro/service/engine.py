@@ -44,6 +44,7 @@ from repro.service.adapters import (
     decompose,
     dispatch_group,
     jsonable,
+    pulse_lane_stats,
 )
 from repro.service.jobs import Job, JobStore
 
@@ -161,6 +162,7 @@ class CoalescingEngine:
             "pending_groups": len(self._pending),
             "window_ms": self.window_ms,
             "workers": self.workers,
+            "pulse_lanes": pulse_lane_stats(),
         }
         if self.cache is not None:
             payload["cache"] = {"root": str(self.cache.root),

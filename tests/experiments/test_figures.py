@@ -56,6 +56,17 @@ class TestFigure15:
         text = figure15.render()
         assert "Figure 15" in text and "loopbuffer_ndro" in text
 
+    def test_loopback_read_sweep_lanes(self):
+        """The functional companion: N restoring reads keep the value,
+        and the lane batch agrees with the sequential oracle."""
+        counts = [1, 2, 5]
+        rows = figure15.loopback_read_sweep(counts, tier="batched")
+        assert rows == figure15.loopback_read_sweep(counts,
+                                                    tier="compiled")
+        for row in rows:
+            assert row["reads_ok"] == 1.0
+            assert row["restored"] == 1.0
+
 
 class TestFullChip:
     def test_result(self):

@@ -7,10 +7,12 @@ import json
 import pytest
 
 from repro.service.adapters import (
+    PULSE_LANE_METRICS,
     SUPPORTED_EXPERIMENTS,
     decompose,
     dispatch_group,
     jsonable,
+    pulse_lane_stats,
     run_job_naive,
 )
 
@@ -141,3 +143,37 @@ class TestPulseAdapter:
         b = decompose("pulse_rf", {"pattern": [[2, 2]]})
         assert a.items[0].group == b.items[0].group
         assert a.items[0].digest() != b.items[0].digest()
+
+    def test_lane_batched_group_matches_solo(self):
+        """Strangers coalesced into one lane batch must each get the
+        exact artifact a solo dispatch would have produced."""
+        params_a = {"pattern": [[1, 5], [2, 9]]}
+        params_b = {"pattern": [[3, 0xE4], [3, 0x1B]]}
+        a = decompose("pulse_rf", params_a)
+        b = decompose("pulse_rf", params_b)
+        merged = dispatch_group("pulse", [a.items[0].payload,
+                                          b.items[0].payload])
+        assert a.recompose([merged[0]]) == run_job_naive("pulse_rf",
+                                                         params_a)
+        assert b.recompose([merged[1]]) == run_job_naive("pulse_rf",
+                                                         params_b)
+
+    def test_lane_metrics_record_occupancy(self):
+        PULSE_LANE_METRICS.reset()
+        payloads = [decompose("pulse_rf", {"pattern": [[r, r]]})
+                    .items[0].payload for r in (1, 2, 3)]
+        dispatch_group("pulse", payloads)      # one 3-lane batch
+        dispatch_group("pulse", payloads[:1])  # one singleton
+        stats = pulse_lane_stats()
+        assert stats["dispatches"] == 2
+        assert stats["lanes_total"] == 4
+        assert stats["batches_coalesced"] == 1
+        assert stats["lanes_max"] == 3
+        assert stats["lanes_p50"] == 1.0
+        assert stats["lanes_p95"] == 3.0
+
+    def test_lane_metrics_empty_snapshot(self):
+        PULSE_LANE_METRICS.reset()
+        stats = pulse_lane_stats()
+        assert stats["dispatches"] == 0
+        assert stats["lanes_p50"] == 0.0

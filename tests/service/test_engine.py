@@ -95,6 +95,31 @@ class TestCoalescing:
         assert first.state.value == "done", first.error
         assert second.coalesced + second.cache_hits == 1
 
+    def test_stats_report_pulse_lane_occupancy(self):
+        from repro.service.adapters import PULSE_LANE_METRICS
+
+        PULSE_LANE_METRICS.reset()
+
+        async def main():
+            async with CoalescingEngine(cache=None, window_ms=10) as eng:
+                first = eng.submit("pulse_rf", {"pattern": [[1, 3]]})
+                second = eng.submit("pulse_rf", {"pattern": [[2, 5]]})
+                await eng.wait(first)
+                await eng.wait(second)
+                return first, second, eng.stats()
+
+        first, second, stats = run(main())
+        assert first.state.value == "done", first.error
+        assert second.state.value == "done", second.error
+        lanes = stats["pulse_lanes"]
+        # Two strangers' items share the build key: one coalesced
+        # dispatch carrying both lanes.
+        assert lanes["dispatches"] == 1
+        assert lanes["lanes_total"] == 2
+        assert lanes["batches_coalesced"] == 1
+        assert lanes["lanes_max"] == 2
+        assert lanes["lanes_p50"] == 2.0
+
     def test_engine_without_cache_still_coalesces(self):
         async def main():
             async with CoalescingEngine(cache=None, window_ms=10) as eng:
