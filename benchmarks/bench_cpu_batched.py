@@ -1,0 +1,130 @@
+"""Benchmark the batched CPU lane tier against sequential compiled replay.
+
+The workload is the design-space shape the sweeps actually dispatch:
+one op tape (dhrystone - the longest Figure 14 trace, and loopback-
+hazard heavy, so every stall class is exercised) replayed across 32
+lanes cycling the full design list over
+mixed ``CoreConfig`` values (both speculation modes, three memory
+latencies).  Both tiers replay the *identical* tape over the identical
+lanes with warm timing-table and tape-statics memos; the batched tier
+must produce integer-identical per-lane results at >= 3x the lanes/sec
+of one-lane-at-a-time compiled replay (``make bench-cpu-batched``
+records the ratio in BENCH_cpu.json; the CI smoke job relaxes the
+floor - shared runners are noisy).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.cpu import CoreConfig, RFTimingModel, tape_for_program
+from repro.cpu.batched import Lane, replay_lanes
+from repro.cpu.rf_model import RF_DESIGN_NAMES
+from repro.isa import assemble
+from repro.workloads import get_workload
+
+SCALE = 1.0
+MAX_INSTRUCTIONS = 400_000
+BENCH_LANES = 32
+
+MIN_CPU_LANES_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_CPU_LANES_MIN_SPEEDUP", "3.0"))
+TIMING_REPS = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+
+
+def _lane_pool(count: int):
+    """Designs x mixed configs, cycled to ``count`` lanes."""
+    configs = (
+        CoreConfig(),
+        CoreConfig(fall_through_speculation=False),
+        CoreConfig(memory_latency=4),
+        CoreConfig(memory_latency=48, fall_through_speculation=False),
+        CoreConfig(memory_latency=24),
+    )
+    return [Lane(RFTimingModel.for_design(
+                RF_DESIGN_NAMES[i % len(RF_DESIGN_NAMES)],
+                configs[(i // len(RF_DESIGN_NAMES)) % len(configs)]),
+                configs[(i // len(RF_DESIGN_NAMES)) % len(configs)])
+            for i in range(count)]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """Tape lowered once; lowering time is not part of either tier."""
+    tape = tape_for_program(
+        assemble(get_workload("dhrystone").build(SCALE)),
+        max_instructions=MAX_INSTRUCTIONS, workload_name="dhrystone")
+    return tape, _lane_pool(BENCH_LANES)
+
+
+def _result_key(result):
+    return (result.instructions, result.total_cycles, result.cpi,
+            result.stalls.as_dict(), result.branches_taken, result.loads)
+
+
+def _best_of(fn, reps: int = TIMING_REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_design_sweep_lanes_batched(benchmark, sweep):
+    tape, lanes = sweep
+    replay_lanes(tape, lanes, tier="batched")  # warm table/statics memos
+
+    def batched():
+        return replay_lanes(tape, lanes, tier="batched")
+
+    results = benchmark(batched)
+    benchmark.extra_info["lanes"] = len(results)
+    benchmark.extra_info["ops_per_lane"] = tape.instructions
+
+
+def test_design_sweep_lanes_sequential(benchmark, sweep):
+    tape, lanes = sweep
+    replay_lanes(tape, lanes, tier="compiled")  # warm table memos
+
+    def sequential():
+        return replay_lanes(tape, lanes, tier="compiled")
+
+    results = benchmark.pedantic(sequential, rounds=TIMING_REPS,
+                                 iterations=1)
+    benchmark.extra_info["lanes"] = len(results)
+
+
+def test_cpu_lanes_speedup_summary(benchmark, sweep):
+    """Record (and enforce) the batched tier's lanes/sec speedup.
+
+    Identical tape, identical lanes, warm memos on both sides; the only
+    variable is the replay tier.  Integer equality is asserted before
+    timing counts for anything.
+    """
+    tape, lanes = sweep
+    batched_out = replay_lanes(tape, lanes, tier="batched")    # warm
+    sequential_out = replay_lanes(tape, lanes, tier="compiled")
+    assert ([_result_key(r) for r in batched_out]
+            == [_result_key(r) for r in sequential_out])
+
+    t_batched = _best_of(lambda: replay_lanes(tape, lanes,
+                                              tier="batched"))
+    t_sequential = _best_of(lambda: replay_lanes(tape, lanes,
+                                                 tier="compiled"))
+    lanes_n = len(lanes)
+    speedup = t_sequential / t_batched
+    benchmark.extra_info["lanes"] = lanes_n
+    benchmark.extra_info["ops_per_lane"] = tape.instructions
+    benchmark.extra_info["sequential_s"] = t_sequential
+    benchmark.extra_info["batched_s"] = t_batched
+    benchmark.extra_info["sequential_lanes_per_sec"] = lanes_n / t_sequential
+    benchmark.extra_info["batched_lanes_per_sec"] = lanes_n / t_batched
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= MIN_CPU_LANES_SPEEDUP, (
+        f"batched CPU lane replay speedup {speedup:.2f}x "
+        f"< {MIN_CPU_LANES_SPEEDUP:g}x")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -16,6 +16,9 @@ stages deep and each register file port operation spans two gate cycles
 * :class:`OpTape` / :mod:`repro.cpu.compiled` - the retirement stream
   lowered once into packed arrays and replayed per design with
   precomputed timing tables (``REPRO_CPU_COMPILED`` selects the tier),
+* :class:`Lane` / :mod:`repro.cpu.batched` - one tape replayed across a
+  whole design set at once, lane-major (``REPRO_CPU_LANES`` selects the
+  lane tier / per-call lane cap),
 * :class:`TraceCache` - on-disk tape store keyed by program digest, so
   reruns of the CPI sweeps skip the functional pass,
 * :class:`CpuSimulator` - program in, :class:`CpiReport` out.
@@ -26,6 +29,13 @@ from repro.cpu.rf_model import RF_DESIGN_NAMES, RFTimingModel
 from repro.cpu.pipeline import GateLevelPipeline, StallBreakdown
 from repro.cpu.optape import OpTape, TraceCache, tape_for_program
 from repro.cpu.compiled import replay, replay_tape
+from repro.cpu.batched import (
+    LANES_ENV_VAR,
+    Lane,
+    lanes_for_designs,
+    replay_lanes,
+    resolve_lanes_tier,
+)
 from repro.cpu.stats import CpiReport
 from repro.cpu.simulator import CpuSimulator, simulate_program
 
@@ -34,13 +44,18 @@ __all__ = [
     "CpiReport",
     "CpuSimulator",
     "GateLevelPipeline",
+    "Lane",
+    "LANES_ENV_VAR",
     "OpTape",
     "RFTimingModel",
     "RF_DESIGN_NAMES",
     "StallBreakdown",
     "TraceCache",
+    "lanes_for_designs",
     "replay",
+    "replay_lanes",
     "replay_tape",
+    "resolve_lanes_tier",
     "simulate_program",
     "tape_for_program",
 ]

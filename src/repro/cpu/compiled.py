@@ -31,6 +31,7 @@ overridable per call with ``tier="compiled"`` / ``tier="reference"``.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from typing import Any, List, Optional, Tuple
 
 import numpy as np
@@ -61,9 +62,17 @@ def compiled_enabled(default: bool = True) -> bool:
     return raw.strip().lower() not in _OFF_VALUES
 
 
+#: Entries kept by the ``design_tables`` memo.  A Figure 14-scale sweep
+#: touches (workloads x designs) ~ a few dozen pairs; the cap only
+#: bounds pathological non-repeating workloads.
+_TABLES_LRU_MAX = 256
+
+_tables_lru: "OrderedDict[Tuple[str, RFTimingModel], Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+
+
 def design_tables(tape: OpTape,
                   rf: RFTimingModel) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-signature timing tables for one design.
+    """Per-signature timing tables for one design (memoized).
 
     Returns ``(issue_gap, operand_add)`` arrays indexed by signature:
     ``issue_gap[s]`` is :meth:`RFTimingModel.issue_gap_gates` for the
@@ -72,7 +81,27 @@ def design_tables(tape: OpTape,
     cycles for reading ops, one RF port cycle otherwise).  These two
     numbers are the *entire* per-design contract of the replay: a new
     design only has to answer them per signature.
+
+    Repeated replays of one tape against one design - every lane batch,
+    every warm benchmark rep - hit a small LRU keyed on the tape's
+    content fingerprint plus the (hashable, frozen) timing model, so
+    only the first replay pays the per-signature model calls.  Callers
+    must treat the returned arrays as read-only.
     """
+    key = (tape.content_fingerprint(), rf)
+    hit = _tables_lru.get(key)
+    if hit is not None:
+        _tables_lru.move_to_end(key)
+        return hit
+    tables = _build_design_tables(tape, rf)
+    _tables_lru[key] = tables
+    while len(_tables_lru) > _TABLES_LRU_MAX:
+        _tables_lru.popitem(last=False)
+    return tables
+
+
+def _build_design_tables(tape: OpTape,
+                         rf: RFTimingModel) -> Tuple[np.ndarray, np.ndarray]:
     count = tape.signature_count
     issue_gap = np.zeros(count, dtype=np.int64)
     operand_add = np.zeros(count, dtype=np.int64)

@@ -91,6 +91,11 @@ class OpTape:
     num_registers: int
     exit_code: Optional[int] = None
     halt_reason: Optional[str] = None
+    #: Content fingerprint (the cache digest when known).  Set by
+    #: :class:`TraceCache` and :func:`tape_for_program`; computed lazily
+    #: from the arrays otherwise.  Keyed on by the per-design timing
+    #: table memo in :mod:`repro.cpu.compiled`.
+    fingerprint: Optional[str] = None
 
     @property
     def instructions(self) -> int:
@@ -103,6 +108,25 @@ class OpTape:
     @property
     def hit_instruction_limit(self) -> bool:
         return self.halt_reason == HaltReason.INSTRUCTION_LIMIT.name
+
+    def content_fingerprint(self) -> str:
+        """A stable content hash of this tape, computed at most once.
+
+        Tapes loaded through :class:`TraceCache` or built by
+        :func:`tape_for_program` inherit the program digest for free;
+        hand-built tapes hash their arrays on first use.  Memoization
+        keys (the compiled tier's per-design timing tables) use this
+        instead of re-hashing per call.
+        """
+        if self.fingerprint is None:
+            h = hashlib.sha256()
+            h.update(f"arrays:{self.max_instructions}:"
+                     f"{self.num_registers}".encode())
+            for arr in (self.sig, self.flags, self.mem_addr,
+                        self.sig_srcs, self.sig_dest):
+                h.update(np.ascontiguousarray(arr).tobytes())
+            self.fingerprint = h.hexdigest()
+        return self.fingerprint
 
     # -- lowering ----------------------------------------------------------
 
@@ -306,6 +330,7 @@ class TraceCache:
             # a torn or truncated publish reads as a miss, never a crash
             self.misses += 1
             return None
+        tape.fingerprint = digest
         self.hits += 1
         try:
             os.utime(path)  # refresh LRU recency
@@ -314,6 +339,7 @@ class TraceCache:
         return tape
 
     def put(self, digest: str, tape: OpTape) -> None:
+        tape.fingerprint = digest
         path = self._path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         has_exit = tape.exit_code is not None
@@ -387,6 +413,7 @@ def tape_for_program(program: Program,
     if tape is None:
         tape = OpTape.from_program(program, max_instructions=max_instructions,
                                    num_registers=num_registers)
+        tape.fingerprint = digest
         if store is not None:
             store.put(digest, tape)
     if strict and tape.hit_instruction_limit:

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence
 
-from repro.cpu.compiled import replay
+from repro.cpu.batched import lanes_for_designs, replay_lanes
+from repro.cpu.compiled import compiled_enabled, replay
 from repro.cpu.config import CoreConfig
 from repro.cpu.optape import OpTape, TraceCacheLike, tape_for_program
 from repro.cpu.pipeline import GateLevelPipeline
@@ -97,19 +98,29 @@ def simulate_program(program: Program, designs: Sequence[str] = RF_DESIGN_NAMES,
     """Run one program across several designs, reusing one op tape.
 
     The functional pass is lowered once into an
-    :class:`~repro.cpu.optape.OpTape` and replayed per design - only the
-    per-design timing tables change between replays.  ``trace_cache``
+    :class:`~repro.cpu.optape.OpTape`; the whole design set then replays
+    as **one lane batch** through :func:`repro.cpu.batched.replay_lanes`
+    (``REPRO_CPU_LANES`` selects the lane tier / cap) - only the
+    per-design timing tables change between lanes.  ``trace_cache``
     (a :class:`~repro.cpu.optape.TraceCache`, a directory path, or
     ``None`` for ``REPRO_CACHE_DIR``) persists the tape, so a rerun - or
     the same sweep over additional designs - skips the functional pass
-    entirely.  ``tier`` forces the replay tier; ``None`` follows
-    ``REPRO_CPU_COMPILED``.
+    entirely.  ``tier`` forces a tier: ``"batched"`` (one lane batch),
+    ``"compiled"``/``"reference"`` (scalar per-design replay); ``None``
+    follows ``REPRO_CPU_LANES`` and ``REPRO_CPU_COMPILED``.
     """
     config = config or CoreConfig()
     tape = tape_for_program(program, max_instructions=max_instructions,
                             num_registers=config.num_registers,
                             cache=trace_cache, workload_name=workload_name)
     reports: Dict[str, CpiReport] = {}
+    if tier == "batched" or (tier is None and compiled_enabled()):
+        lanes = lanes_for_designs(designs, config)
+        for design, result in zip(designs,
+                                  replay_lanes(tape, lanes, tier=tier)):
+            reports[design] = CpiReport.from_result(
+                workload_name, result, exit_code=tape.exit_code)
+        return reports
     for design in designs:
         rf = RFTimingModel.for_design(design, config)
         result = replay(tape, rf, config, tier=tier)

@@ -19,8 +19,8 @@ from __future__ import annotations
 import statistics
 from typing import Dict, Optional, Tuple
 
-from repro.cpu import CoreConfig, replay, tape_for_program
-from repro.cpu.rf_model import RFTimingModel
+from repro.cpu import CoreConfig, tape_for_program
+from repro.cpu.batched import lanes_for_designs, replay_lanes
 from repro.experiments.parallel import CacheLike, cached_map
 from repro.isa import assemble
 from repro.rf import HiPerRF, NdroRegisterFile, RFGeometry
@@ -58,11 +58,10 @@ def _bank_policy_workload(point: Tuple[str, float, int]) -> Dict[str, float]:
                             max_instructions=max_instructions,
                             num_registers=config.num_registers,
                             workload_name=name, strict=False)
-    cpis = {}
-    for design in _POLICY_DESIGNS:
-        rf = RFTimingModel.for_design(design, config)
-        cpis[design] = replay(tape, rf, config).cpi
-    return cpis
+    lanes = lanes_for_designs(_POLICY_DESIGNS, config)
+    return {design: result.cpi
+            for design, result in zip(_POLICY_DESIGNS,
+                                      replay_lanes(tape, lanes))}
 
 
 def bank_policy_ablation(scale: float = 0.6,
@@ -71,8 +70,9 @@ def bank_policy_ablation(scale: float = 0.6,
                          cache: CacheLike = None) -> Dict[str, float]:
     """Average CPI overhead for ideal / parity / worst bank policies.
 
-    Each workload is trace-replayed through all five policies in one
-    worker; workloads fan out over :mod:`repro.experiments.parallel`.
+    Each workload replays through all five policies as one design-lane
+    batch (:func:`repro.cpu.batched.replay_lanes`) in one worker;
+    workloads fan out over :mod:`repro.experiments.parallel`.
     """
     points = [(workload.name, scale, max_instructions)
               for workload in all_workloads()]

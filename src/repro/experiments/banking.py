@@ -14,7 +14,8 @@ from __future__ import annotations
 import statistics
 from typing import Dict, List
 
-from repro.cpu import CoreConfig, RFTimingModel, replay, tape_for_program
+from repro.cpu import CoreConfig, tape_for_program
+from repro.cpu.batched import lanes_for_designs, replay_lanes
 from repro.isa import assemble
 from repro.rf import HiPerRF, NdroRegisterFile, RFGeometry
 from repro.rf.multibank import MultiBankHiPerRF
@@ -38,20 +39,29 @@ def run(scale: float = 0.6,
             num_registers=config.num_registers,
             workload_name=workload.name, strict=False))
 
+    sweep = []
+    for banks in BANK_SWEEP:
+        if banks == 1:
+            sweep.append((banks, single, "hiperrf"))
+        else:
+            design = MultiBankHiPerRF(geometry, banks=banks)
+            sweep.append((banks, design, design.name))
+
+    # The baseline and the whole bank ladder replay each tape as one
+    # design-lane batch instead of one scalar replay per (tape, design).
+    names = ["ndro_rf"] + [name for _, _, name in sweep]
+    lanes = lanes_for_designs(names, config)
+    cpis: Dict[str, List[float]] = {name: [] for name in names}
+    for tape in tapes:
+        for name, result in zip(names, replay_lanes(tape, lanes)):
+            cpis[name].append(result.cpi)
+
     def mean_cpi(design_name: str) -> float:
-        rf = RFTimingModel.for_design(design_name, config)
-        return statistics.mean(
-            replay(tape, rf, config).cpi for tape in tapes)
+        return statistics.mean(cpis[design_name])
 
     base_cpi = mean_cpi("ndro_rf")
     rows: List[Dict[str, float]] = []
-    for banks in BANK_SWEEP:
-        if banks == 1:
-            design = single
-            name = "hiperrf"
-        else:
-            design = MultiBankHiPerRF(geometry, banks=banks)
-            name = design.name
+    for banks, design, name in sweep:
         rows.append({
             "banks": float(banks),
             "jj": float(design.jj_count()),

@@ -123,7 +123,7 @@ def render(result: Figure14Result | None = None) -> str:
     lines = [title, "=" * len(title)]
     designs = list(result.overhead_percent)
     header = f"{'benchmark':12s} {'base CPI':>9s}" + "".join(
-        f" {d[:18]:>20s}" for d in designs)
+        f" {d[:20]:>20s}" for d in designs)
     lines.append(header)
     lines.append("-" * len(header))
     for name, cpi in result.baseline_cpi.items():

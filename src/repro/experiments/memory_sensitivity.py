@@ -12,7 +12,8 @@ from __future__ import annotations
 import statistics
 from typing import Callable, Dict
 
-from repro.cpu import CoreConfig, RFTimingModel, replay, tape_for_program
+from repro.cpu import CoreConfig, RFTimingModel, tape_for_program
+from repro.cpu.batched import Lane, replay_lanes
 from repro.isa import assemble
 from repro.mem import DirectMappedCache, FlatMemory
 from repro.workloads import all_workloads
@@ -37,13 +38,18 @@ def run(scale: float = 0.6,
             workload_name=workload.name, strict=False))
 
     result: Dict[str, Dict[str, float]] = {}
+    designs = ("ndro_rf", "hiperrf")
     for mem_name, factory in MEMORY_CONFIGS.items():
-        cpis: Dict[str, list] = {"ndro_rf": [], "hiperrf": []}
-        for design in cpis:
-            rf = RFTimingModel.for_design(design, config)
-            for tape in tapes:
-                cpis[design].append(
-                    replay(tape, rf, config, memory_model=factory()).cpi)
+        cpis: Dict[str, list] = {design: [] for design in designs}
+        for tape in tapes:
+            # Each lane owns a fresh stateful memory model, so the whole
+            # dispatch goes through replay_lanes and takes its documented
+            # per-lane scalar fallback (access-call order preserved).
+            lanes = [Lane(RFTimingModel.for_design(design, config), config,
+                          memory_model=factory())
+                     for design in designs]
+            for design, res in zip(designs, replay_lanes(tape, lanes)):
+                cpis[design].append(res.cpi)
         base = statistics.mean(cpis["ndro_rf"])
         hiper = statistics.mean(cpis["hiperrf"])
         result[mem_name] = {

@@ -110,7 +110,13 @@ def _cpu_item(name: str, scale: float, designs: Tuple[str, ...],
 
 def _cpu_compute(payloads: Sequence[Tuple[str, float, Tuple[str, ...], int]]
                  ) -> List[Dict[str, Any]]:
-    """Run one program once, replay the union of designs, slice per item."""
+    """Run one program once, replay the union of designs, slice per item.
+
+    The design union replays as **one lane batch**
+    (:func:`repro.cpu.batched.replay_lanes`, via ``simulate_program``);
+    :data:`CPU_LANE_METRICS` records the lane occupancy of every
+    dispatch for ``stats()["cpu_lanes"]``, mirroring ``pulse_lanes``.
+    """
     from repro.cpu import simulate_program
     from repro.errors import ExecutionError
     from repro.isa import assemble
@@ -127,6 +133,7 @@ def _cpu_compute(payloads: Sequence[Tuple[str, float, Tuple[str, ...], int]]
     program = assemble(get_workload(name).build(scale))
     reports = simulate_program(program, union, name,
                                max_instructions=max_instructions)
+    CPU_LANE_METRICS.record(len(union))
     baseline = reports["ndro_rf"]
     if baseline.exit_code != PASS_EXIT_CODE:
         raise ExecutionError(
@@ -547,6 +554,16 @@ PULSE_LANE_METRICS = _LaneMetrics()
 def pulse_lane_stats() -> Dict[str, Any]:
     """Snapshot of :data:`PULSE_LANE_METRICS` for ``/stats`` payloads."""
     return PULSE_LANE_METRICS.snapshot()
+
+
+#: Lane occupancy of every ``cpu`` design-union dispatch in this process
+#: (surfaced under ``stats()["cpu_lanes"]``, mirroring ``pulse_lanes``).
+CPU_LANE_METRICS = _LaneMetrics()
+
+
+def cpu_lane_stats() -> Dict[str, Any]:
+    """Snapshot of :data:`CPU_LANE_METRICS` for ``/stats`` payloads."""
+    return CPU_LANE_METRICS.snapshot()
 
 
 def _call_compute(payloads: Sequence[Any]) -> List[Any]:

@@ -41,6 +41,7 @@ from repro.experiments.parallel import (
 )
 from repro.service.adapters import (
     WorkItem,
+    cpu_lane_stats,
     decompose,
     dispatch_group,
     jsonable,
@@ -163,6 +164,7 @@ class CoalescingEngine:
             "window_ms": self.window_ms,
             "workers": self.workers,
             "pulse_lanes": pulse_lane_stats(),
+            "cpu_lanes": cpu_lane_stats(),
         }
         if self.cache is not None:
             payload["cache"] = {"root": str(self.cache.root),

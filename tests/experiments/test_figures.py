@@ -44,6 +44,25 @@ class TestFigure14:
         assert "Figure 14" in text
         assert "mcf" in text and "average" in text
 
+    def test_render_columns_aligned(self, result):
+        """Header names fill their full 20-char cells, so every design
+        column lines up with its data (an 18-char truncation once left
+        the long 'dual_bank_hiperrf_ideal' header two cells short)."""
+        lines = figure14.render(result).splitlines()
+        header = lines[2]
+        designs = list(result.overhead_percent)
+        prefix = len(f"{'benchmark':12s} {'base CPI':>9s}")
+        assert len(header) == prefix + 21 * len(designs)
+        for j, design in enumerate(designs):
+            cell = header[prefix + 21 * j:prefix + 21 * (j + 1)]
+            assert cell.strip() == design[:20]
+        n_rows = len(result.baseline_cpi)
+        table = lines[4:4 + n_rows] + [lines[5 + n_rows]]   # rows + average
+        for row in table:
+            assert len(row) == len(header)
+            for j in range(len(designs)):
+                assert row[prefix + 21 * (j + 1) - 1] == "%"
+
 
 class TestFigure15:
     def test_loopback_wire_short(self):

@@ -7,8 +7,10 @@ import json
 import pytest
 
 from repro.service.adapters import (
+    CPU_LANE_METRICS,
     PULSE_LANE_METRICS,
     SUPPORTED_EXPERIMENTS,
+    cpu_lane_stats,
     decompose,
     dispatch_group,
     jsonable,
@@ -125,6 +127,36 @@ class TestFigure14Adapter:
                                  "designs": ["ndro_rf", "hiperrf"]})
         assert a.recompose([merged[0]]) == naive_a
         assert set(merged[1]["overhead_percent"]) == {"dual_bank_hiperrf"}
+
+    def test_lane_batched_group_matches_solo(self):
+        """A coalesced design-union dispatch (one lane batch) must hand
+        each item the bitwise-identical value a solo dispatch returns."""
+        a = decompose("figure14", {"scale": 0.3, "workloads": ["towers"],
+                                   "designs": ["ndro_rf", "hiperrf"]})
+        b = decompose("figure14", {"scale": 0.3, "workloads": ["towers"],
+                                   "designs": ["ndro_rf",
+                                               "dual_bank_hiperrf_ideal"]})
+        merged = dispatch_group("cpu", [a.items[0].payload,
+                                        b.items[0].payload])
+        solo_a = dispatch_group("cpu", [a.items[0].payload])
+        solo_b = dispatch_group("cpu", [b.items[0].payload])
+        assert merged[0] == solo_a[0]
+        assert merged[1] == solo_b[0]
+
+    def test_cpu_lane_metrics_record_design_union(self):
+        CPU_LANE_METRICS.reset()
+        a = decompose("figure14", {"scale": 0.3, "workloads": ["vvadd"],
+                                   "designs": ["ndro_rf", "hiperrf"]})
+        b = decompose("figure14", {"scale": 0.3, "workloads": ["vvadd"],
+                                   "designs": ["ndro_rf",
+                                               "dual_bank_hiperrf"]})
+        dispatch_group("cpu", [a.items[0].payload, b.items[0].payload])
+        dispatch_group("cpu", [a.items[0].payload])
+        stats = cpu_lane_stats()
+        assert stats["dispatches"] == 2
+        assert stats["lanes_total"] == 5   # 3-design union, then 2 solo
+        assert stats["batches_coalesced"] == 2
+        assert stats["lanes_max"] == 3
 
 
 class TestPulseAdapter:
